@@ -1,0 +1,115 @@
+// E-commerce scenario from the paper's introduction: each user's browsing
+// trace is a stream of item visits; items co-occurring in many users' traces
+// over a short period signal cross-sell ("combo deal") opportunities.
+//
+// Demonstrates parameter sensitivity: the same trace mined under several
+// (theta, xi) settings, showing how the pattern count reacts — the intuition
+// behind the paper's Figs. 9-10.
+//
+// Usage: ./build/examples/ecommerce_combos [--sessions=N] [--seed=N]
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/mining_engine.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace {
+
+struct BrowseTrace {
+  std::vector<fcp::ObjectEvent> events;
+};
+
+// Synthesizes browsing sessions: Zipf-popular items, plus "bundles" (items
+// frequently browsed together, e.g., console + controller + game).
+BrowseTrace GenerateBrowsing(uint32_t sessions, uint64_t seed) {
+  constexpr uint32_t kItems = 5000;
+  constexpr uint32_t kBundles = 12;
+  constexpr uint32_t kBundleSize = 3;
+  fcp::Rng rng(seed);
+  fcp::ZipfDistribution zipf(kItems, 1.0);
+
+  // Reserve item ids [kItems, kItems + kBundles*kBundleSize) for bundles.
+  BrowseTrace trace;
+  fcp::Timestamp now = 0;
+  for (uint32_t user = 0; user < sessions; ++user) {
+    now += static_cast<fcp::Timestamp>(rng.Below(fcp::Seconds(3)));
+    fcp::Timestamp t = now;
+    const bool browses_bundle = rng.Chance(0.25);
+    if (browses_bundle) {
+      const uint32_t bundle = static_cast<uint32_t>(rng.Below(kBundles));
+      for (uint32_t k = 0; k < kBundleSize; ++k) {
+        trace.events.push_back(
+            {user, kItems + bundle * kBundleSize + k, t});
+        t += static_cast<fcp::Timestamp>(rng.Below(fcp::Seconds(20)));
+      }
+    }
+    const uint32_t extra = 2 + static_cast<uint32_t>(rng.Below(6));
+    for (uint32_t k = 0; k < extra; ++k) {
+      trace.events.push_back(
+          {user, static_cast<fcp::ObjectId>(zipf.Sample(rng)), t});
+      t += static_cast<fcp::Timestamp>(rng.Below(fcp::Seconds(20)));
+    }
+  }
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const fcp::ObjectEvent& a, const fcp::ObjectEvent& b) {
+              return a.time < b.time;
+            });
+  return trace;
+}
+
+// Mines the trace under one parameter setting; returns #distinct patterns
+// per size.
+std::map<uint32_t, uint64_t> MineOnce(const BrowseTrace& trace,
+                                      uint32_t theta, fcp::DurationMs xi) {
+  fcp::MiningParams params;
+  params.xi = xi;
+  params.tau = fcp::Minutes(20);
+  params.theta = theta;
+  params.min_pattern_size = 2;
+  params.max_pattern_size = 4;
+  fcp::MiningEngine engine(fcp::MinerKind::kCooMine, params);
+  for (const fcp::ObjectEvent& event : trace.events) engine.PushEvent(event);
+  engine.Flush();
+  return engine.collector().distinct_patterns_by_size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fcp::Flags flags(argc, argv);
+  const uint32_t sessions =
+      static_cast<uint32_t>(flags.GetInt("sessions", 3000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 99));
+
+  std::printf("Generating %u browsing sessions...\n", sessions);
+  const BrowseTrace trace = GenerateBrowsing(sessions, seed);
+  std::printf("%zu item-visit events\n\n", trace.events.size());
+
+  std::printf("%7s %8s | %10s %10s %10s\n", "theta", "xi(s)", "#combos(2)",
+              "#combos(3)", "#combos(4)");
+  std::printf("%s\n", std::string(56, '-').c_str());
+  for (uint32_t theta : {5u, 10u, 20u, 40u}) {
+    for (fcp::DurationMs xi : {fcp::Seconds(30), fcp::Seconds(60)}) {
+      const auto counts = MineOnce(trace, theta, xi);
+      auto get = [&](uint32_t k) -> uint64_t {
+        auto it = counts.find(k);
+        return it == counts.end() ? 0 : it->second;
+      };
+      std::printf("%7u %8lld | %10llu %10llu %10llu\n", theta,
+                  static_cast<long long>(xi / 1000),
+                  static_cast<unsigned long long>(get(2)),
+                  static_cast<unsigned long long>(get(3)),
+                  static_cast<unsigned long long>(get(4)));
+    }
+  }
+  std::printf(
+      "\nHigher theta -> sharply fewer combos (cf. paper Fig. 10); larger xi\n"
+      "-> longer browsing windows count as co-occurrences -> more combos\n"
+      "(cf. Fig. 7(a)).\n");
+  return 0;
+}

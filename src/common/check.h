@@ -1,0 +1,38 @@
+// Internal invariant checks.
+//
+// FCP_CHECK is always on (it guards programmer errors that would otherwise
+// corrupt index state); FCP_DCHECK compiles away in release builds and is
+// used on hot paths.
+
+#ifndef FCP_COMMON_CHECK_H_
+#define FCP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fcp::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "FCP_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace fcp::internal
+
+#define FCP_CHECK(expr)                                     \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::fcp::internal::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define FCP_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define FCP_DCHECK(expr) FCP_CHECK(expr)
+#endif
+
+#endif  // FCP_COMMON_CHECK_H_

@@ -1,0 +1,51 @@
+// Hashing helpers: hash combining and hashers for composite keys used by the
+// indexes (object pairs in the Matrix index, pattern keys in result
+// collectors).
+
+#ifndef FCP_COMMON_HASH_H_
+#define FCP_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fcp {
+
+/// Mixes 64 bits thoroughly (the SplitMix64 finalizer). Good enough as a
+/// building block for all internal hash tables.
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines a hash value with the hash of another 64-bit quantity.
+constexpr uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// Hash functor for an (a, b) pair of 32-bit ids packed into one word.
+/// Used by the Matrix index, keyed on unordered object pairs.
+struct PairHash {
+  size_t operator()(const std::pair<uint32_t, uint32_t>& p) const {
+    return static_cast<size_t>(
+        Mix64((static_cast<uint64_t>(p.first) << 32) | p.second));
+  }
+};
+
+/// Order-sensitive hash of a sequence of 32-bit ids. Patterns are stored as
+/// sorted vectors, so equal sets hash equally.
+struct IdVectorHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    uint64_t h = 0x2545f4914f6cdd1dULL;
+    for (uint32_t x : v) h = HashCombine(h, x);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace fcp
+
+#endif  // FCP_COMMON_HASH_H_

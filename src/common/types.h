@@ -1,0 +1,71 @@
+// Core value types shared by every layer of libfcp.
+//
+// All identifiers are plain integer types: streams, objects, and segments are
+// dense ids handed out by the data generators / the segment registry. Using
+// integers (rather than strings) keeps the hot mining paths allocation-free;
+// applications that have string keys interned them once at the edge (see
+// examples/trending_topics.cpp for the idiom).
+
+#ifndef FCP_COMMON_TYPES_H_
+#define FCP_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace fcp {
+
+/// Identifier of a data stream (e.g., one camera, one Twitter user).
+using StreamId = uint32_t;
+
+/// Identifier of an object flowing through the streams (a vehicle plate, a
+/// word, an item sku). Objects are shared across streams; two events in
+/// different streams carrying the same ObjectId denote the *same* object.
+using ObjectId = uint32_t;
+
+/// Identifier of a segment. Segment ids are unique across all streams and
+/// monotonically increasing in completion order (assigned by the segmenter /
+/// segment registry).
+using SegmentId = uint64_t;
+
+/// Event time in milliseconds. Streams deliver events ordered by Timestamp
+/// within each stream. We use a signed 64-bit integer so that subtracting two
+/// timestamps is always well defined.
+using Timestamp = int64_t;
+
+/// A duration in milliseconds (same unit as Timestamp).
+using DurationMs = int64_t;
+
+/// Sentinel for "no segment".
+inline constexpr SegmentId kInvalidSegmentId =
+    std::numeric_limits<SegmentId>::max();
+
+/// Sentinel for "no object".
+inline constexpr ObjectId kInvalidObjectId =
+    std::numeric_limits<ObjectId>::max();
+
+/// Sentinel timestamp smaller than any real event time.
+inline constexpr Timestamp kMinTimestamp =
+    std::numeric_limits<Timestamp>::min();
+
+/// Sentinel timestamp larger than any real event time.
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+
+/// One element of a data stream: object `object` was observed in stream
+/// `stream` at time `time` (Definition 1 of the paper).
+struct ObjectEvent {
+  StreamId stream = 0;
+  ObjectId object = 0;
+  Timestamp time = 0;
+
+  friend bool operator==(const ObjectEvent&, const ObjectEvent&) = default;
+};
+
+/// Milliseconds helpers so call sites can say `Seconds(60)` instead of 60000.
+constexpr DurationMs Millis(int64_t ms) { return ms; }
+constexpr DurationMs Seconds(int64_t s) { return s * 1000; }
+constexpr DurationMs Minutes(int64_t m) { return m * 60 * 1000; }
+
+}  // namespace fcp
+
+#endif  // FCP_COMMON_TYPES_H_

@@ -1,0 +1,55 @@
+#include "core/apriori.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fcp {
+
+bool AllSubsetsFrequent(const Pattern& candidate,
+                        const std::vector<Pattern>& frequent_k) {
+  // The two subsets obtained by dropping one of the last two objects are the
+  // join parents and frequent by construction; check the remaining ones.
+  Pattern subset(candidate.size() - 1);
+  for (size_t drop = 0; drop + 2 < candidate.size(); ++drop) {
+    size_t w = 0;
+    for (size_t i = 0; i < candidate.size(); ++i) {
+      if (i != drop) subset[w++] = candidate[i];
+    }
+    if (!std::binary_search(frequent_k.begin(), frequent_k.end(), subset)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Pattern> GenerateCandidates(
+    const std::vector<Pattern>& frequent_k) {
+  std::vector<Pattern> candidates;
+  if (frequent_k.empty()) return candidates;
+  [[maybe_unused]] const size_t k = frequent_k.front().size();
+  FCP_DCHECK(std::is_sorted(frequent_k.begin(), frequent_k.end()));
+
+  for (size_t i = 0; i < frequent_k.size(); ++i) {
+    FCP_DCHECK(frequent_k[i].size() == k);
+    for (size_t j = i + 1; j < frequent_k.size(); ++j) {
+      // Lexicographic order means all patterns sharing the first k-1
+      // objects are contiguous; stop as soon as the prefix diverges.
+      if (!std::equal(frequent_k[i].begin(), frequent_k[i].end() - 1,
+                      frequent_k[j].begin(), frequent_k[j].end() - 1)) {
+        break;
+      }
+      Pattern candidate = frequent_k[i];
+      candidate.push_back(frequent_k[j].back());
+      FCP_DCHECK(std::is_sorted(candidate.begin(), candidate.end()));
+      if (AllSubsetsFrequent(candidate, frequent_k)) {
+        candidates.push_back(std::move(candidate));
+      }
+    }
+  }
+  // The double loop emits candidates in lexicographic order already.
+  FCP_DCHECK(std::is_sorted(candidates.begin(), candidates.end()));
+  return candidates;
+}
+
+}  // namespace fcp

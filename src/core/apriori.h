@@ -1,0 +1,32 @@
+// The shared Apriori kernel: level-wise candidate generation with subset
+// pruning (Theorem 3: every subset of an FCP is an FCP). Support counting is
+// miner-specific and stays in the miners.
+
+#ifndef FCP_CORE_APRIORI_H_
+#define FCP_CORE_APRIORI_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/fcp.h"
+
+namespace fcp {
+
+/// Generates the size-(k+1) candidates from the size-k frequent patterns
+/// using the classic F_k x F_k join (two patterns sharing their first k-1
+/// objects combine) followed by the all-subsets-frequent prune.
+///
+/// `frequent_k` must contain sorted, distinct patterns of equal size k >= 1,
+/// itself sorted lexicographically (the miners maintain this). The returned
+/// candidates are sorted lexicographically.
+std::vector<Pattern> GenerateCandidates(const std::vector<Pattern>& frequent_k);
+
+/// True iff every size-k subset of `candidate` (size k+1) appears in the
+/// lexicographically sorted `frequent_k`. Exposed for tests; called by
+/// GenerateCandidates.
+bool AllSubsetsFrequent(const Pattern& candidate,
+                        const std::vector<Pattern>& frequent_k);
+
+}  // namespace fcp
+
+#endif  // FCP_CORE_APRIORI_H_

@@ -1,0 +1,75 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fcp {
+
+BruteForceMiner::BruteForceMiner(const MiningParams& params)
+    : params_(params) {
+  FCP_CHECK(params.Validate().ok());
+}
+
+void BruteForceMiner::AddSegment(const Segment& segment,
+                                 std::vector<Fcp>* out) {
+  // Monotonic watermark anchor; see CooMine::AddSegment.
+  watermark_ = std::max(watermark_, segment.end_time());
+  const Timestamp now = watermark_;
+  segments_.push_back(Stored{segment.stream(), segment.start_time(),
+                             segment.end_time(), segment.DistinctObjects()});
+
+  const std::vector<ObjectId> objects =
+      DistinctObjectsCapped(segment, params_.max_segment_objects);
+  FCP_CHECK(objects.size() <= 20);
+
+  // Enumerate every non-empty subset of the trigger's objects and test
+  // Definition 3 directly against all valid stored segments — no Apriori,
+  // no index, so the oracle shares no code path with the real miners.
+  const uint32_t n = static_cast<uint32_t>(objects.size());
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    const uint32_t size = static_cast<uint32_t>(__builtin_popcount(mask));
+    if (size < params_.min_pattern_size) continue;
+    if (params_.max_pattern_size != 0 && size > params_.max_pattern_size) {
+      continue;
+    }
+    Pattern pattern;
+    pattern.reserve(size);
+    for (uint32_t b = 0; b < n; ++b) {
+      if (mask & (1u << b)) pattern.push_back(objects[b]);
+    }
+    ++stats_.candidates_checked;
+
+    std::vector<Occurrence> occurrences;
+    for (const Stored& stored : segments_) {
+      if (now - stored.start > params_.tau) continue;  // expired
+      if (std::includes(stored.objects.begin(), stored.objects.end(),
+                        pattern.begin(), pattern.end())) {
+        occurrences.push_back(
+            Occurrence{stored.stream, stored.start, stored.end});
+      }
+    }
+    auto fcp = MakeFcpIfFrequent(pattern, std::move(occurrences),
+                                 params_.theta, segment.id());
+    if (fcp.has_value()) {
+      out->push_back(*std::move(fcp));
+      ++stats_.fcps_emitted;
+    }
+  }
+  ++stats_.segments_processed;
+}
+
+void BruteForceMiner::ForceMaintenance(Timestamp now) {
+  while (!segments_.empty() && now - segments_.front().start > params_.tau) {
+    segments_.pop_front();
+  }
+  ++stats_.maintenance_runs;
+}
+
+size_t BruteForceMiner::MemoryUsage() const {
+  size_t bytes = sizeof(Stored) * segments_.size();
+  for (const Stored& s : segments_) bytes += s.objects.size() * sizeof(ObjectId);
+  return bytes;
+}
+
+}  // namespace fcp

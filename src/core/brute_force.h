@@ -1,0 +1,46 @@
+// Reference miner: a direct, unoptimized implementation of Definition 3 used
+// as a correctness oracle. It stores segments verbatim and enumerates every
+// subset of the trigger segment's objects — exponential, suitable only for
+// tests and small examples.
+
+#ifndef FCP_CORE_BRUTE_FORCE_H_
+#define FCP_CORE_BRUTE_FORCE_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/params.h"
+#include "core/miner.h"
+#include "stream/segment.h"
+
+namespace fcp {
+
+class BruteForceMiner : public FcpMiner {
+ public:
+  explicit BruteForceMiner(const MiningParams& params);
+
+  /// Aborts if the segment has more than 20 distinct objects after the
+  /// max_segment_objects cap (2^20 subsets is the oracle's practical limit).
+  void AddSegment(const Segment& segment, std::vector<Fcp>* out) override;
+  void ForceMaintenance(Timestamp now) override;
+  size_t MemoryUsage() const override;
+  const MinerStats& stats() const override { return stats_; }
+  std::string_view name() const override { return "BruteForce"; }
+
+ private:
+  struct Stored {
+    StreamId stream;
+    Timestamp start;
+    Timestamp end;
+    std::vector<ObjectId> objects;  // sorted distinct
+  };
+
+  MiningParams params_;
+  std::deque<Stored> segments_;
+  MinerStats stats_;
+  Timestamp watermark_ = kMinTimestamp;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,152 @@
+#include "core/coomine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/apriori.h"
+#include "util/stopwatch.h"
+
+namespace fcp {
+
+CooMine::CooMine(const MiningParams& params, CooMineOptions options)
+    : params_(params), options_(options), tree_(options.seg_tree) {
+  FCP_CHECK(params.Validate().ok());
+}
+
+void CooMine::AddSegment(const Segment& segment, std::vector<Fcp>* out) {
+  // Validity is anchored at the stream-time watermark (max end time seen):
+  // segments complete out of end-time order across streams, and a monotonic
+  // anchor keeps lazy deletion consistent with per-trigger re-evaluation.
+  watermark_ = std::max(watermark_, segment.end_time());
+  const Timestamp now = watermark_;
+
+  // --- Mining phase: SLCP + Apriori over the LCP table. -------------------
+  Stopwatch mine_timer;
+  std::vector<SegmentId> expired;
+  const std::vector<LcpRow> rows =
+      tree_.Slcp(segment, now, params_.tau, &expired);
+  stats_.lcp_rows += rows.size();
+  MineFromLcps(segment, rows, out);
+  stats_.mining_ns += mine_timer.ElapsedNanos();
+
+  // --- Maintenance phase: lazy deletion + insert + periodic sweep. --------
+  Stopwatch maint_timer;
+  for (SegmentId id : expired) tree_.Remove(id);
+  stats_.segments_expired += expired.size();
+  if (options_.periodic_sweep &&
+      (last_sweep_ == kMinTimestamp ||
+       now - last_sweep_ >= params_.maintenance_interval)) {
+    if (last_sweep_ != kMinTimestamp) {
+      stats_.segments_expired += tree_.RemoveExpired(now, params_.tau);
+      ++stats_.maintenance_runs;
+    }
+    last_sweep_ = now;
+  }
+  tree_.Insert(segment);
+  stats_.maintenance_ns += maint_timer.ElapsedNanos();
+
+  ++stats_.segments_processed;
+}
+
+void CooMine::ForceMaintenance(Timestamp now) {
+  Stopwatch maint_timer;
+  stats_.segments_expired += tree_.RemoveExpired(now, params_.tau);
+  ++stats_.maintenance_runs;
+  last_sweep_ = now;
+  stats_.maintenance_ns += maint_timer.ElapsedNanos();
+}
+
+size_t CooMine::MemoryUsage() const { return tree_.MemoryUsage(); }
+
+void CooMine::MineFromLcps(const Segment& segment,
+                           const std::vector<LcpRow>& rows,
+                           std::vector<Fcp>* out) {
+  const std::vector<ObjectId> objects =
+      DistinctObjectsCapped(segment, params_.max_segment_objects);
+  if (objects.empty()) return;
+
+  const Occurrence probe_occurrence{segment.stream(), segment.start_time(),
+                                    segment.end_time()};
+
+  // Rows per object, indexed by the object's position in `objects` (which
+  // is sorted), for fast level-1 support and candidate verification without
+  // hash lookups on the hot path.
+  std::vector<std::vector<uint32_t>> rows_of_object(objects.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (ObjectId o : rows[r].common) {
+      const auto it = std::lower_bound(objects.begin(), objects.end(), o);
+      // The common set can contain objects beyond the max_segment_objects
+      // cap; those are not candidates.
+      if (it == objects.end() || *it != o) continue;
+      rows_of_object[static_cast<size_t>(it - objects.begin())].push_back(
+          static_cast<uint32_t>(r));
+    }
+  }
+  auto object_index = [&](ObjectId o) -> const std::vector<uint32_t>* {
+    const auto it = std::lower_bound(objects.begin(), objects.end(), o);
+    if (it == objects.end() || *it != o) return nullptr;
+    return &rows_of_object[static_cast<size_t>(it - objects.begin())];
+  };
+
+  // Gathers the supporting occurrences of `pattern` (probe + rows whose
+  // common set includes the pattern, scanning the candidate rows of the
+  // pattern's rarest object).
+  auto support_of = [&](const Pattern& pattern) {
+    std::vector<Occurrence> occurrences{probe_occurrence};
+    const std::vector<uint32_t>* best = nullptr;
+    for (ObjectId o : pattern) {
+      const std::vector<uint32_t>* candidate_rows = object_index(o);
+      if (candidate_rows == nullptr) return occurrences;  // probe only
+      if (best == nullptr || candidate_rows->size() < best->size()) {
+        best = candidate_rows;
+      }
+    }
+    for (uint32_t r : *best) {
+      const LcpRow& row = rows[r];
+      if (pattern.size() > row.common.size()) continue;
+      if (std::includes(row.common.begin(), row.common.end(), pattern.begin(),
+                        pattern.end())) {
+        occurrences.push_back(Occurrence{row.stream, row.start, row.end});
+      }
+    }
+    return occurrences;
+  };
+
+  // Level 1 (FCP_1) straight from the table, then iterate Apriori levels.
+  std::vector<Pattern> frequent;
+  Pattern singleton(1);
+  for (ObjectId o : objects) {
+    singleton[0] = o;
+    ++stats_.candidates_checked;
+    auto fcp = MakeFcpIfFrequent(singleton, support_of(singleton),
+                                 params_.theta, segment.id());
+    if (!fcp.has_value()) continue;
+    frequent.push_back(singleton);
+    if (1 >= params_.min_pattern_size) {
+      out->push_back(*std::move(fcp));
+      ++stats_.fcps_emitted;
+    }
+  }
+
+  uint32_t level = 1;
+  while (!frequent.empty() &&
+         (params_.max_pattern_size == 0 || level < params_.max_pattern_size)) {
+    const std::vector<Pattern> candidates = GenerateCandidates(frequent);
+    ++level;
+    std::vector<Pattern> next;
+    for (const Pattern& candidate : candidates) {
+      ++stats_.candidates_checked;
+      auto fcp = MakeFcpIfFrequent(candidate, support_of(candidate),
+                                   params_.theta, segment.id());
+      if (!fcp.has_value()) continue;
+      next.push_back(candidate);
+      if (level >= params_.min_pattern_size) {
+        out->push_back(*std::move(fcp));
+        ++stats_.fcps_emitted;
+      }
+    }
+    frequent = std::move(next);
+  }
+}
+
+}  // namespace fcp

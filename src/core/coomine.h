@@ -1,0 +1,58 @@
+// CooMine (Section 5 of the paper): Seg-tree based FCP mining.
+//
+// For every completed segment: (1) SLCP finds the largest common CP between
+// the new segment and each valid existing segment (the LCP table), then
+// (2) an Apriori pass over the LCP table yields the FCPs the new segment
+// completes. Expired segments discovered by the search are deleted lazily
+// (the paper's LD strategy); a periodic sweep bounds memory.
+
+#ifndef FCP_CORE_COOMINE_H_
+#define FCP_CORE_COOMINE_H_
+
+#include <vector>
+
+#include "common/params.h"
+#include "core/miner.h"
+#include "index/seg_tree.h"
+#include "stream/segment.h"
+
+namespace fcp {
+
+/// CooMine-specific knobs (the MiningParams thresholds are shared).
+struct CooMineOptions {
+  SegTreeOptions seg_tree;
+  /// Run a full Seg-tree expiry sweep every MiningParams::maintenance_
+  /// interval of event time (the paper triggers this sweep on memory
+  /// pressure; an event-time cadence is deterministic and testable).
+  bool periodic_sweep = true;
+};
+
+class CooMine : public FcpMiner {
+ public:
+  explicit CooMine(const MiningParams& params, CooMineOptions options = {});
+
+  void AddSegment(const Segment& segment, std::vector<Fcp>* out) override;
+  void ForceMaintenance(Timestamp now) override;
+  size_t MemoryUsage() const override;
+  const MinerStats& stats() const override { return stats_; }
+  std::string_view name() const override { return "CooMine"; }
+
+  /// The underlying index (tests, benches, invariant checks).
+  const SegTree& seg_tree() const { return tree_; }
+
+ private:
+  /// Runs the Apriori pass of Algorithm 4 over the LCP table `rows`.
+  void MineFromLcps(const Segment& segment, const std::vector<LcpRow>& rows,
+                    std::vector<Fcp>* out);
+
+  MiningParams params_;
+  CooMineOptions options_;
+  SegTree tree_;
+  MinerStats stats_;
+  Timestamp last_sweep_ = kMinTimestamp;
+  Timestamp watermark_ = kMinTimestamp;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_CORE_COOMINE_H_

@@ -1,0 +1,133 @@
+#include "core/dimine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "core/apriori.h"
+#include "util/stopwatch.h"
+
+namespace fcp {
+
+DiMine::DiMine(const MiningParams& params) : params_(params) {
+  FCP_CHECK(params.Validate().ok());
+}
+
+void DiMine::AddSegment(const Segment& segment, std::vector<Fcp>* out) {
+  // Monotonic watermark anchor; see CooMine::AddSegment.
+  watermark_ = std::max(watermark_, segment.end_time());
+  const Timestamp now = watermark_;
+
+  // --- Maintenance: index the new segment (the paper's step (1) updates
+  // the DI-Index before verification), plus the periodic full sweep. -------
+  Stopwatch maint_timer;
+  index_.Insert(segment);
+  if (last_sweep_ == kMinTimestamp) {
+    last_sweep_ = now;
+  } else if (now - last_sweep_ >= params_.maintenance_interval) {
+    stats_.segments_expired += index_.RemoveExpired(now, params_.tau);
+    ++stats_.maintenance_runs;
+    last_sweep_ = now;
+  }
+  stats_.maintenance_ns += maint_timer.ElapsedNanos();
+
+  // --- Mining: Apriori over posting-list intersections. -------------------
+  Stopwatch mine_timer;
+  Mine(segment, out);
+  stats_.mining_ns += mine_timer.ElapsedNanos();
+
+  ++stats_.segments_processed;
+}
+
+void DiMine::ForceMaintenance(Timestamp now) {
+  Stopwatch maint_timer;
+  stats_.segments_expired += index_.RemoveExpired(now, params_.tau);
+  ++stats_.maintenance_runs;
+  last_sweep_ = now;
+  stats_.maintenance_ns += maint_timer.ElapsedNanos();
+}
+
+size_t DiMine::MemoryUsage() const { return index_.MemoryUsage(); }
+
+void DiMine::Mine(const Segment& segment, std::vector<Fcp>* out) {
+  const Timestamp now = watermark_;
+  const std::vector<ObjectId> objects =
+      DistinctObjectsCapped(segment, params_.max_segment_objects);
+  if (objects.empty()) return;
+
+  // Valid supporters per object (ascending id; includes the new segment).
+  std::unordered_map<ObjectId, std::vector<SegmentId>> valid;
+  for (ObjectId o : objects) {
+    valid.emplace(o, index_.ValidSegments(o, now, params_.tau));
+  }
+
+  auto occurrences_of = [&](const std::vector<SegmentId>& supporters) {
+    std::vector<Occurrence> occurrences;
+    occurrences.reserve(supporters.size());
+    for (SegmentId id : supporters) {
+      const SegmentInfo* info = index_.registry().Find(id);
+      FCP_DCHECK(info != nullptr);
+      occurrences.push_back(Occurrence{info->stream, info->start, info->end});
+    }
+    return occurrences;
+  };
+
+  // Supporter id lists of the current frequent level, keyed by pattern, so
+  // the next level intersects one parent list with one posting list instead
+  // of k lists.
+  using SupportMap =
+      std::unordered_map<Pattern, std::vector<SegmentId>, IdVectorHash>;
+  SupportMap supports;
+
+  std::vector<Pattern> frequent;
+  Pattern singleton(1);
+  for (ObjectId o : objects) {
+    singleton[0] = o;
+    ++stats_.candidates_checked;
+    const std::vector<SegmentId>& supporters = valid.at(o);
+    auto fcp = MakeFcpIfFrequent(singleton, occurrences_of(supporters),
+                                 params_.theta, segment.id());
+    if (!fcp.has_value()) continue;
+    frequent.push_back(singleton);
+    supports.emplace(singleton, supporters);
+    if (1 >= params_.min_pattern_size) {
+      out->push_back(*std::move(fcp));
+      ++stats_.fcps_emitted;
+    }
+  }
+
+  uint32_t level = 1;
+  while (!frequent.empty() &&
+         (params_.max_pattern_size == 0 || level < params_.max_pattern_size)) {
+    const std::vector<Pattern> candidates = GenerateCandidates(frequent);
+    ++level;
+    std::vector<Pattern> next;
+    SupportMap next_supports;
+    for (const Pattern& candidate : candidates) {
+      ++stats_.candidates_checked;
+      Pattern parent(candidate.begin(), candidate.end() - 1);
+      auto parent_it = supports.find(parent);
+      FCP_DCHECK(parent_it != supports.end());
+      const std::vector<SegmentId>& last_posting = valid.at(candidate.back());
+      std::vector<SegmentId> supporters;
+      std::set_intersection(parent_it->second.begin(),
+                            parent_it->second.end(), last_posting.begin(),
+                            last_posting.end(),
+                            std::back_inserter(supporters));
+      auto fcp = MakeFcpIfFrequent(candidate, occurrences_of(supporters),
+                                   params_.theta, segment.id());
+      if (!fcp.has_value()) continue;
+      next.push_back(candidate);
+      next_supports.emplace(candidate, std::move(supporters));
+      if (level >= params_.min_pattern_size) {
+        out->push_back(*std::move(fcp));
+        ++stats_.fcps_emitted;
+      }
+    }
+    frequent = std::move(next);
+    supports = std::move(next_supports);
+  }
+}
+
+}  // namespace fcp

@@ -1,0 +1,41 @@
+// DIMine (Section 3.2 of the paper): Apriori-style FCP mining over the
+// DI-Index inverted index.
+
+#ifndef FCP_CORE_DIMINE_H_
+#define FCP_CORE_DIMINE_H_
+
+#include <vector>
+
+#include "common/params.h"
+#include "core/miner.h"
+#include "index/di_index.h"
+#include "stream/segment.h"
+
+namespace fcp {
+
+class DiMine : public FcpMiner {
+ public:
+  explicit DiMine(const MiningParams& params);
+
+  void AddSegment(const Segment& segment, std::vector<Fcp>* out) override;
+  void ForceMaintenance(Timestamp now) override;
+  size_t MemoryUsage() const override;
+  const MinerStats& stats() const override { return stats_; }
+  std::string_view name() const override { return "DIMine"; }
+
+  /// The underlying index (tests and benches).
+  const DiIndex& index() const { return index_; }
+
+ private:
+  void Mine(const Segment& segment, std::vector<Fcp>* out);
+
+  MiningParams params_;
+  DiIndex index_;
+  MinerStats stats_;
+  Timestamp last_sweep_ = kMinTimestamp;
+  Timestamp watermark_ = kMinTimestamp;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_CORE_DIMINE_H_

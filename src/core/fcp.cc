@@ -1,0 +1,23 @@
+#include "core/fcp.h"
+
+#include <sstream>
+
+namespace fcp {
+
+std::string Fcp::DebugString() const {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < objects.size(); ++i) {
+    os << (i ? "," : "") << objects[i];
+  }
+  os << "}x" << streams.size() << "@[" << window_start << "," << window_end
+     << "]";
+  return os.str();
+}
+
+bool FcpLess(const Fcp& a, const Fcp& b) {
+  if (a.objects != b.objects) return a.objects < b.objects;
+  return a.trigger < b.trigger;
+}
+
+}  // namespace fcp

@@ -1,0 +1,134 @@
+#include "core/matrixmine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "core/apriori.h"
+#include "util/stopwatch.h"
+
+namespace fcp {
+
+MatrixMine::MatrixMine(const MiningParams& params) : params_(params) {
+  FCP_CHECK(params.Validate().ok());
+}
+
+void MatrixMine::AddSegment(const Segment& segment, std::vector<Fcp>* out) {
+  // Monotonic watermark anchor; see CooMine::AddSegment.
+  watermark_ = std::max(watermark_, segment.end_time());
+  const Timestamp now = watermark_;
+
+  // --- Maintenance: O(d^2) pair insertion + periodic full sweep. ----------
+  Stopwatch maint_timer;
+  index_.Insert(segment);
+  if (last_sweep_ == kMinTimestamp) {
+    last_sweep_ = now;
+  } else if (now - last_sweep_ >= params_.maintenance_interval) {
+    stats_.segments_expired += index_.RemoveExpired(now, params_.tau);
+    ++stats_.maintenance_runs;
+    last_sweep_ = now;
+  }
+  stats_.maintenance_ns += maint_timer.ElapsedNanos();
+
+  // --- Mining. -------------------------------------------------------------
+  Stopwatch mine_timer;
+  Mine(segment, out);
+  stats_.mining_ns += mine_timer.ElapsedNanos();
+
+  ++stats_.segments_processed;
+}
+
+void MatrixMine::ForceMaintenance(Timestamp now) {
+  Stopwatch maint_timer;
+  stats_.segments_expired += index_.RemoveExpired(now, params_.tau);
+  ++stats_.maintenance_runs;
+  last_sweep_ = now;
+  stats_.maintenance_ns += maint_timer.ElapsedNanos();
+}
+
+size_t MatrixMine::MemoryUsage() const { return index_.MemoryUsage(); }
+
+void MatrixMine::Mine(const Segment& segment, std::vector<Fcp>* out) {
+  const Timestamp now = watermark_;
+  const std::vector<ObjectId> objects =
+      DistinctObjectsCapped(segment, params_.max_segment_objects);
+  if (objects.empty()) return;
+
+  auto occurrences_of = [&](const std::vector<SegmentId>& supporters) {
+    std::vector<Occurrence> occurrences;
+    occurrences.reserve(supporters.size());
+    for (SegmentId id : supporters) {
+      const SegmentInfo* info = index_.registry().Find(id);
+      FCP_DCHECK(info != nullptr);
+      occurrences.push_back(Occurrence{info->stream, info->start, info->end});
+    }
+    return occurrences;
+  };
+
+  using SupportMap =
+      std::unordered_map<Pattern, std::vector<SegmentId>, IdVectorHash>;
+  SupportMap supports;
+
+  // Level 1: diagonal cells.
+  std::vector<Pattern> frequent;
+  Pattern singleton(1);
+  for (ObjectId o : objects) {
+    singleton[0] = o;
+    ++stats_.candidates_checked;
+    std::vector<SegmentId> supporters =
+        index_.ValidSegments(o, o, now, params_.tau);
+    auto fcp = MakeFcpIfFrequent(singleton, occurrences_of(supporters),
+                                 params_.theta, segment.id());
+    if (!fcp.has_value()) continue;
+    frequent.push_back(singleton);
+    supports.emplace(singleton, std::move(supporters));
+    if (1 >= params_.min_pattern_size) {
+      out->push_back(*std::move(fcp));
+      ++stats_.fcps_emitted;
+    }
+  }
+
+  uint32_t level = 1;
+  while (!frequent.empty() &&
+         (params_.max_pattern_size == 0 || level < params_.max_pattern_size)) {
+    const std::vector<Pattern> candidates = GenerateCandidates(frequent);
+    ++level;
+    std::vector<Pattern> next;
+    SupportMap next_supports;
+    for (const Pattern& candidate : candidates) {
+      ++stats_.candidates_checked;
+      std::vector<SegmentId> supporters;
+      if (level == 2) {
+        // Straight from the pair cell.
+        supporters = index_.ValidSegments(candidate[0], candidate[1], now,
+                                          params_.tau);
+      } else {
+        // Parent supporters intersected with the (first, last) pair cell: a
+        // segment holding the parent and that pair holds every object.
+        Pattern parent(candidate.begin(), candidate.end() - 1);
+        auto parent_it = supports.find(parent);
+        FCP_DCHECK(parent_it != supports.end());
+        const std::vector<SegmentId> pair_cell = index_.ValidSegments(
+            candidate.front(), candidate.back(), now, params_.tau);
+        std::set_intersection(parent_it->second.begin(),
+                              parent_it->second.end(), pair_cell.begin(),
+                              pair_cell.end(),
+                              std::back_inserter(supporters));
+      }
+      auto fcp = MakeFcpIfFrequent(candidate, occurrences_of(supporters),
+                                   params_.theta, segment.id());
+      if (!fcp.has_value()) continue;
+      next.push_back(candidate);
+      next_supports.emplace(candidate, std::move(supporters));
+      if (level >= params_.min_pattern_size) {
+        out->push_back(*std::move(fcp));
+        ++stats_.fcps_emitted;
+      }
+    }
+    frequent = std::move(next);
+    supports = std::move(next_supports);
+  }
+}
+
+}  // namespace fcp

@@ -1,0 +1,41 @@
+// MatrixMine (Section 6.2 of the paper): the baseline miner over the pairwise
+// co-occurrence Matrix.
+
+#ifndef FCP_CORE_MATRIXMINE_H_
+#define FCP_CORE_MATRIXMINE_H_
+
+#include <vector>
+
+#include "common/params.h"
+#include "core/miner.h"
+#include "index/matrix_index.h"
+#include "stream/segment.h"
+
+namespace fcp {
+
+class MatrixMine : public FcpMiner {
+ public:
+  explicit MatrixMine(const MiningParams& params);
+
+  void AddSegment(const Segment& segment, std::vector<Fcp>* out) override;
+  void ForceMaintenance(Timestamp now) override;
+  size_t MemoryUsage() const override;
+  const MinerStats& stats() const override { return stats_; }
+  std::string_view name() const override { return "MatrixMine"; }
+
+  /// The underlying index (tests and benches).
+  const MatrixIndex& index() const { return index_; }
+
+ private:
+  void Mine(const Segment& segment, std::vector<Fcp>* out);
+
+  MiningParams params_;
+  MatrixIndex index_;
+  MinerStats stats_;
+  Timestamp last_sweep_ = kMinTimestamp;
+  Timestamp watermark_ = kMinTimestamp;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_CORE_MATRIXMINE_H_

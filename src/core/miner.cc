@@ -1,0 +1,73 @@
+#include "core/miner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/brute_force.h"
+#include "core/coomine.h"
+#include "core/dimine.h"
+#include "core/matrixmine.h"
+
+namespace fcp {
+
+std::vector<ObjectId> DistinctObjectsCapped(const Segment& segment,
+                                            uint32_t cap) {
+  std::vector<ObjectId> objects = segment.DistinctObjects();
+  if (cap > 0 && objects.size() > cap) objects.resize(cap);
+  return objects;
+}
+
+std::optional<Fcp> MakeFcpIfFrequent(const Pattern& pattern,
+                                     std::vector<Occurrence> occurrences,
+                                     uint32_t theta, SegmentId trigger) {
+  std::vector<StreamId> streams;
+  streams.reserve(occurrences.size());
+  for (const Occurrence& occ : occurrences) streams.push_back(occ.stream);
+  std::sort(streams.begin(), streams.end());
+  streams.erase(std::unique(streams.begin(), streams.end()), streams.end());
+  if (streams.size() < theta) return std::nullopt;
+
+  Fcp fcp;
+  fcp.objects = pattern;
+  fcp.streams = std::move(streams);
+  fcp.trigger = trigger;
+  fcp.window_start = kMaxTimestamp;
+  fcp.window_end = kMinTimestamp;
+  for (const Occurrence& occ : occurrences) {
+    fcp.window_start = std::min(fcp.window_start, occ.start);
+    fcp.window_end = std::max(fcp.window_end, occ.end);
+  }
+  return fcp;
+}
+
+std::string_view MinerKindToString(MinerKind kind) {
+  switch (kind) {
+    case MinerKind::kCooMine:
+      return "CooMine";
+    case MinerKind::kDiMine:
+      return "DIMine";
+    case MinerKind::kMatrixMine:
+      return "MatrixMine";
+    case MinerKind::kBruteForce:
+      return "BruteForce";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<FcpMiner> MakeMiner(MinerKind kind,
+                                    const MiningParams& params) {
+  FCP_CHECK(params.Validate().ok());
+  switch (kind) {
+    case MinerKind::kCooMine:
+      return std::make_unique<CooMine>(params);
+    case MinerKind::kDiMine:
+      return std::make_unique<DiMine>(params);
+    case MinerKind::kMatrixMine:
+      return std::make_unique<MatrixMine>(params);
+    case MinerKind::kBruteForce:
+      return std::make_unique<BruteForceMiner>(params);
+  }
+  return nullptr;
+}
+
+}  // namespace fcp

@@ -1,0 +1,96 @@
+// The FcpMiner interface implemented by CooMine, DIMine, MatrixMine and the
+// brute-force reference miner.
+
+#ifndef FCP_CORE_MINER_H_
+#define FCP_CORE_MINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/params.h"
+#include "common/types.h"
+#include "core/fcp.h"
+#include "stream/segment.h"
+
+namespace fcp {
+
+/// Uniform counters across miners. Times are split the way the paper's
+/// evaluation splits them: `maintenance_ns` covers index insertion and
+/// expiry; `mining_ns` covers candidate search and FCP verification
+/// (Figs. 5(c)-(e) vs 6(a)-(b); their sum is the "total cost" of 6(c)-(d)).
+struct MinerStats {
+  uint64_t segments_processed = 0;
+  uint64_t fcps_emitted = 0;
+  uint64_t candidates_checked = 0;
+  uint64_t lcp_rows = 0;           ///< CooMine: LCP-table rows built
+  uint64_t maintenance_runs = 0;   ///< full expiry sweeps executed
+  uint64_t segments_expired = 0;
+  int64_t mining_ns = 0;
+  int64_t maintenance_ns = 0;
+};
+
+/// One supporting appearance of a pattern: stream + the (segment-granularity)
+/// time interval of the occurrence.
+struct Occurrence {
+  StreamId stream = 0;
+  Timestamp start = 0;
+  Timestamp end = 0;
+};
+
+/// The distinct objects of `segment` (sorted), truncated to the first `cap`
+/// objects when cap > 0 (MiningParams::max_segment_objects). All miners use
+/// this helper so the cap is applied identically everywhere.
+std::vector<ObjectId> DistinctObjectsCapped(const Segment& segment,
+                                            uint32_t cap);
+
+/// If `occurrences` (all within the tau window of the trigger — callers
+/// filter by segment validity first) span >= theta distinct streams, builds
+/// the Fcp; otherwise returns nullopt. `occurrences` is consumed.
+std::optional<Fcp> MakeFcpIfFrequent(const Pattern& pattern,
+                                     std::vector<Occurrence> occurrences,
+                                     uint32_t theta, SegmentId trigger);
+
+/// Online FCP miner over completed segments. Implementations are
+/// single-threaded; one miner instance is driven by one pipeline.
+class FcpMiner {
+ public:
+  virtual ~FcpMiner() = default;
+
+  /// Processes one completed segment: mines the FCPs this segment completes
+  /// (appended to `out`, each with min_pattern_size <= size <=
+  /// max_pattern_size and >= theta streams), then indexes the segment.
+  ///
+  /// Segments arrive in completion order, which across streams is not
+  /// necessarily end-time order; validity (the tau window) is anchored at
+  /// the stream-time watermark — the maximum end time seen so far — so all
+  /// miners make identical expiry decisions regardless of interleaving.
+  virtual void AddSegment(const Segment& segment, std::vector<Fcp>* out) = 0;
+
+  /// Forces a full expiry sweep with `now` as the current time. Miners also
+  /// self-trigger sweeps every MiningParams::maintenance_interval.
+  virtual void ForceMaintenance(Timestamp now) = 0;
+
+  /// Analytic memory footprint of the miner's index structures, in bytes.
+  virtual size_t MemoryUsage() const = 0;
+
+  virtual const MinerStats& stats() const = 0;
+
+  /// "CooMine", "DIMine", "MatrixMine", "BruteForce".
+  virtual std::string_view name() const = 0;
+};
+
+/// Which algorithm to instantiate.
+enum class MinerKind { kCooMine, kDiMine, kMatrixMine, kBruteForce };
+
+std::string_view MinerKindToString(MinerKind kind);
+
+/// Creates a miner. `params` must validate OK (checked).
+std::unique_ptr<FcpMiner> MakeMiner(MinerKind kind, const MiningParams& params);
+
+}  // namespace fcp
+
+#endif  // FCP_CORE_MINER_H_

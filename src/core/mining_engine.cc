@@ -1,0 +1,47 @@
+#include "core/mining_engine.h"
+
+#include "common/check.h"
+
+namespace fcp {
+
+MiningEngine::MiningEngine(MinerKind kind, const MiningParams& params,
+                           EngineOptions options)
+    : params_(params),
+      mux_(params.xi),
+      miner_(MakeMiner(kind, params)),
+      collector_(options.suppression_window) {
+  FCP_CHECK(params.Validate().ok());
+}
+
+std::vector<Fcp> MiningEngine::PushEvent(const ObjectEvent& event) {
+  scratch_segments_.clear();
+  mux_.Push(event, &scratch_segments_);
+  return ProcessSegments(scratch_segments_);
+}
+
+std::vector<Fcp> MiningEngine::PushSegment(const Segment& segment) {
+  scratch_segments_.clear();
+  scratch_segments_.push_back(segment);
+  return ProcessSegments(scratch_segments_);
+}
+
+std::vector<Fcp> MiningEngine::Flush() {
+  scratch_segments_.clear();
+  mux_.FlushAll(&scratch_segments_);
+  return ProcessSegments(scratch_segments_);
+}
+
+std::vector<Fcp> MiningEngine::ProcessSegments(
+    const std::vector<Segment>& segments) {
+  std::vector<Fcp> accepted;
+  std::vector<Fcp> mined;
+  for (const Segment& segment : segments) {
+    mined.clear();
+    miner_->AddSegment(segment, &mined);
+    ++segments_completed_;
+    collector_.OfferAll(mined, &accepted);
+  }
+  return accepted;
+}
+
+}  // namespace fcp

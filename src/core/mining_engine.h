@@ -1,0 +1,81 @@
+// The end-to-end facade: events in, deduplicated FCPs out.
+//
+//   MiningParams params{...};
+//   MiningEngine engine(MinerKind::kCooMine, params);
+//   for (const ObjectEvent& e : feed) {
+//     for (const Fcp& fcp : engine.PushEvent(e)) Alert(fcp);
+//   }
+//
+// The engine owns the segmentation layer (StreamMux), the chosen miner and a
+// ResultCollector. Single-threaded.
+
+#ifndef FCP_CORE_MINING_ENGINE_H_
+#define FCP_CORE_MINING_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/params.h"
+#include "common/types.h"
+#include "core/miner.h"
+#include "core/result_collector.h"
+#include "stream/segment.h"
+#include "stream/stream_mux.h"
+
+namespace fcp {
+
+/// Engine-level configuration on top of MiningParams.
+struct EngineOptions {
+  /// Passed to the ResultCollector (0 = report every discovery).
+  DurationMs suppression_window = 0;
+};
+
+class MiningEngine {
+ public:
+  /// `params` must validate OK (checked).
+  MiningEngine(MinerKind kind, const MiningParams& params,
+               EngineOptions options = {});
+
+  MiningEngine(const MiningEngine&) = delete;
+  MiningEngine& operator=(const MiningEngine&) = delete;
+
+  /// Feeds one event. Returns the (deduplicated) FCPs completed by any
+  /// segment this event closed.
+  std::vector<Fcp> PushEvent(const ObjectEvent& event);
+
+  /// Feeds a pre-built segment directly (e.g., a tweet). The segment id must
+  /// come from ids allocated via AllocateSegmentId() so ids stay unique
+  /// across direct and segmenter-produced segments.
+  std::vector<Fcp> PushSegment(const Segment& segment);
+
+  /// Flushes every stream's trailing window (end of feed) and mines the
+  /// resulting segments.
+  std::vector<Fcp> Flush();
+
+  SegmentId AllocateSegmentId() { return mux_.id_gen()->Next(); }
+
+  const FcpMiner& miner() const { return *miner_; }
+  FcpMiner* mutable_miner() { return miner_.get(); }
+  const ResultCollector& collector() const { return collector_; }
+  const MiningParams& params() const { return params_; }
+  const StreamMux& mux() const { return mux_; }
+
+  /// Memory of the miner's index structures.
+  size_t MemoryUsage() const { return miner_->MemoryUsage(); }
+
+  uint64_t segments_completed() const { return segments_completed_; }
+
+ private:
+  std::vector<Fcp> ProcessSegments(const std::vector<Segment>& segments);
+
+  MiningParams params_;
+  StreamMux mux_;
+  std::unique_ptr<FcpMiner> miner_;
+  ResultCollector collector_;
+  uint64_t segments_completed_ = 0;
+  std::vector<Segment> scratch_segments_;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_CORE_MINING_ENGINE_H_

@@ -1,0 +1,183 @@
+#include "core/parallel_engine.h"
+
+#include <chrono>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace fcp {
+
+ParallelEngine::ParallelEngine(MinerKind kind, const MiningParams& params,
+                               ParallelEngineOptions options)
+    : params_(params),
+      options_(options),
+      miner_(MakeMiner(kind, params)),
+      collector_(options.suppression_window) {
+  FCP_CHECK(params.Validate().ok());
+  FCP_CHECK(options.num_workers >= 1);
+  workers_.resize(options_.num_workers);
+  for (uint32_t w = 0; w < options_.num_workers; ++w) {
+    workers_[w].events =
+        std::make_unique<BoundedQueue<ObjectEvent>>(
+            options_.event_queue_capacity);
+    segments_.push_back(std::make_unique<BoundedQueue<Segment>>(
+        options_.segment_queue_capacity));
+  }
+  // Start the miner first so segment production never deadlocks on a full
+  // segment queue with nobody draining it.
+  miner_thread_ = std::thread([this] { MinerLoop(); });
+  for (uint32_t w = 0; w < options_.num_workers; ++w) {
+    workers_[w].thread = std::thread([this, w] { WorkerLoop(w); });
+  }
+}
+
+ParallelEngine::~ParallelEngine() { Finish(); }
+
+void ParallelEngine::Push(const ObjectEvent& event) {
+  FCP_CHECK(!finished_);
+  const uint32_t w = event.stream % options_.num_workers;
+  // Lossless ingestion: spin-yield until the worker accepts the event.
+  while (!workers_[w].events->TryPush(event)) {
+    std::this_thread::yield();
+  }
+  ++events_pushed_;
+}
+
+void ParallelEngine::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (Worker& worker : workers_) worker.events->Close();
+  for (Worker& worker : workers_) {
+    if (worker.thread.joinable()) worker.thread.join();
+  }
+  // All workers flushed their trailing windows before exiting; now the
+  // segment queues can be closed and drained by the miner thread.
+  for (auto& queue : segments_) queue->Close();
+  if (miner_thread_.joinable()) miner_thread_.join();
+}
+
+void ParallelEngine::WorkerLoop(uint32_t worker_index) {
+  std::unordered_map<StreamId, std::unique_ptr<Segmenter>> segmenters;
+  // Worker-local scratch ids; the miner thread assigns the final, globally
+  // monotone ids in consumption order (index posting lists rely on segment
+  // ids increasing in insertion order).
+  SegmentIdGen scratch_ids;
+  std::vector<Segment> completed;
+
+  BoundedQueue<Segment>& out = *segments_[worker_index];
+  auto emit = [&](std::vector<Segment>& batch) {
+    for (Segment& segment : batch) {
+      while (!out.TryPush(segment)) {
+        if (out.closed()) return;  // shutting down
+        std::this_thread::yield();
+      }
+    }
+    batch.clear();
+  };
+
+  while (auto event = workers_[worker_index].events->Pop()) {
+    auto it = segmenters.find(event->stream);
+    if (it == segmenters.end()) {
+      it = segmenters
+               .emplace(event->stream,
+                        std::make_unique<Segmenter>(event->stream, params_.xi,
+                                                    &scratch_ids))
+               .first;
+    }
+    completed.clear();
+    it->second->Push(event->object, event->time, &completed);
+    emit(completed);
+  }
+  // Queue closed: flush trailing windows.
+  completed.clear();
+  for (auto& [stream, segmenter] : segmenters) segmenter->Flush(&completed);
+  emit(completed);
+}
+
+void ParallelEngine::MinerLoop() {
+  // Merge the per-worker segment streams by end time: processing the
+  // smallest available end time keeps the miner\'s watermark aligned with a
+  // serial run, so no worker\'s supporters expire early just because another
+  // worker raced ahead. A worker that stays quiet for merge_idle_timeout_us
+  // while others have segments waiting is skipped until it produces again.
+  const uint32_t n = options_.num_workers;
+  std::vector<std::optional<Segment>> heads(n);
+  std::vector<bool> exhausted(n, false);
+  SegmentIdGen final_ids;
+  std::vector<Fcp> mined;
+
+  while (true) {
+    // Refill empty head slots without blocking.
+    bool any_head = false;
+    bool missing_active_head = false;
+    for (uint32_t w = 0; w < n; ++w) {
+      if (exhausted[w] || heads[w].has_value()) {
+        any_head |= heads[w].has_value();
+        continue;
+      }
+      if (auto segment = segments_[w]->TryPop()) {
+        heads[w] = std::move(*segment);
+        any_head = true;
+      } else if (segments_[w]->closed()) {
+        // Drain anything that raced in between TryPop and closed().
+        if (auto last = segments_[w]->TryPop()) {
+          heads[w] = std::move(*last);
+          any_head = true;
+        } else {
+          exhausted[w] = true;
+        }
+      } else {
+        missing_active_head = true;
+      }
+    }
+
+    if (!any_head) {
+      bool all_exhausted = true;
+      for (uint32_t w = 0; w < n; ++w) all_exhausted &= exhausted[w];
+      if (all_exhausted) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
+
+    if (missing_active_head) {
+      // Give quiet workers a bounded chance to contribute the next-smallest
+      // end time before we commit to the current minimum.
+      int64_t waited_us = 0;
+      while (missing_active_head &&
+             waited_us < options_.merge_idle_timeout_us) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        waited_us += 100;
+        missing_active_head = false;
+        for (uint32_t w = 0; w < n; ++w) {
+          if (exhausted[w] || heads[w].has_value()) continue;
+          if (auto segment = segments_[w]->TryPop()) {
+            heads[w] = std::move(*segment);
+          } else if (segments_[w]->closed()) {
+            exhausted[w] = true;
+          } else {
+            missing_active_head = true;
+          }
+        }
+      }
+    }
+
+    // Process the head with the smallest end time.
+    uint32_t best = n;
+    for (uint32_t w = 0; w < n; ++w) {
+      if (!heads[w].has_value()) continue;
+      if (best == n || heads[w]->end_time() < heads[best]->end_time()) {
+        best = w;
+      }
+    }
+    FCP_DCHECK(best < n);
+    const Segment relabeled(final_ids.Next(), heads[best]->stream(),
+                            std::vector<SegmentEntry>(heads[best]->entries()));
+    heads[best].reset();
+    mined.clear();
+    miner_->AddSegment(relabeled, &mined);
+    ++segments_completed_;
+    collector_.OfferAll(mined);
+  }
+}
+
+}  // namespace fcp

@@ -1,0 +1,111 @@
+// Parallel ingestion front end: the paper's future-work direction ("extend
+// the proposed approaches ... to handle greater scales of data streams").
+//
+// Segmentation is embarrassingly parallel (each stream's windows depend only
+// on that stream), while FCP mining is a cross-stream operation and stays on
+// one thread. The ParallelEngine shards streams across W segmenter workers,
+// each feeding completed segments through a bounded queue into the single
+// miner thread:
+//
+//   Push(event) -> worker[hash(stream) % W] -> Segmenter -> segment queue
+//                                                          -> miner thread
+//
+// Semantics: the miner sees segments in a valid completion order of some
+// interleaving of the input streams (workers run at their own pace), so
+// results match a serial MiningEngine run up to the watermark skew between
+// workers. Every emitted FCP is sound (its supporters really co-occurred
+// within tau); a pattern straddling the instant of a worker stall may be
+// reported with a later trigger than the serial run would use. Tests verify
+// soundness against the Definition-3 checker and full recall of planted
+// ground truth.
+
+#ifndef FCP_CORE_PARALLEL_ENGINE_H_
+#define FCP_CORE_PARALLEL_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/params.h"
+#include "common/types.h"
+#include "core/miner.h"
+#include "core/result_collector.h"
+#include "stream/bounded_queue.h"
+#include "stream/segment.h"
+#include "stream/segmenter.h"
+
+namespace fcp {
+
+/// Configuration of the parallel front end.
+struct ParallelEngineOptions {
+  uint32_t num_workers = 2;
+  size_t event_queue_capacity = 8192;    ///< per worker
+  size_t segment_queue_capacity = 1024;  ///< per worker, feeds the merge
+  DurationMs suppression_window = 0;     ///< ResultCollector dedup
+  /// The miner merges per-worker segment streams by end time. When some
+  /// worker has produced nothing for this long while others have segments
+  /// waiting, the merge stops waiting for it (bounds stalls on quiet
+  /// stream partitions at the cost of a little ordering skew).
+  int64_t merge_idle_timeout_us = 2000;
+};
+
+class ParallelEngine {
+ public:
+  /// Starts the worker and miner threads. `params` must validate OK.
+  ParallelEngine(MinerKind kind, const MiningParams& params,
+                 ParallelEngineOptions options = {});
+
+  /// Joins all threads (calls Finish() if the caller has not).
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  /// Routes one event to its stream's worker. Blocks (spins briefly) when
+  /// that worker's queue is full — ingestion is lossless, unlike the Fig. 8
+  /// saturation harness. Must not be called after Finish().
+  void Push(const ObjectEvent& event);
+
+  /// Flushes every open window, drains the pipeline and joins all threads.
+  /// Idempotent. After Finish(), results() is complete and stable.
+  void Finish();
+
+  /// All accepted discoveries so far. Only safe to read after Finish().
+  const std::vector<Fcp>& results() const { return collector_.results(); }
+
+  /// Collector access after Finish() (distinct pattern counts, etc.).
+  const ResultCollector& collector() const { return collector_; }
+
+  uint64_t segments_completed() const { return segments_completed_; }
+  uint64_t events_pushed() const { return events_pushed_; }
+
+ private:
+  void WorkerLoop(uint32_t worker_index);
+  void MinerLoop();
+
+  MiningParams params_;
+  ParallelEngineOptions options_;
+
+  // Each worker owns an event queue and the segmenters of its streams.
+  struct Worker {
+    std::unique_ptr<BoundedQueue<ObjectEvent>> events;
+    std::thread thread;
+  };
+  std::vector<Worker> workers_;
+
+  // Per-worker segment queues; MinerLoop merges them by segment end time
+  // (aligned watermark) and relabels with globally monotone ids.
+  std::vector<std::unique_ptr<BoundedQueue<Segment>>> segments_;
+  std::thread miner_thread_;
+
+  std::unique_ptr<FcpMiner> miner_;
+  ResultCollector collector_;
+  uint64_t segments_completed_ = 0;
+  uint64_t events_pushed_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_CORE_PARALLEL_ENGINE_H_

@@ -1,0 +1,101 @@
+#include "core/pattern_report.h"
+
+#include <algorithm>
+
+namespace fcp {
+
+namespace {
+
+bool IsStrictSubset(const Pattern& small, const Pattern& big) {
+  return small.size() < big.size() &&
+         std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+}  // namespace
+
+std::vector<Fcp> MaximalOnly(const std::vector<Fcp>& fcps) {
+  std::vector<Fcp> result;
+  for (size_t i = 0; i < fcps.size(); ++i) {
+    bool dominated = false;
+    bool duplicate_earlier = false;
+    for (size_t j = 0; j < fcps.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (IsStrictSubset(fcps[i].objects, fcps[j].objects)) dominated = true;
+      if (j < i && fcps[j].objects == fcps[i].objects) {
+        duplicate_earlier = true;
+      }
+    }
+    if (!dominated && !duplicate_earlier) result.push_back(fcps[i]);
+  }
+  return result;
+}
+
+void PatternSupportIndex::Add(const Fcp& fcp) {
+  Best& best = best_[fcp.objects];
+  if (fcp.streams.size() > best.support) {
+    best.support = fcp.streams.size();
+    best.window_start = fcp.window_start;
+    best.window_end = fcp.window_end;
+  }
+}
+
+void PatternSupportIndex::AddAll(const std::vector<Fcp>& fcps) {
+  for (const Fcp& fcp : fcps) Add(fcp);
+}
+
+size_t PatternSupportIndex::SupportOf(const Pattern& pattern) const {
+  auto it = best_.find(pattern);
+  return it == best_.end() ? 0 : it->second.support;
+}
+
+std::vector<PatternSupportIndex::Entry> PatternSupportIndex::TopK(
+    size_t k) const {
+  std::vector<Entry> entries;
+  entries.reserve(best_.size());
+  for (const auto& [pattern, best] : best_) {
+    entries.push_back(
+        Entry{pattern, best.support, best.window_start, best.window_end});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.pattern < b.pattern;
+            });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+std::vector<PatternSupportIndex::Entry>
+PatternSupportIndex::MaximalPatterns() const {
+  // Group patterns by size, longest first; a pattern is maximal iff no
+  // longer pattern contains it. n = distinct patterns; the subset test only
+  // runs against strictly longer patterns.
+  std::vector<Entry> entries;
+  for (const auto& [pattern, best] : best_) {
+    entries.push_back(
+        Entry{pattern, best.support, best.window_start, best.window_end});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.pattern.size() != b.pattern.size()) {
+                return a.pattern.size() > b.pattern.size();
+              }
+              return a.pattern < b.pattern;
+            });
+  std::vector<Entry> maximal;
+  for (const Entry& entry : entries) {
+    bool dominated = false;
+    for (const Entry& longer : maximal) {
+      if (IsStrictSubset(entry.pattern, longer.pattern)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) maximal.push_back(entry);
+  }
+  std::sort(maximal.begin(), maximal.end(),
+            [](const Entry& a, const Entry& b) { return a.pattern < b.pattern; });
+  return maximal;
+}
+
+}  // namespace fcp

@@ -1,0 +1,72 @@
+// Post-processing of mined FCPs for presentation: maximal-pattern filtering
+// and top-K ranking by stream support.
+//
+// Mining emits every frequent pattern (Theorem 3 guarantees all subsets of
+// an FCP are FCPs), so a convoy of 4 vehicles produces 11 patterns of size
+// >= 2. Applications usually want the *maximal* patterns ("this group
+// travels together"), optionally ranked by how many streams support them.
+
+#ifndef FCP_CORE_PATTERN_REPORT_H_
+#define FCP_CORE_PATTERN_REPORT_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+#include "core/fcp.h"
+
+namespace fcp {
+
+/// Returns the subset of `fcps` whose pattern is not a strict subset of any
+/// other pattern in the batch. Ties on identical patterns keep the first
+/// occurrence. O(n^2 * k) over the batch — batches are per-trigger and
+/// small; for global reports use PatternSupportIndex below.
+std::vector<Fcp> MaximalOnly(const std::vector<Fcp>& fcps);
+
+/// Accumulates discoveries over a whole run and answers report queries:
+/// best (max) stream support per distinct pattern, top-K patterns, and
+/// maximal patterns among everything seen.
+class PatternSupportIndex {
+ public:
+  /// Records a discovery (keeps the maximum stream support and the
+  /// discovery window achieving it).
+  void Add(const Fcp& fcp);
+  void AddAll(const std::vector<Fcp>& fcps);
+
+  /// Number of distinct patterns seen.
+  size_t size() const { return best_.size(); }
+
+  /// Best-known support for `pattern`, or 0 if never seen.
+  size_t SupportOf(const Pattern& pattern) const;
+
+  /// The K patterns with the highest stream support (ties broken by
+  /// pattern order for determinism), as (pattern, support, window) records.
+  struct Entry {
+    Pattern pattern;
+    size_t support = 0;
+    Timestamp window_start = 0;
+    Timestamp window_end = 0;
+  };
+  std::vector<Entry> TopK(size_t k) const;
+
+  /// All patterns not strictly contained in another *seen* pattern, sorted.
+  /// A pattern with higher support than its superset is still non-maximal
+  /// set-wise; callers wanting support-aware pruning should use TopK.
+  std::vector<Entry> MaximalPatterns() const;
+
+  void Clear() { best_.clear(); }
+
+ private:
+  struct Best {
+    size_t support = 0;
+    Timestamp window_start = 0;
+    Timestamp window_end = 0;
+  };
+  std::unordered_map<Pattern, Best, IdVectorHash> best_;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_CORE_PATTERN_REPORT_H_

@@ -1,0 +1,141 @@
+#include "datagen/traffic_gen.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "util/rng.h"
+
+namespace fcp {
+
+Status TrafficConfig::Validate() const {
+  if (num_cameras == 0) return Status::InvalidArgument("num_cameras == 0");
+  if (num_vehicles == 0) return Status::InvalidArgument("num_vehicles == 0");
+  if (per_camera_rate_hz <= 0) {
+    return Status::InvalidArgument("per_camera_rate_hz must be positive");
+  }
+  if (convoy_size_min < 1 || convoy_size_min > convoy_size_max) {
+    return Status::InvalidArgument("bad convoy size range");
+  }
+  if (route_len_min < 1 || route_len_min > route_len_max) {
+    return Status::InvalidArgument("bad route length range");
+  }
+  if (route_len_max > num_cameras) {
+    return Status::InvalidArgument("route longer than camera count");
+  }
+  if (num_convoys > 0 && convoy_size_max > num_vehicles) {
+    return Status::InvalidArgument("convoy larger than vehicle population");
+  }
+  if (inter_camera_gap_min <= 0 ||
+      inter_camera_gap_min > inter_camera_gap_max) {
+    return Status::InvalidArgument("bad inter-camera gap range");
+  }
+  if (member_spread < 0) return Status::InvalidArgument("bad member_spread");
+  return Status::OK();
+}
+
+namespace {
+
+// Picks `n` distinct values in [0, bound) (n << bound in practice).
+std::vector<uint32_t> SampleDistinct(uint32_t n, uint32_t bound, Rng& rng) {
+  std::unordered_set<uint32_t> seen;
+  std::vector<uint32_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const uint32_t v = static_cast<uint32_t>(rng.Below(bound));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+TrafficTrace GenerateTraffic(const TrafficConfig& config) {
+  FCP_CHECK(config.Validate().ok());
+  Rng rng(config.seed);
+
+  TrafficTrace trace;
+  trace.num_cameras = config.num_cameras;
+  trace.events.reserve(config.total_events + 1024);
+
+  const double total_rate =
+      config.per_camera_rate_hz * static_cast<double>(config.num_cameras);
+  const double duration_s =
+      static_cast<double>(config.total_events) / total_rate;
+  const Timestamp duration_ms = static_cast<Timestamp>(duration_s * 1000.0);
+
+  // --- Background traffic: per camera, Poisson arrivals with revisits. ----
+  // Recent vehicles per camera, for the revisit process.
+  std::vector<std::deque<ObjectId>> recent(config.num_cameras);
+  constexpr size_t kRecentWindow = 16;
+  const double mean_gap_ms = 1000.0 / config.per_camera_rate_hz;
+
+  for (StreamId cam = 0; cam < config.num_cameras; ++cam) {
+    double t = rng.Exponential(mean_gap_ms);
+    auto& rec = recent[cam];
+    while (t < static_cast<double>(duration_ms)) {
+      ObjectId vehicle;
+      if (!rec.empty() && rng.Chance(config.revisit_probability)) {
+        vehicle = rec[rng.Below(rec.size())];
+      } else {
+        vehicle = static_cast<ObjectId>(rng.Below(config.num_vehicles));
+      }
+      rec.push_back(vehicle);
+      if (rec.size() > kRecentWindow) rec.pop_front();
+      trace.events.push_back(
+          ObjectEvent{cam, vehicle, static_cast<Timestamp>(t)});
+      t += rng.Exponential(mean_gap_ms);
+    }
+  }
+
+  // --- Planted convoys -----------------------------------------------------
+  for (uint32_t c = 0; c < config.num_convoys; ++c) {
+    ConvoyPlan plan;
+    const uint32_t size = static_cast<uint32_t>(
+        rng.Range(config.convoy_size_min, config.convoy_size_max));
+    const uint32_t route_len = static_cast<uint32_t>(
+        rng.Range(config.route_len_min, config.route_len_max));
+    plan.vehicles = SampleDistinct(size, config.num_vehicles, rng);
+    std::sort(plan.vehicles.begin(), plan.vehicles.end());
+    const std::vector<uint32_t> route =
+        SampleDistinct(route_len, config.num_cameras, rng);
+    plan.cameras.assign(route.begin(), route.end());
+
+    // Start somewhere that leaves room for the whole route.
+    const DurationMs max_route_span =
+        static_cast<DurationMs>(route_len) * config.inter_camera_gap_max +
+        config.member_spread;
+    const Timestamp latest_start =
+        std::max<Timestamp>(1, duration_ms - max_route_span);
+    Timestamp t = rng.Range(0, latest_start);
+    plan.first_passage = t;
+    for (StreamId cam : plan.cameras) {
+      for (ObjectId vehicle : plan.vehicles) {
+        const Timestamp passage =
+            t + rng.Range(0, std::max<DurationMs>(1, config.member_spread));
+        trace.events.push_back(ObjectEvent{cam, vehicle, passage});
+        plan.last_passage = std::max(plan.last_passage, passage);
+      }
+      t += rng.Range(config.inter_camera_gap_min, config.inter_camera_gap_max);
+    }
+    trace.convoys.push_back(std::move(plan));
+  }
+
+  // Interleave all streams by time (stable tiebreak on stream then object so
+  // runs are bit-reproducible).
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const ObjectEvent& a, const ObjectEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.stream != b.stream) return a.stream < b.stream;
+              return a.object < b.object;
+            });
+
+  // Trim to the requested Ds (convoy events may push past the target).
+  if (trace.events.size() > config.total_events) {
+    trace.events.resize(config.total_events);
+  }
+  return trace;
+}
+
+}  // namespace fcp

@@ -1,0 +1,79 @@
+// Synthetic vehicle-passing-record (VPR) workload modeled on the paper's TR
+// dataset (traffic surveillance cameras in Jinan; see DESIGN.md §3).
+//
+// Each camera is one stream. Background traffic gives every camera a dense,
+// continuous arrival process (adjacent segments overlap heavily — the regime
+// where the Seg-tree compresses well). Planted *convoys* — groups of vehicles
+// passing sequences of cameras together — are the ground-truth FCPs.
+
+#ifndef FCP_DATAGEN_TRAFFIC_GEN_H_
+#define FCP_DATAGEN_TRAFFIC_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace fcp {
+
+/// Ground truth for one planted convoy.
+struct ConvoyPlan {
+  std::vector<ObjectId> vehicles;  ///< the co-travelling group (sorted)
+  std::vector<StreamId> cameras;   ///< the route (ordered by passage time)
+  Timestamp first_passage = 0;     ///< time the convoy hits its first camera
+  Timestamp last_passage = 0;      ///< time the convoy leaves its last camera
+};
+
+/// Configuration of the TR-like generator. Defaults produce segment sizes
+/// comparable to the real TR data (≈5-8 VPRs per 60 s camera window).
+struct TrafficConfig {
+  uint32_t num_cameras = 200;
+  uint32_t num_vehicles = 20000;
+
+  /// Background VPR rate of one camera, in events per second of *event
+  /// time*. 0.1 Hz == 6 VPRs/min, matching the Jinan density (20M/day over
+  /// 3000 cameras).
+  double per_camera_rate_hz = 0.1;
+
+  /// Total number of events to generate (the paper's Ds knob). Event time
+  /// extends as far as needed: duration ≈ total_events /
+  /// (num_cameras * per_camera_rate_hz).
+  uint64_t total_events = 100000;
+
+  /// Vehicles revisit cameras with temporal locality: with this probability
+  /// the next background VPR of a camera repeats one of the camera's recent
+  /// vehicles instead of drawing a fresh one. Creates realistic repeats.
+  double revisit_probability = 0.2;
+
+  // --- Convoy planting -----------------------------------------------------
+  uint32_t num_convoys = 20;
+  uint32_t convoy_size_min = 2;  ///< vehicles per convoy
+  uint32_t convoy_size_max = 4;
+  uint32_t route_len_min = 4;  ///< cameras on a convoy's route
+  uint32_t route_len_max = 8;
+  /// Gap between consecutive cameras on a route (event-time ms).
+  DurationMs inter_camera_gap_min = Seconds(30);
+  DurationMs inter_camera_gap_max = Seconds(120);
+  /// All convoy members pass one camera within this span (must be << xi).
+  DurationMs member_spread = Seconds(20);
+
+  uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+/// Output of the generator: the interleaved multi-stream trace (sorted by
+/// time) plus ground truth.
+struct TrafficTrace {
+  std::vector<ObjectEvent> events;  ///< sorted by (time, stream)
+  std::vector<ConvoyPlan> convoys;
+  uint32_t num_cameras = 0;
+};
+
+/// Generates the trace. The configuration must validate OK (checked).
+TrafficTrace GenerateTraffic(const TrafficConfig& config);
+
+}  // namespace fcp
+
+#endif  // FCP_DATAGEN_TRAFFIC_GEN_H_

@@ -1,0 +1,224 @@
+#include "datagen/twitter_gen.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace fcp {
+
+Status TwitterConfig::Validate() const {
+  if (num_users == 0) return Status::InvalidArgument("num_users == 0");
+  if (vocab_size == 0) return Status::InvalidArgument("vocab_size == 0");
+  if (words_per_tweet_min < 1 || words_per_tweet_min > words_per_tweet_max) {
+    return Status::InvalidArgument("bad words_per_tweet range");
+  }
+  if (mean_tweet_gap <= 0 || min_tweet_gap <= 0) {
+    return Status::InvalidArgument("tweet gaps must be positive");
+  }
+  if (num_events > 0) {
+    if (event_keywords_min < 1 || event_keywords_min > event_keywords_max) {
+      return Status::InvalidArgument("bad event keyword range");
+    }
+    if (event_participants_min < 1 ||
+        event_participants_min > event_participants_max) {
+      return Status::InvalidArgument("bad event participants range");
+    }
+    if (event_participants_max > num_users) {
+      return Status::InvalidArgument("event participants exceed user count");
+    }
+    if (event_duration <= 0) {
+      return Status::InvalidArgument("event_duration must be positive");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Synthetic "hot event" vocabularies used to label planted keyword groups in
+// Table-3-style reports. Purely illustrative names of our own making.
+constexpr const char* kEventNames[] = {
+    "stadium final whistle", "airport ground stop",  "comet visible tonight",
+    "election exit polls",   "metro line outage",    "storm landfall warning",
+    "award show winner",     "derby photo finish",   "rocket launch window",
+    "festival headline act",
+};
+constexpr const char* kEventWords[][4] = {
+    {"stadium", "final", "whistle", "goal"},
+    {"airport", "ground", "stop", "delay"},
+    {"comet", "visible", "tonight", "sky"},
+    {"election", "exit", "polls", "count"},
+    {"metro", "line", "outage", "commute"},
+    {"storm", "landfall", "warning", "coast"},
+    {"award", "show", "winner", "speech"},
+    {"derby", "photo", "finish", "odds"},
+    {"rocket", "launch", "window", "pad"},
+    {"festival", "headline", "act", "encore"},
+};
+constexpr size_t kNumEventNames = std::size(kEventNames);
+
+std::vector<uint32_t> SampleDistinctUsers(uint32_t n, uint32_t bound,
+                                          Rng& rng) {
+  std::unordered_set<uint32_t> seen;
+  std::vector<uint32_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const uint32_t v = static_cast<uint32_t>(rng.Below(bound));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TwitterTrace::WordName(ObjectId id) const {
+  if (id < keyword_names.size() && !keyword_names[id].empty()) {
+    return keyword_names[id];
+  }
+  std::ostringstream os;
+  os << "w" << id;
+  return os.str();
+}
+
+TwitterTrace GenerateTwitter(const TwitterConfig& config) {
+  FCP_CHECK(config.Validate().ok());
+  Rng rng(config.seed);
+  ZipfDistribution zipf(config.vocab_size, config.zipf_s);
+
+  TwitterTrace trace;
+  trace.num_users = config.num_users;
+
+  // Reserve ObjectIds above the background vocabulary for planted keywords,
+  // so event keyword sets never collide with hot Zipf words.
+  ObjectId next_keyword_id = config.vocab_size;
+
+  // Event time horizon: enough for total_tweets across all users.
+  const double tweets_per_user = static_cast<double>(config.total_tweets) /
+                                 static_cast<double>(config.num_users);
+  const Timestamp duration_ms = static_cast<Timestamp>(
+      tweets_per_user * static_cast<double>(config.mean_tweet_gap));
+
+  struct Tweet {
+    StreamId user;
+    Timestamp time;
+    std::vector<ObjectId> words;
+  };
+  std::vector<Tweet> tweets;
+  tweets.reserve(config.total_tweets + 1024);
+
+  // --- Background tweets ---------------------------------------------------
+  // Per user: renewal process with mean gap `mean_tweet_gap`, floored at
+  // `min_tweet_gap` so one tweet == one segment under xi < min_tweet_gap.
+  for (StreamId user = 0; user < config.num_users; ++user) {
+    double t = rng.Exponential(static_cast<double>(config.mean_tweet_gap));
+    while (t < static_cast<double>(duration_ms) &&
+           tweets.size() < config.total_tweets) {
+      Tweet tweet;
+      tweet.user = user;
+      tweet.time = static_cast<Timestamp>(t);
+      const uint32_t n_words = static_cast<uint32_t>(
+          rng.Range(config.words_per_tweet_min, config.words_per_tweet_max));
+      tweet.words.reserve(n_words);
+      for (uint32_t w = 0; w < n_words; ++w) {
+        tweet.words.push_back(static_cast<ObjectId>(zipf.Sample(rng)));
+      }
+      tweets.push_back(std::move(tweet));
+      const double gap =
+          std::max(static_cast<double>(config.min_tweet_gap),
+                   rng.Exponential(static_cast<double>(config.mean_tweet_gap)));
+      t += gap;
+    }
+  }
+
+  // --- Planted events ------------------------------------------------------
+  // Each participating user posts one tweet containing the full keyword set
+  // (plus noise) inside the burst window. A real event would also produce
+  // partial mentions; the full-set tweets are what make it an exact FCP.
+  for (uint32_t e = 0; e < config.num_events; ++e) {
+    EventPlan plan;
+    const size_t name_idx = e % kNumEventNames;
+    plan.name = kEventNames[name_idx];
+    const uint32_t n_kw = static_cast<uint32_t>(
+        rng.Range(config.event_keywords_min,
+                  std::min<int64_t>(config.event_keywords_max, 4)));
+    for (uint32_t k = 0; k < n_kw; ++k) {
+      const ObjectId id = next_keyword_id++;
+      plan.keywords.push_back(id);
+      if (trace.keyword_names.size() <= id) {
+        trace.keyword_names.resize(id + 1);
+      }
+      std::ostringstream word;
+      word << kEventWords[name_idx][k];
+      if (e >= kNumEventNames) word << "_" << (e / kNumEventNames);
+      trace.keyword_names[id] = word.str();
+    }
+    std::sort(plan.keywords.begin(), plan.keywords.end());
+
+    plan.num_participants = static_cast<uint32_t>(rng.Range(
+        config.event_participants_min, config.event_participants_max));
+    const Timestamp latest_start =
+        std::max<Timestamp>(1, duration_ms - config.event_duration);
+    plan.start = rng.Range(0, latest_start);
+    plan.end = plan.start + config.event_duration;
+
+    const std::vector<uint32_t> users =
+        SampleDistinctUsers(plan.num_participants, config.num_users, rng);
+    for (uint32_t user : users) {
+      Tweet tweet;
+      tweet.user = user;
+      tweet.time = rng.Range(plan.start, plan.end);
+      tweet.words = plan.keywords;
+      // Poisson-ish noise words.
+      const uint32_t noise = static_cast<uint32_t>(
+          rng.Exponential(config.event_noise_words));
+      for (uint32_t w = 0; w < noise; ++w) {
+        tweet.words.push_back(static_cast<ObjectId>(zipf.Sample(rng)));
+      }
+      tweets.push_back(std::move(tweet));
+    }
+    trace.planted_events.push_back(std::move(plan));
+  }
+
+  // --- Serialize: sort tweets by time, then expand to word events. --------
+  std::sort(tweets.begin(), tweets.end(), [](const Tweet& a, const Tweet& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.user < b.user;
+  });
+
+  // Event tweets may violate a user's min_tweet_gap; nudge collisions apart
+  // per user so the "tweet == segment" invariant holds under xi.
+  {
+    std::vector<Timestamp> last_time(config.num_users, kMinTimestamp);
+    bool nudged = false;
+    for (Tweet& tweet : tweets) {
+      Timestamp& last = last_time[tweet.user];
+      if (last != kMinTimestamp && tweet.time - last < config.min_tweet_gap) {
+        tweet.time = last + config.min_tweet_gap;
+        nudged = true;
+      }
+      last = tweet.time;
+    }
+    if (nudged) {
+      std::sort(tweets.begin(), tweets.end(),
+                [](const Tweet& a, const Tweet& b) {
+                  if (a.time != b.time) return a.time < b.time;
+                  return a.user < b.user;
+                });
+    }
+  }
+
+  trace.num_tweets = tweets.size();
+  trace.events.reserve(tweets.size() * config.words_per_tweet_max / 2);
+  for (const Tweet& tweet : tweets) {
+    for (ObjectId word : tweet.words) {
+      trace.events.push_back(ObjectEvent{tweet.user, word, tweet.time});
+    }
+  }
+  return trace;
+}
+
+}  // namespace fcp

@@ -1,0 +1,89 @@
+// Synthetic microblog workload modeled on the paper's Twitter dataset
+// (Tweets2011; see DESIGN.md §3).
+//
+// Each user is one stream; each tweet is a bag of words sharing a single
+// timestamp, and a user's tweets are spaced more than xi apart so that each
+// tweet is exactly one segment (the paper: "a tweet corresponds to a
+// segment"). Background words follow a Zipf distribution; planted *events*
+// (keyword sets bursting across many user streams within a short interval)
+// are the ground-truth FCPs and reproduce the Tables 3-4 scenario.
+
+#ifndef FCP_DATAGEN_TWITTER_GEN_H_
+#define FCP_DATAGEN_TWITTER_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace fcp {
+
+/// Ground truth for one planted hot event.
+struct EventPlan {
+  std::string name;                 ///< label for Table-3-style reports
+  std::vector<ObjectId> keywords;   ///< the co-occurring word set (sorted)
+  Timestamp start = 0;              ///< burst window start (event time)
+  Timestamp end = 0;                ///< burst window end
+  uint32_t num_participants = 0;    ///< users tweeting about the event
+};
+
+/// Configuration of the Twitter-like generator.
+struct TwitterConfig {
+  uint32_t num_users = 5000;
+  uint32_t vocab_size = 50000;
+  double zipf_s = 1.0;  ///< word popularity skew
+
+  uint32_t words_per_tweet_min = 3;
+  uint32_t words_per_tweet_max = 8;
+
+  /// Target number of tweets (the paper's Ds knob for Twitter).
+  uint64_t total_tweets = 100000;
+
+  /// Mean gap between two tweets of the same user in event time. Tweets of
+  /// one user are additionally forced >= min_tweet_gap apart.
+  DurationMs mean_tweet_gap = Minutes(10);
+  DurationMs min_tweet_gap = Seconds(61);  ///< keep > xi=60s: tweet==segment
+
+  // --- Event planting ------------------------------------------------------
+  uint32_t num_events = 8;
+  uint32_t event_keywords_min = 2;
+  uint32_t event_keywords_max = 4;
+  /// Number of distinct users that tweet about one event.
+  uint32_t event_participants_min = 50;
+  uint32_t event_participants_max = 200;
+  /// Length of the burst window in event time.
+  DurationMs event_duration = Minutes(20);
+  /// Probability that an event tweet also carries background noise words.
+  double event_noise_words = 2.0;  ///< mean extra Zipf words per event tweet
+
+  uint64_t seed = 7;
+
+  Status Validate() const;
+};
+
+/// Output: interleaved trace (sorted by time) + ground truth. Every tweet
+/// appears as `words_per_tweet` consecutive ObjectEvents sharing one
+/// (stream, time).
+struct TwitterTrace {
+  std::vector<ObjectEvent> events;
+  std::vector<EventPlan> planted_events;
+  uint64_t num_tweets = 0;
+  uint32_t num_users = 0;
+
+  /// Display name of a word (planted event keywords get their event's
+  /// vocabulary, e.g. "super", "bowl"; background words are "w<id>").
+  std::string WordName(ObjectId id) const;
+
+  /// Names assigned to planted keywords (index = ObjectId) — empty for
+  /// background words.
+  std::vector<std::string> keyword_names;
+};
+
+/// Generates the trace. The configuration must validate OK (checked).
+TwitterTrace GenerateTwitter(const TwitterConfig& config);
+
+}  // namespace fcp
+
+#endif  // FCP_DATAGEN_TWITTER_GEN_H_

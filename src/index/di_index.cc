@@ -1,0 +1,98 @@
+#include "index/di_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "util/memory.h"
+
+namespace fcp {
+
+void DiIndex::Insert(const Segment& segment) {
+  FCP_CHECK(registry_.Find(segment.id()) == nullptr);
+  registry_.Add(segment.id(),
+                SegmentInfo{segment.stream(), segment.start_time(),
+                            segment.end_time(),
+                            static_cast<uint32_t>(segment.length())});
+  for (ObjectId object : segment.DistinctObjects()) {
+    postings_[object].push_back(segment.id());
+    ++total_entries_;
+  }
+  ++stats_.segments_inserted;
+}
+
+std::vector<SegmentId> DiIndex::ValidSegments(ObjectId object, Timestamp now,
+                                              DurationMs tau) {
+  std::vector<SegmentId> result;
+  auto it = postings_.find(object);
+  if (it == postings_.end()) return result;
+  std::vector<SegmentId>& posting = it->second;
+
+  // One pass: keep valid ids, compact away expired ones. Expired segments
+  // stay in the registry until the full sweep retires them everywhere (only
+  // this posting is cleaned here — the paper's lazy compaction).
+  size_t write = 0;
+  for (size_t read = 0; read < posting.size(); ++read) {
+    ++stats_.posting_entries_scanned;
+    const SegmentId id = posting[read];
+    const SegmentInfo* info = registry_.Find(id);
+    if (info == nullptr || now - info->start > tau) continue;  // drop
+    posting[write++] = id;
+    result.push_back(id);
+  }
+  total_entries_ -= posting.size() - write;
+  posting.resize(write);
+  if (posting.empty()) postings_.erase(it);
+  return result;
+}
+
+size_t DiIndex::RemoveExpired(Timestamp now, DurationMs tau) {
+  ++stats_.full_sweeps;
+  // Pass 1: collect expired segment ids from the registry.
+  std::vector<SegmentId> expired;
+  for (const auto& [id, info] : registry_) {
+    if (now - info.start > tau) expired.push_back(id);
+  }
+  if (expired.empty()) {
+    // Still must scan all postings for ids of segments already retired
+    // elsewhere? No: ids are only retired by this sweep, so postings can
+    // only contain live or expired ids. Nothing to do.
+    return 0;
+  }
+  std::sort(expired.begin(), expired.end());
+
+  // Pass 2: scrub every posting list (this is the O(n * p) cost the paper
+  // measures in Fig. 5(c)-(e)).
+  for (auto it = postings_.begin(); it != postings_.end();) {
+    std::vector<SegmentId>& posting = it->second;
+    size_t write = 0;
+    for (size_t read = 0; read < posting.size(); ++read) {
+      ++stats_.posting_entries_scanned;
+      if (!std::binary_search(expired.begin(), expired.end(),
+                              posting[read])) {
+        posting[write++] = posting[read];
+      }
+    }
+    total_entries_ -= posting.size() - write;
+    posting.resize(write);
+    if (posting.empty()) {
+      it = postings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Pass 3: retire from the registry.
+  for (SegmentId id : expired) registry_.Remove(id);
+  stats_.segments_expired += expired.size();
+  return expired.size();
+}
+
+size_t DiIndex::MemoryUsage() const {
+  size_t bytes =
+      HashMapFootprint<ObjectId, std::vector<SegmentId>>(postings_.size());
+  bytes += total_entries_ * sizeof(SegmentId);
+  bytes += registry_.MemoryUsage();
+  return bytes;
+}
+
+}  // namespace fcp

@@ -1,0 +1,89 @@
+#include "index/matrix_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "util/memory.h"
+
+namespace fcp {
+
+void MatrixIndex::Insert(const Segment& segment) {
+  FCP_CHECK(registry_.Find(segment.id()) == nullptr);
+  registry_.Add(segment.id(),
+                SegmentInfo{segment.stream(), segment.start_time(),
+                            segment.end_time(),
+                            static_cast<uint32_t>(segment.length())});
+  const std::vector<ObjectId> objects = segment.DistinctObjects();
+  for (size_t i = 0; i < objects.size(); ++i) {
+    for (size_t j = i; j < objects.size(); ++j) {
+      cells_[MakeKey(objects[i], objects[j])].push_back(segment.id());
+      ++total_entries_;
+    }
+  }
+  ++stats_.segments_inserted;
+}
+
+std::vector<SegmentId> MatrixIndex::ValidSegments(ObjectId a, ObjectId b,
+                                                  Timestamp now,
+                                                  DurationMs tau) {
+  std::vector<SegmentId> result;
+  auto it = cells_.find(MakeKey(a, b));
+  if (it == cells_.end()) return result;
+  std::vector<SegmentId>& cell = it->second;
+
+  size_t write = 0;
+  for (size_t read = 0; read < cell.size(); ++read) {
+    ++stats_.cell_entries_scanned;
+    const SegmentId id = cell[read];
+    const SegmentInfo* info = registry_.Find(id);
+    if (info == nullptr || now - info->start > tau) continue;  // drop
+    cell[write++] = id;
+    result.push_back(id);
+  }
+  total_entries_ -= cell.size() - write;
+  cell.resize(write);
+  if (cell.empty()) cells_.erase(it);
+  return result;
+}
+
+size_t MatrixIndex::RemoveExpired(Timestamp now, DurationMs tau) {
+  ++stats_.full_sweeps;
+  std::vector<SegmentId> expired;
+  for (const auto& [id, info] : registry_) {
+    if (now - info.start > tau) expired.push_back(id);
+  }
+  if (expired.empty()) return 0;
+  std::sort(expired.begin(), expired.end());
+
+  for (auto it = cells_.begin(); it != cells_.end();) {
+    std::vector<SegmentId>& cell = it->second;
+    size_t write = 0;
+    for (size_t read = 0; read < cell.size(); ++read) {
+      ++stats_.cell_entries_scanned;
+      if (!std::binary_search(expired.begin(), expired.end(), cell[read])) {
+        cell[write++] = cell[read];
+      }
+    }
+    total_entries_ -= cell.size() - write;
+    cell.resize(write);
+    if (cell.empty()) {
+      it = cells_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  for (SegmentId id : expired) registry_.Remove(id);
+  stats_.segments_expired += expired.size();
+  return expired.size();
+}
+
+size_t MatrixIndex::MemoryUsage() const {
+  size_t bytes =
+      HashMapFootprint<Key, std::vector<SegmentId>>(cells_.size());
+  bytes += total_entries_ * sizeof(SegmentId);
+  bytes += registry_.MemoryUsage();
+  return bytes;
+}
+
+}  // namespace fcp

@@ -1,0 +1,77 @@
+// The Matrix index of the MatrixMine baseline (Section 6.2 of the paper):
+// for every pair of co-occurring objects (and every single object on the
+// diagonal), the list of (segment, stream) occurrences.
+//
+// Deliberately faithful to the baseline's weaknesses: inserting a segment
+// with d distinct objects creates O(d^2) pair entries, and expiry has to
+// touch every matrix cell.
+
+#ifndef FCP_INDEX_MATRIX_INDEX_H_
+#define FCP_INDEX_MATRIX_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+#include "index/segment_registry.h"
+#include "stream/segment.h"
+
+namespace fcp {
+
+/// Counters describing Matrix activity.
+struct MatrixIndexStats {
+  uint64_t segments_inserted = 0;
+  uint64_t segments_expired = 0;
+  uint64_t cell_entries_scanned = 0;
+  uint64_t full_sweeps = 0;
+};
+
+/// Sparse upper-triangular co-occurrence matrix (hash map keyed on object
+/// pairs with first <= second; the diagonal indexes single objects).
+class MatrixIndex {
+ public:
+  MatrixIndex() = default;
+  MatrixIndex(const MatrixIndex&) = delete;
+  MatrixIndex& operator=(const MatrixIndex&) = delete;
+
+  /// Indexes a completed segment: every unordered pair {oi, oj} of its
+  /// distinct objects (including {oi, oi}) records the segment id.
+  void Insert(const Segment& segment);
+
+  /// Valid segments whose object set contains both `a` and `b` (pass a == b
+  /// for single-object lookup), ascending id order, compacting the cell.
+  std::vector<SegmentId> ValidSegments(ObjectId a, ObjectId b, Timestamp now,
+                                       DurationMs tau);
+
+  /// Full expiry sweep over every cell. Returns segments retired.
+  size_t RemoveExpired(Timestamp now, DurationMs tau);
+
+  size_t num_segments() const { return registry_.size(); }
+  size_t num_cells() const { return cells_.size(); }
+  uint64_t total_entries() const { return total_entries_; }
+
+  const SegmentRegistry& registry() const { return registry_; }
+  const MatrixIndexStats& stats() const { return stats_; }
+
+  /// Analytic memory footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  using Key = std::pair<ObjectId, ObjectId>;
+
+  static Key MakeKey(ObjectId a, ObjectId b) {
+    return a <= b ? Key{a, b} : Key{b, a};
+  }
+
+  std::unordered_map<Key, std::vector<SegmentId>, PairHash> cells_;
+  SegmentRegistry registry_;
+  uint64_t total_entries_ = 0;
+  MatrixIndexStats stats_;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_INDEX_MATRIX_INDEX_H_

@@ -1,0 +1,637 @@
+#include "index/seg_tree.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "util/memory.h"
+
+namespace fcp {
+
+// One (segment, length) pair recorded on a tail node — the only place the
+// Seg-tree stores per-segment membership (paper Section 4.3).
+struct SegTree::TailEntry {
+  SegmentId segment;
+  uint32_t length;
+  // Denormalized segment metadata so the search path never touches the
+  // registry hash map (one entry per live segment; the duplication is tiny).
+  StreamId stream;
+  Timestamp start;
+  Timestamp end;
+};
+
+// Tlist element: completion-ordered reference to a segment (via tail_of_).
+struct SegTree::TlistEntry {
+  SegmentId segment;
+  Timestamp start;
+  Timestamp end;
+};
+
+struct SegTree::Node {
+  explicit Node(ObjectId obj) : object(obj) {}
+
+  ObjectId object;
+  // Upper bound on the number of edges from this node to the farthest tail
+  // node among segments containing it (exact after insertion; may
+  // overestimate after deletions, which only weakens pruning).
+  uint32_t distance = 0;
+  // Exact number of live segments whose path contains this node.
+  uint32_t count = 0;
+
+  Node* parent = nullptr;
+  uint32_t parent_index = 0;  // position in parent->children (swap-erase)
+  std::vector<Node*> children;
+
+  // Doubly linked Hlist chain of nodes carrying the same object.
+  Node* hnext = nullptr;
+  Node* hprev = nullptr;
+
+  // Non-empty iff this is a tail node.
+  std::vector<TailEntry> tails;
+};
+
+struct SegTree::PrefixMatch {
+  std::vector<Node*> path;  // matched nodes, in segment order (maybe empty)
+};
+
+SegTree::SegTree(SegTreeOptions options)
+    : options_(options), root_(new Node(kInvalidObjectId)) {}
+
+SegTree::~SegTree() {
+  // Iterative post-order delete.
+  std::vector<Node*> stack{root_};
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    for (Node* c : n->children) stack.push_back(c);
+    delete n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Low-level linkage helpers
+// ---------------------------------------------------------------------------
+
+SegTree::Node* SegTree::NewNode(ObjectId object) {
+  ++num_nodes_;
+  ++stats_.nodes_created;
+  return new Node(object);
+}
+
+void SegTree::LinkIntoHlist(Node* node) {
+  Node*& head = hlist_[node->object];
+  node->hprev = nullptr;
+  node->hnext = head;
+  if (head != nullptr) head->hprev = node;
+  head = node;
+}
+
+void SegTree::UnlinkFromHlist(Node* node) {
+  if (node->hprev != nullptr) {
+    node->hprev->hnext = node->hnext;
+  } else {
+    auto it = hlist_.find(node->object);
+    FCP_DCHECK(it != hlist_.end() && it->second == node);
+    if (node->hnext == nullptr) {
+      hlist_.erase(it);
+    } else {
+      it->second = node->hnext;
+    }
+  }
+  if (node->hnext != nullptr) node->hnext->hprev = node->hprev;
+  node->hprev = node->hnext = nullptr;
+}
+
+void SegTree::AttachChild(Node* parent, Node* child) {
+  child->parent = parent;
+  child->parent_index = static_cast<uint32_t>(parent->children.size());
+  parent->children.push_back(child);
+}
+
+void SegTree::DetachChild(Node* child) {
+  Node* parent = child->parent;
+  FCP_DCHECK(parent != nullptr);
+  auto& siblings = parent->children;
+  FCP_DCHECK(child->parent_index < siblings.size() &&
+             siblings[child->parent_index] == child);
+  Node* last = siblings.back();
+  siblings[child->parent_index] = last;
+  last->parent_index = child->parent_index;
+  siblings.pop_back();
+  child->parent = nullptr;
+  child->parent_index = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Insertion (paper Section 4.4, Algorithm 1)
+// ---------------------------------------------------------------------------
+
+SegTree::PrefixMatch SegTree::FindLongestMatchingPrefix(
+    const std::vector<SegmentEntry>& entries) const {
+  PrefixMatch best;
+  auto it = hlist_.find(entries.front().object);
+  if (it == hlist_.end()) return best;
+
+  std::vector<Node*> path;
+  uint32_t probes = 0;
+  for (Node* start = it->second; start != nullptr; start = start->hnext) {
+    // Bound the number of candidate start nodes examined: popular objects
+    // (hot words) can have thousands of chain nodes, and prefix sharing is
+    // an optimization, not a correctness requirement. Chains are
+    // newest-first, so the first probes are the most likely matches.
+    if (options_.max_prefix_probes != 0 &&
+        ++probes > options_.max_prefix_probes) {
+      break;
+    }
+    path.clear();
+    path.push_back(start);
+    Node* cur = start;
+    for (size_t i = 1; i < entries.size(); ++i) {
+      Node* next = nullptr;
+      for (Node* c : cur->children) {
+        if (c->object == entries[i].object) {
+          next = c;
+          break;
+        }
+      }
+      if (next == nullptr) break;
+      path.push_back(next);
+      cur = next;
+    }
+    if (path.size() > best.path.size()) best.path = path;
+    if (best.path.size() == entries.size()) break;  // cannot do better
+  }
+  return best;
+}
+
+void SegTree::Insert(const Segment& segment) {
+  const auto& entries = segment.entries();
+  const uint32_t length = static_cast<uint32_t>(entries.size());
+  FCP_CHECK(length > 0);
+  FCP_CHECK(registry_.Find(segment.id()) == nullptr);
+
+  PrefixMatch match = FindLongestMatchingPrefix(entries);
+
+  // Update the attributes of the shared prefix (Example 3).
+  for (size_t i = 0; i < match.path.size(); ++i) {
+    Node* node = match.path[i];
+    node->count += 1;
+    node->distance =
+        std::max(node->distance, length - 1 - static_cast<uint32_t>(i));
+  }
+  stats_.prefix_nodes_shared += match.path.size();
+
+  // Append the remaining objects below the prefix (or below the root).
+  Node* cur = match.path.empty() ? root_ : match.path.back();
+  for (size_t i = match.path.size(); i < entries.size(); ++i) {
+    Node* node = NewNode(entries[i].object);
+    node->count = 1;
+    node->distance = length - 1 - static_cast<uint32_t>(i);
+    AttachChild(cur, node);
+    LinkIntoHlist(node);
+    cur = node;
+  }
+
+  // `cur` is the tail node of this segment.
+  cur->tails.push_back(TailEntry{segment.id(), length, segment.stream(),
+                                 segment.start_time(), segment.end_time()});
+  tail_of_.emplace(segment.id(), cur);
+  registry_.Add(segment.id(),
+                SegmentInfo{segment.stream(), segment.start_time(),
+                            segment.end_time(), length});
+  tlist_.push_back(
+      TlistEntry{segment.id(), segment.start_time(), segment.end_time()});
+  total_objects_ += length;
+  ++stats_.segments_inserted;
+}
+
+// ---------------------------------------------------------------------------
+// Deletion (paper Section 4.5)
+// ---------------------------------------------------------------------------
+
+void SegTree::Remove(SegmentId id) {
+  auto it = tail_of_.find(id);
+  if (it == tail_of_.end()) return;  // already removed (lazy deletion races)
+  RemoveSegmentPath(id);
+}
+
+void SegTree::RemoveSegmentPath(SegmentId id) {
+  Node* tail = tail_of_.at(id);
+  const SegmentInfo* info = registry_.Find(id);
+  FCP_CHECK(info != nullptr);
+  const uint32_t length = info->length;
+
+  // Drop the tail entry.
+  auto& tails = tail->tails;
+  auto te = std::find_if(tails.begin(), tails.end(),
+                         [&](const TailEntry& t) { return t.segment == id; });
+  FCP_CHECK(te != tails.end());
+  tails.erase(te);
+
+  // Reconstruct the segment's node path by backtracking length-1 edges.
+  std::vector<Node*> path(length);
+  Node* n = tail;
+  for (uint32_t i = 0; i < length; ++i) {
+    FCP_CHECK(n != nullptr && n != root_);
+    path[length - 1 - i] = n;
+    n = n->parent;
+  }
+
+  for (Node* p : path) {
+    FCP_CHECK(p->count > 0);
+    p->count -= 1;
+  }
+
+  // Bottom-up removal of nodes that no longer belong to any live segment.
+  for (uint32_t i = length; i-- > 0;) {
+    Node* p = path[i];
+    if (p->count > 0) continue;
+    FCP_DCHECK(p->tails.empty());
+    // Children that survive (count > 0) become disconnected subtrees.
+    while (!p->children.empty()) {
+      Node* c = p->children.back();
+      FCP_DCHECK(c->count > 0);
+      DetachChild(c);
+      ReattachSubtree(c);
+    }
+    DetachChild(p);
+    UnlinkFromHlist(p);
+    delete p;
+    --num_nodes_;
+    ++stats_.nodes_deleted;
+  }
+
+  total_objects_ -= length;
+  tail_of_.erase(id);
+  registry_.Remove(id);
+  ++stats_.segments_removed;
+  // The Tlist entry is left behind and skipped/cleaned by RemoveExpired.
+}
+
+void SegTree::ReattachSubtree(Node* subtree_root) {
+  if (options_.graft_on_delete && TryGraft(subtree_root)) {
+    ++stats_.subtrees_grafted;
+    return;
+  }
+  AttachChild(root_, subtree_root);
+  ++stats_.subtrees_reattached;
+}
+
+namespace {
+
+// True iff `node` lies inside the subtree rooted at `root` (inclusive).
+bool IsInSubtree(const void* root, const void* node,
+                 const void* (*parent_of)(const void*)) {
+  for (const void* n = node; n != nullptr; n = parent_of(n)) {
+    if (n == root) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SegTree::TryGraft(Node* subtree_root) {
+  // Find an existing node elsewhere in the tree carrying the same object;
+  // merge the subtree into it (recursively pairing equal-object children).
+  // Any live segment with a tail inside the detached subtree is fully
+  // contained in it (otherwise the deleted ancestors would have had
+  // count > 0), so rewriting what is above the subtree root is safe.
+  auto it = hlist_.find(subtree_root->object);
+  if (it == hlist_.end()) return false;
+
+  auto parent_of = [](const void* n) -> const void* {
+    return static_cast<const Node*>(n)->parent;
+  };
+  Node* target = nullptr;
+  for (Node* q = it->second; q != nullptr; q = q->hnext) {
+    if (q == subtree_root) continue;
+    // A count==0 node is mid-deletion (live nodes always have count >= 1):
+    // grafting into it would revive it only for RemoveSegmentPath to delete
+    // it moments later, destroying the grafted segments' paths.
+    if (q->count == 0) continue;
+    if (IsInSubtree(subtree_root, q, parent_of)) continue;
+    target = q;
+    break;
+  }
+  if (target == nullptr) return false;
+
+  // Recursive merge: absorb `src` into `dst` (same object), then merge or
+  // attach src's children. Uses an explicit worklist to bound stack depth.
+  std::vector<std::pair<Node*, Node*>> work{{target, subtree_root}};
+  while (!work.empty()) {
+    auto [dst, src] = work.back();
+    work.pop_back();
+    FCP_DCHECK(dst->object == src->object);
+    dst->count += src->count;
+    dst->distance = std::max(dst->distance, src->distance);
+    for (const TailEntry& t : src->tails) {
+      dst->tails.push_back(t);
+      tail_of_[t.segment] = dst;
+    }
+    while (!src->children.empty()) {
+      Node* sc = src->children.back();
+      DetachChild(sc);
+      Node* dc = nullptr;
+      for (Node* c : dst->children) {
+        // Skip mid-deletion (count==0) children for the same reason as in
+        // the target scan above; attaching alongside creates a transient
+        // duplicate-object sibling that RemoveSegmentPath clears before the
+        // deletion finishes.
+        if (c->object == sc->object && c->count > 0) {
+          dc = c;
+          break;
+        }
+      }
+      if (dc != nullptr) {
+        work.emplace_back(dc, sc);
+      } else {
+        AttachChild(dst, sc);
+      }
+    }
+    UnlinkFromHlist(src);
+    delete src;
+    --num_nodes_;
+    ++stats_.nodes_deleted;
+  }
+  return true;
+}
+
+size_t SegTree::RemoveExpired(Timestamp now, DurationMs tau) {
+  // Tlist is in completion order, which tracks segment start order closely;
+  // scanning from the front and stopping at the first live, non-expired
+  // entry makes the sweep O(#expired) — the purpose of the Tlist
+  // (Section 4.5). A segment completed out of start order may survive one
+  // sweep longer; it is still filtered from every query by the validity
+  // check and is removed once the entries ahead of it expire (or lazily via
+  // Slcp's expired-flagging).
+  size_t removed = 0;
+  while (!tlist_.empty()) {
+    const TlistEntry& entry = tlist_.front();
+    const SegmentInfo* info = registry_.Find(entry.segment);
+    if (info == nullptr) {  // removed earlier (lazy deletion); drop stale
+      tlist_.pop_front();
+      continue;
+    }
+    if (now - info->start > tau) {
+      RemoveSegmentPath(entry.segment);
+      tlist_.pop_front();
+      ++removed;
+    } else {
+      break;
+    }
+  }
+  return removed;
+}
+
+// ---------------------------------------------------------------------------
+// Search (paper Algorithms 2 & 3)
+// ---------------------------------------------------------------------------
+
+void SegTree::CollectRelevantTails(const Node* start, Timestamp now,
+                                   DurationMs tau,
+                                   std::vector<const TailEntry*>* out,
+                                   std::vector<SegmentId>* expired) const {
+  struct Item {
+    const Node* node;
+    uint32_t budget;  // how many more levels we may descend
+    uint32_t depth;   // edges from `start`
+  };
+  constexpr uint32_t kUnbounded = 0xffffffffu;
+  // Reused across calls to avoid per-search allocation on the hot path.
+  static thread_local std::vector<Item> queue;
+  queue.clear();
+  queue.push_back(Item{
+      start, options_.use_distance_bound ? start->distance : kUnbounded, 0});
+
+  while (!queue.empty()) {
+    const Item item = queue.back();
+    queue.pop_back();
+    ++stats_.distance_bound_visits;
+    const Node* n = item.node;
+    for (const TailEntry& t : n->tails) {
+      // The segment covers `start` iff `start` lies within length-1 edges
+      // above the tail (Theorem 2 / Section 5.2.1).
+      if (item.depth <= t.length - 1) {
+        if (now - t.start > tau) {
+          if (expired != nullptr) expired->push_back(t.segment);
+        } else {
+          out->push_back(&t);
+        }
+      }
+    }
+    if (item.budget == 0) continue;
+    for (const Node* c : n->children) {
+      const uint32_t child_bound =
+          options_.use_distance_bound ? c->distance : kUnbounded;
+      queue.push_back(Item{c, std::min(child_bound, item.budget - 1),
+                           item.depth + 1});
+    }
+  }
+}
+
+std::vector<SegmentId> SegTree::RelevantSegments(ObjectId object,
+                                                 Timestamp now,
+                                                 DurationMs tau) const {
+  std::vector<SegmentId> result;
+  auto it = hlist_.find(object);
+  if (it == hlist_.end()) return result;
+  std::vector<const TailEntry*> hits;
+  for (const Node* n = it->second; n != nullptr; n = n->hnext) {
+    CollectRelevantTails(n, now, tau, &hits, nullptr);
+  }
+  result.reserve(hits.size());
+  for (const TailEntry* t : hits) result.push_back(t->segment);
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::vector<LcpRow> SegTree::Slcp(const Segment& probe, Timestamp now,
+                                  DurationMs tau,
+                                  std::vector<SegmentId>* expired) const {
+  // Gather (segment, probe-object) hit records, then sort and group them
+  // into one row per relevant segment. Sorting a flat hit vector is markedly
+  // faster than hash-accumulating per hit (popular objects produce
+  // thousands of hits per probe); the TailEntry pointer carries the row
+  // metadata so no registry lookups happen at all.
+  struct Hit {
+    SegmentId segment;
+    ObjectId object;
+    const TailEntry* tail;
+  };
+  static thread_local std::vector<Hit> hit_records;
+  static thread_local std::vector<const TailEntry*> hits;
+  hit_records.clear();
+  for (ObjectId object : probe.DistinctObjects()) {
+    auto it = hlist_.find(object);
+    if (it == hlist_.end()) continue;
+    hits.clear();
+    for (const Node* n = it->second; n != nullptr; n = n->hnext) {
+      CollectRelevantTails(n, now, tau, &hits, expired);
+    }
+    for (const TailEntry* t : hits) {
+      hit_records.push_back(Hit{t->segment, object, t});
+    }
+  }
+  std::sort(hit_records.begin(), hit_records.end(),
+            [](const Hit& a, const Hit& b) {
+              if (a.segment != b.segment) return a.segment < b.segment;
+              return a.object < b.object;
+            });
+
+  std::vector<LcpRow> rows;
+  for (size_t i = 0; i < hit_records.size();) {
+    const Hit& first = hit_records[i];
+    LcpRow row;
+    row.segment = first.segment;
+    row.stream = first.tail->stream;
+    row.start = first.tail->start;
+    row.end = first.tail->end;
+    while (i < hit_records.size() &&
+           hit_records[i].segment == first.segment) {
+      if (row.common.empty() || row.common.back() != hit_records[i].object) {
+        row.common.push_back(hit_records[i].object);
+      }
+      ++i;
+    }
+    rows.push_back(std::move(row));
+  }
+  if (expired != nullptr) {
+    std::sort(expired->begin(), expired->end());
+    expired->erase(std::unique(expired->begin(), expired->end()),
+                   expired->end());
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+double SegTree::CompressionRatio() const {
+  if (total_objects_ == 0) return 0.0;
+  return static_cast<double>(total_objects_ - num_nodes_) /
+         static_cast<double>(total_objects_);
+}
+
+size_t SegTree::MemoryUsage() const {
+  size_t bytes = 0;
+  // Tree nodes (walk; MemoryUsage is called at sampling granularity only).
+  std::vector<const Node*> stack{root_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    bytes += sizeof(Node);
+    bytes += n->children.capacity() * sizeof(Node*);
+    bytes += n->tails.capacity() * sizeof(TailEntry);
+    for (const Node* c : n->children) stack.push_back(c);
+  }
+  bytes += HashMapFootprint<ObjectId, Node*>(hlist_.size());
+  bytes += DequeFootprint<TlistEntry>(tlist_.size());
+  bytes += HashMapFootprint<SegmentId, Node*>(tail_of_.size());
+  bytes += registry_.MemoryUsage();
+  return bytes;
+}
+
+void SegTree::CheckInvariants() const {
+  size_t walked = 0;
+  std::unordered_map<const Node*, uint32_t> expected_count;
+  std::unordered_map<ObjectId, size_t> object_nodes;
+
+  // Pass 1: structural walk.
+  std::vector<const Node*> stack{root_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    for (size_t i = 0; i < n->children.size(); ++i) {
+      const Node* c = n->children[i];
+      FCP_CHECK(c->parent == n);
+      FCP_CHECK(c->parent_index == i);
+      FCP_CHECK(c->count > 0);
+      stack.push_back(c);
+    }
+    if (n != root_) {
+      ++walked;
+      ++object_nodes[n->object];
+      expected_count[n] = 0;
+    }
+  }
+  FCP_CHECK(walked == num_nodes_);
+
+  // Pass 2: every live segment's path exists, matches its length, and
+  // contributes to counts; distance is an upper bound along the path.
+  uint64_t objects_total = 0;
+  for (const auto& [id, info] : registry_) {
+    auto it = tail_of_.find(id);
+    FCP_CHECK(it != tail_of_.end());
+    const Node* n = it->second;
+    bool tail_entry_found = false;
+    for (const TailEntry& t : n->tails) {
+      if (t.segment == id) {
+        FCP_CHECK(t.length == info.length);
+        tail_entry_found = true;
+      }
+    }
+    FCP_CHECK(tail_entry_found);
+    for (uint32_t d = 0; d < info.length; ++d) {
+      FCP_CHECK(n != nullptr && n != root_);
+      FCP_CHECK(n->distance >= d);
+      ++expected_count[n];
+      n = n->parent;
+    }
+    objects_total += info.length;
+  }
+  FCP_CHECK(objects_total == total_objects_);
+  for (const auto& [node, cnt] : expected_count) {
+    FCP_CHECK(node->count == cnt);
+  }
+  FCP_CHECK(tail_of_.size() == registry_.size());
+
+  // Pass 3: Hlist chains exactly cover the tree's nodes per object.
+  size_t chained = 0;
+  for (const auto& [object, head] : hlist_) {
+    FCP_CHECK(head != nullptr);
+    FCP_CHECK(head->hprev == nullptr);
+    size_t len = 0;
+    for (const Node* n = head; n != nullptr; n = n->hnext) {
+      FCP_CHECK(n->object == object);
+      if (n->hnext != nullptr) FCP_CHECK(n->hnext->hprev == n);
+      ++len;
+    }
+    auto it = object_nodes.find(object);
+    FCP_CHECK(it != object_nodes.end() && it->second == len);
+    chained += len;
+  }
+  FCP_CHECK(chained == num_nodes_);
+}
+
+std::string SegTree::DebugString() const {
+  std::ostringstream os;
+  struct Frame {
+    const Node* node;
+    int depth;
+  };
+  std::vector<Frame> stack{{root_, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.node == root_) {
+      os << "root\n";
+    } else {
+      os << std::string(static_cast<size_t>(f.depth) * 2, ' ') << "obj="
+         << f.node->object << " (dist=" << f.node->distance
+         << ", cnt=" << f.node->count << ")";
+      for (const TailEntry& t : f.node->tails) {
+        os << " tail{G" << t.segment << ", len=" << t.length << "}";
+      }
+      os << "\n";
+    }
+    // Push in reverse so children print in insertion order.
+    for (size_t i = f.node->children.size(); i-- > 0;) {
+      stack.push_back(Frame{f.node->children[i], f.depth + 1});
+    }
+  }
+  return os.str();
+}
+
+}  // namespace fcp

@@ -1,0 +1,187 @@
+// The Seg-tree (Section 4 of the paper): a trie-like in-memory index over the
+// valid segments of all streams, with two auxiliary structures:
+//
+//  - Hlist: for every object, a doubly linked chain through all tree nodes
+//    carrying that object (paper Fig. 2 left edge). Prefix search and SLCP
+//    start from Hlist, which is why segments may share prefixes *anywhere*
+//    in the tree, not only at the root.
+//  - Tlist: tail-node references in segment completion order, used to find
+//    obsolete segments quickly (Section 4.5).
+//
+// Differences from the paper, all documented in DESIGN.md §2:
+//  - `distance` is maintained as an upper bound after deletions (the paper
+//    never recomputes it either); DistanceBound only uses it for pruning.
+//  - Hlist chains are doubly linked for O(1) unlink on deletion.
+//  - Disconnected subtrees produced by deletion are re-attached under the
+//    root by default; the paper's prefix-graft is available as an option
+//    (`SegTreeOptions::graft_on_delete`) and benchmarked as an ablation.
+
+#ifndef FCP_INDEX_SEG_TREE_H_
+#define FCP_INDEX_SEG_TREE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "index/segment_registry.h"
+#include "stream/segment.h"
+
+namespace fcp {
+
+/// Tuning knobs of the Seg-tree.
+struct SegTreeOptions {
+  /// If true, deletion re-inserts disconnected subtrees by grafting their
+  /// single prefix onto an existing matching branch when that is
+  /// collision-free (the paper's Section 4.5 behaviour); otherwise subtrees
+  /// are re-attached under the root.
+  bool graft_on_delete = true;
+
+  /// If true, DistanceBound uses the per-node `distance` upper bound to
+  /// prune its downward search (the paper's optimization). Disabling it
+  /// explores every descendant — used by the ablation bench and by tests.
+  bool use_distance_bound = true;
+
+  /// Insertion examines at most this many Hlist chain nodes when searching
+  /// the longest matching prefix (0 = unbounded, the paper's algorithm).
+  /// Popular objects can have very long chains; prefix sharing is purely a
+  /// compression optimization, so bounding the scan trades a little
+  /// compression for O(1) insertion on skewed data.
+  uint32_t max_prefix_probes = 64;
+};
+
+/// Counters describing Seg-tree activity (inspected by tests and benches).
+struct SegTreeStats {
+  uint64_t segments_inserted = 0;
+  uint64_t segments_removed = 0;
+  uint64_t nodes_created = 0;
+  uint64_t nodes_deleted = 0;
+  uint64_t prefix_nodes_shared = 0;  ///< nodes reused via prefix match
+  uint64_t subtrees_reattached = 0;
+  uint64_t subtrees_grafted = 0;
+  uint64_t distance_bound_visits = 0;  ///< nodes popped in DistanceBound
+};
+
+/// One row of an SLCP result: an existing segment and the set of objects it
+/// shares with the probe segment (its largest common CP with the probe).
+struct LcpRow {
+  SegmentId segment = kInvalidSegmentId;
+  StreamId stream = 0;
+  Timestamp start = 0;
+  Timestamp end = 0;
+  std::vector<ObjectId> common;  ///< sorted distinct objects
+};
+
+/// The Seg-tree index. Single-threaded; owned by a CooMine instance (or used
+/// directly by tests/benches).
+class SegTree {
+ public:
+  explicit SegTree(SegTreeOptions options = {});
+  ~SegTree();
+
+  SegTree(const SegTree&) = delete;
+  SegTree& operator=(const SegTree&) = delete;
+
+  /// Inserts a completed segment (paper Section 4.4): finds its longest
+  /// matching prefix via Hlist, shares it, appends the remainder, updates
+  /// (distance, count) along the prefix, appends the tail to Tlist and the
+  /// new nodes to their Hlist chains.
+  void Insert(const Segment& segment);
+
+  /// Removes one segment (paper Section 4.5): backtracks length-1 steps from
+  /// the tail, decrements counts, deletes count==0 nodes and re-attaches any
+  /// disconnected subtrees. No-op if the segment is not present.
+  void Remove(SegmentId id);
+
+  /// Removes every segment whose validity window has passed
+  /// (`now - start > tau`), using Tlist order to stop early. Returns the
+  /// number of segments removed. This is the paper's memory-pressure sweep;
+  /// CooMine otherwise deletes lazily through ExpiredCandidates().
+  size_t RemoveExpired(Timestamp now, DurationMs tau);
+
+  /// SLCP (paper Algorithm 2): for every object of `probe`, finds all valid
+  /// segments containing it via DistanceBound (Algorithm 3), and returns one
+  /// row per relevant segment with the common object set. Expired segments
+  /// encountered during the search are recorded in `expired` (if non-null)
+  /// for lazy deletion by the caller; they do not appear in the result.
+  ///
+  /// `now` anchors validity (callers pass the probe's end time). The probe
+  /// itself must not be in the tree yet (mine first, insert after).
+  std::vector<LcpRow> Slcp(const Segment& probe, Timestamp now,
+                           DurationMs tau,
+                           std::vector<SegmentId>* expired) const;
+
+  /// All valid segments containing `object` (DistanceBound over the object's
+  /// Hlist chain). Exposed for tests and the ablation bench.
+  std::vector<SegmentId> RelevantSegments(ObjectId object, Timestamp now,
+                                          DurationMs tau) const;
+
+  /// Number of live segments.
+  size_t num_segments() const { return registry_.size(); }
+
+  /// Number of tree nodes (excluding the root).
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// Total objects (with multiplicity) across live segments; the compression
+  /// ratio of Fig. 5(f) is (total_objects - num_nodes) / total_objects.
+  uint64_t total_objects() const { return total_objects_; }
+
+  /// Compression ratio (d1-d2)/d1 per Section 6.3, 0 if empty.
+  double CompressionRatio() const;
+
+  /// Analytic memory footprint (bytes) of the tree + Hlist + Tlist +
+  /// registry.
+  size_t MemoryUsage() const;
+
+  const SegTreeStats& stats() const { return stats_; }
+  const SegmentRegistry& registry() const { return registry_; }
+
+  /// Validates every structural invariant (parent/child symmetry, Hlist
+  /// chains, counts, distance upper bounds, tail reachability). Aborts on
+  /// violation; O(tree). Called by tests after every mutation batch.
+  void CheckInvariants() const;
+
+  /// Multi-line dump for debugging / the paper's Fig. 2 test.
+  std::string DebugString() const;
+
+ private:
+  struct Node;
+  struct TailEntry;     // one (segment, length) pair on a tail node
+  struct TlistEntry;    // Tlist element
+  struct PrefixMatch;   // result of the longest-matching-prefix search
+
+  // --- construction helpers ---
+  PrefixMatch FindLongestMatchingPrefix(
+      const std::vector<SegmentEntry>& entries) const;
+  Node* NewNode(ObjectId object);
+  void LinkIntoHlist(Node* node);
+  void UnlinkFromHlist(Node* node);
+  void AttachChild(Node* parent, Node* child);
+  void DetachChild(Node* child);
+
+  // --- deletion helpers ---
+  void RemoveSegmentPath(SegmentId id);
+  void ReattachSubtree(Node* subtree_root);
+  bool TryGraft(Node* subtree_root);
+
+  // --- search helpers ---
+  void CollectRelevantTails(const Node* start, Timestamp now, DurationMs tau,
+                            std::vector<const TailEntry*>* out,
+                            std::vector<SegmentId>* expired) const;
+
+  SegTreeOptions options_;
+  Node* root_;
+  std::unordered_map<ObjectId, Node*> hlist_;
+  std::deque<TlistEntry> tlist_;
+  std::unordered_map<SegmentId, Node*> tail_of_;  // segment -> its tail node
+  SegmentRegistry registry_;
+  size_t num_nodes_ = 0;
+  uint64_t total_objects_ = 0;
+  mutable SegTreeStats stats_;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_INDEX_SEG_TREE_H_

@@ -1,0 +1,73 @@
+// Registry of live segment metadata, shared in shape by all three indexes.
+//
+// Ordinary nodes of the Seg-tree do not record which segments contain them
+// (the paper's key memory saving); the registry is where per-segment facts
+// (stream, start/end time, length) live, keyed by SegmentId.
+
+#ifndef FCP_INDEX_SEGMENT_REGISTRY_H_
+#define FCP_INDEX_SEGMENT_REGISTRY_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "util/memory.h"
+
+namespace fcp {
+
+/// Metadata of one live segment.
+struct SegmentInfo {
+  StreamId stream = 0;
+  Timestamp start = 0;
+  Timestamp end = 0;
+  uint32_t length = 0;  ///< number of objects (with multiplicity)
+};
+
+/// Id -> SegmentInfo map with expiry convenience queries.
+class SegmentRegistry {
+ public:
+  /// Registers a segment. `id` must not already be present.
+  void Add(SegmentId id, const SegmentInfo& info) {
+    const bool inserted = segments_.emplace(id, info).second;
+    FCP_CHECK(inserted);
+  }
+
+  /// Looks up a segment; nullptr if it was never added or was removed.
+  const SegmentInfo* Find(SegmentId id) const {
+    auto it = segments_.find(id);
+    return it == segments_.end() ? nullptr : &it->second;
+  }
+
+  /// Removes a segment (no-op if absent). Returns true if it was present.
+  bool Remove(SegmentId id) { return segments_.erase(id) > 0; }
+
+  /// A segment is valid at `now` iff it exists and `now - start <= tau`
+  /// (DESIGN.md Semantics #2).
+  bool IsValid(SegmentId id, Timestamp now, DurationMs tau) const {
+    const SegmentInfo* info = Find(id);
+    return info != nullptr && now - info->start <= tau;
+  }
+
+  /// True iff the segment exists but has fallen out of the tau window.
+  bool IsExpired(SegmentId id, Timestamp now, DurationMs tau) const {
+    const SegmentInfo* info = Find(id);
+    return info != nullptr && now - info->start > tau;
+  }
+
+  size_t size() const { return segments_.size(); }
+
+  size_t MemoryUsage() const {
+    return HashMapFootprint<SegmentId, SegmentInfo>(segments_.size());
+  }
+
+  auto begin() const { return segments_.begin(); }
+  auto end() const { return segments_.end(); }
+
+ private:
+  std::unordered_map<SegmentId, SegmentInfo> segments_;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_INDEX_SEGMENT_REGISTRY_H_

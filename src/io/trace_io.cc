@@ -1,0 +1,255 @@
+#include "io/trace_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace fcp {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'C', 'P', 'T'};
+constexpr uint32_t kVersion = 1;
+// 20 bytes per packed event: u32 stream, u32 object, i64 time, with 4 bytes
+// of explicit padding reserved (kept zero) for forward compatibility.
+constexpr size_t kRecordBytes = 20;
+
+void SortEvents(std::vector<ObjectEvent>* events) {
+  std::sort(events->begin(), events->end(),
+            [](const ObjectEvent& a, const ObjectEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.stream != b.stream) return a.stream < b.stream;
+              return a.object < b.object;
+            });
+}
+
+// Parses a non-negative integer field; rejects garbage and overflow.
+bool ParseU32(const std::string& field, uint32_t* out) {
+  if (field.empty()) return false;
+  uint64_t value = 0;
+  for (char ch : field) {
+    if (ch < '0' || ch > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(ch - '0');
+    if (value > std::numeric_limits<uint32_t>::max()) return false;
+  }
+  *out = static_cast<uint32_t>(value);
+  return true;
+}
+
+bool ParseI64(const std::string& field, int64_t* out) {
+  if (field.empty()) return false;
+  size_t i = 0;
+  bool negative = false;
+  if (field[0] == '-') {
+    negative = true;
+    i = 1;
+    if (field.size() == 1) return false;
+  }
+  uint64_t value = 0;
+  for (; i < field.size(); ++i) {
+    const char ch = field[i];
+    if (ch < '0' || ch > '9') return false;
+    const uint64_t next = value * 10 + static_cast<uint64_t>(ch - '0');
+    if (next < value) return false;  // overflow
+    value = next;
+  }
+  if (!negative && value > static_cast<uint64_t>(
+                               std::numeric_limits<int64_t>::max())) {
+    return false;
+  }
+  if (negative &&
+      value > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    return false;
+  }
+  *out = negative ? -static_cast<int64_t>(value) : static_cast<int64_t>(value);
+  return true;
+}
+
+std::string Trimmed(std::string s) {
+  while (!s.empty() && (s.back() == '\r' || s.back() == ' ' ||
+                        s.back() == '\t')) {
+    s.pop_back();
+  }
+  size_t start = 0;
+  while (start < s.size() && (s[start] == ' ' || s[start] == '\t')) ++start;
+  return s.substr(start);
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutI64(std::string* out, int64_t v) {
+  const uint64_t u = static_cast<uint64_t>(v);
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(u >> (8 * i)));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+int64_t GetI64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+Status ParseCsvEvent(const std::string& line, char delimiter,
+                     ObjectEvent* event) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, delimiter)) {
+    fields.push_back(Trimmed(field));
+  }
+  if (fields.size() != 3) {
+    return Status::InvalidArgument("expected 3 fields, got " +
+                                   std::to_string(fields.size()) + " in '" +
+                                   line + "'");
+  }
+  uint32_t stream_id = 0, object_id = 0;
+  int64_t time = 0;
+  if (!ParseU32(fields[0], &stream_id)) {
+    return Status::InvalidArgument("bad stream id '" + fields[0] + "'");
+  }
+  if (!ParseU32(fields[1], &object_id)) {
+    return Status::InvalidArgument("bad object id '" + fields[1] + "'");
+  }
+  if (!ParseI64(fields[2], &time)) {
+    return Status::InvalidArgument("bad timestamp '" + fields[2] + "'");
+  }
+  *event = ObjectEvent{stream_id, object_id, time};
+  return Status::OK();
+}
+
+Status LoadCsvTrace(const std::string& path, const CsvOptions& options,
+                    std::vector<ObjectEvent>* events) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  events->clear();
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string trimmed = Trimmed(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    ObjectEvent event;
+    const Status status = ParseCsvEvent(trimmed, options.delimiter, &event);
+    if (!status.ok()) {
+      if (line_number == 1 && options.allow_header) continue;  // header
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": " + status.message());
+    }
+    events->push_back(event);
+  }
+  if (options.sort_events) SortEvents(events);
+  return Status::OK();
+}
+
+Status SaveCsvTrace(const std::string& path,
+                    const std::vector<ObjectEvent>& events) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot write '" + path + "'");
+  }
+  out << "stream,object,time_ms\n";
+  for (const ObjectEvent& event : events) {
+    out << event.stream << ',' << event.object << ',' << event.time << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status SaveBinaryTrace(const std::string& path,
+                       const std::vector<ObjectEvent>& events) {
+  std::string buffer;
+  buffer.reserve(16 + events.size() * kRecordBytes);
+  buffer.append(kMagic, sizeof(kMagic));
+  PutU32(&buffer, kVersion);
+  PutI64(&buffer, static_cast<int64_t>(events.size()));
+  for (const ObjectEvent& event : events) {
+    PutU32(&buffer, event.stream);
+    PutU32(&buffer, event.object);
+    PutI64(&buffer, event.time);
+    PutU32(&buffer, 0);  // reserved
+  }
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) {
+    return Status::Internal("cannot write '" + path + "'");
+  }
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  out.flush();
+  if (!out) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status LoadBinaryTrace(const std::string& path,
+                       std::vector<ObjectEvent>* events) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string buffer((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  if (buffer.size() < 16) {
+    return Status::InvalidArgument("'" + path + "' too short for FCPT header");
+  }
+  if (std::memcmp(buffer.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not an FCPT trace");
+  }
+  const uint32_t version = GetU32(buffer.data() + 4);
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported FCPT version " +
+                                   std::to_string(version));
+  }
+  const int64_t count = GetI64(buffer.data() + 8);
+  if (count < 0) {
+    return Status::InvalidArgument("negative record count");
+  }
+  const size_t expected = 16 + static_cast<size_t>(count) * kRecordBytes;
+  if (buffer.size() != expected) {
+    return Status::OutOfRange("'" + path + "': expected " +
+                              std::to_string(expected) + " bytes, got " +
+                              std::to_string(buffer.size()));
+  }
+  events->clear();
+  events->reserve(static_cast<size_t>(count));
+  const char* p = buffer.data() + 16;
+  for (int64_t i = 0; i < count; ++i, p += kRecordBytes) {
+    events->push_back(ObjectEvent{GetU32(p), GetU32(p + 4), GetI64(p + 8)});
+  }
+  return Status::OK();
+}
+
+Status LoadTrace(const std::string& path, std::vector<ObjectEvent>* events) {
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    return LoadCsvTrace(path, CsvOptions{}, events);
+  }
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".fcpt") == 0) {
+    return LoadBinaryTrace(path, events);
+  }
+  return Status::InvalidArgument(
+      "unknown trace extension (want .csv or .fcpt): '" + path + "'");
+}
+
+}  // namespace fcp

@@ -1,0 +1,96 @@
+// Bounded producer/consumer buffer between stream ingestion and mining —
+// the "buffer queue with 5000 storage units" of the paper's maximum
+// sustainable workload experiment (Fig. 8).
+
+#ifndef FCP_STREAM_BOUNDED_QUEUE_H_
+#define FCP_STREAM_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/check.h"
+
+namespace fcp {
+
+/// Thread-safe bounded FIFO.
+///
+/// `TryPush` fails (returns false) when the queue is full — the paper's
+/// harness uses this to detect saturation: once the producer can no longer
+/// enqueue at the offered arrival rate, the workload is unsustainable.
+/// `Close()` wakes consumers; `Pop` returns nullopt once closed and drained.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    FCP_CHECK(capacity > 0);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking push; returns false if the queue is full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop. Returns nullopt when the queue is closed and empty.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt if currently empty (even if not closed).
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Marks the queue closed; producers fail, consumers drain then see eof.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Current occupancy (racy snapshot; used for Fig. 8 sampling).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_STREAM_BOUNDED_QUEUE_H_

@@ -1,0 +1,59 @@
+#include "stream/paced_replayer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+#include "util/stopwatch.h"
+
+namespace fcp {
+
+ReplayStats ReplayAtRate(const std::vector<ObjectEvent>& events,
+                         double rate_per_second,
+                         BoundedQueue<ObjectEvent>* queue,
+                         double deadline_seconds, int batch) {
+  FCP_CHECK(rate_per_second > 0);
+  FCP_CHECK(queue != nullptr);
+  if (batch <= 0) {
+    // Default: one pacing tick per 10ms of offered load, at least 1 event.
+    batch = std::max(1, static_cast<int>(rate_per_second / 100.0));
+  }
+
+  ReplayStats stats;
+  Stopwatch clock;
+  size_t i = 0;
+  while (i < events.size()) {
+    const double now = clock.ElapsedSeconds();
+    if (now >= deadline_seconds) break;
+    // How many events should have been offered by `now`?
+    const uint64_t due = static_cast<uint64_t>(now * rate_per_second);
+    if (due <= stats.offered) {
+      // Ahead of schedule: sleep until the next batch is due.
+      const double next_due_at =
+          static_cast<double>(stats.offered + static_cast<uint64_t>(batch)) /
+          rate_per_second;
+      const double sleep_s = next_due_at - now;
+      if (sleep_s > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::min(sleep_s, deadline_seconds - now)));
+      }
+      continue;
+    }
+    uint64_t to_offer = due - stats.offered;
+    to_offer = std::min<uint64_t>(to_offer, events.size() - i);
+    for (uint64_t k = 0; k < to_offer; ++k) {
+      ++stats.offered;
+      if (queue->TryPush(events[i])) {
+        ++stats.accepted;
+      } else {
+        ++stats.dropped;
+      }
+      ++i;
+    }
+  }
+  stats.elapsed_seconds = clock.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace fcp

@@ -1,0 +1,38 @@
+// Replays a pre-generated event trace into a BoundedQueue at a controlled
+// arrival rate (events per wall-clock second). Drives the Fig. 8 maximum
+// sustainable workload experiment.
+
+#ifndef FCP_STREAM_PACED_REPLAYER_H_
+#define FCP_STREAM_PACED_REPLAYER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "stream/bounded_queue.h"
+
+namespace fcp {
+
+/// Statistics of one replay run.
+struct ReplayStats {
+  uint64_t offered = 0;   ///< events the producer attempted to enqueue
+  uint64_t accepted = 0;  ///< events that fit into the queue
+  uint64_t dropped = 0;   ///< events rejected because the queue was full
+  double elapsed_seconds = 0.0;
+};
+
+/// Pushes `events` into `queue` at `rate_per_second`, in batches of
+/// `batch` events (pacing granularity; the paper feeds per-second bursts,
+/// we default to 10ms ticks for smoother pacing). Blocks until all events
+/// were offered or `deadline_seconds` elapsed.
+///
+/// When the queue is full the event is *dropped* and counted — this mirrors
+/// the paper's saturation criterion (queue usage pinned at capacity).
+ReplayStats ReplayAtRate(const std::vector<ObjectEvent>& events,
+                         double rate_per_second,
+                         BoundedQueue<ObjectEvent>* queue,
+                         double deadline_seconds = 1e9, int batch = 0);
+
+}  // namespace fcp
+
+#endif  // FCP_STREAM_PACED_REPLAYER_H_

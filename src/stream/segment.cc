@@ -1,0 +1,26 @@
+#include "stream/segment.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fcp {
+
+std::vector<ObjectId> Segment::DistinctObjects() const {
+  std::vector<ObjectId> out;
+  out.reserve(entries_.size());
+  for (const SegmentEntry& e : entries_) out.push_back(e.object);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string Segment::DebugString() const {
+  std::ostringstream os;
+  os << "G" << id_ << "[s" << stream_ << " @" << start_time() << ".."
+     << end_time() << ":";
+  for (const SegmentEntry& e : entries_) os << " " << e.object;
+  os << "]";
+  return os.str();
+}
+
+}  // namespace fcp

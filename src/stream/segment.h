@@ -1,0 +1,78 @@
+// Segment: the unit of work of all miners (Definition 5 of the paper).
+
+#ifndef FCP_STREAM_SEGMENT_H_
+#define FCP_STREAM_SEGMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace fcp {
+
+/// One timestamped object inside a segment.
+struct SegmentEntry {
+  ObjectId object = 0;
+  Timestamp time = 0;
+
+  friend bool operator==(const SegmentEntry&, const SegmentEntry&) = default;
+};
+
+/// A maximal subsequence of one stream whose time span is <= xi
+/// (Definition 5). Segments of one stream overlap; every co-occurrence
+/// pattern occurrence is contained in at least one segment, which is why the
+/// miners only ever look at segments.
+///
+/// Invariants (established by the Segmenter, checked by tests):
+///  - entries are ordered by non-decreasing time;
+///  - last().time - first().time <= xi;
+///  - maximality is a property of the enclosing stream, not of the Segment
+///    object itself.
+class Segment {
+ public:
+  Segment() = default;
+
+  /// Builds a segment from parts. `entries` must be non-empty and sorted by
+  /// time; `id` must be unique among live segments.
+  Segment(SegmentId id, StreamId stream, std::vector<SegmentEntry> entries)
+      : id_(id), stream_(stream), entries_(std::move(entries)) {
+    FCP_CHECK(!entries_.empty());
+  }
+
+  SegmentId id() const { return id_; }
+  StreamId stream() const { return stream_; }
+
+  /// Timestamp of the first object (the segment's start time).
+  Timestamp start_time() const { return entries_.front().time; }
+
+  /// Timestamp of the last object (the segment's end time).
+  Timestamp end_time() const { return entries_.back().time; }
+
+  /// end_time() - start_time(); always <= xi for segmenter-produced segments.
+  DurationMs span() const { return end_time() - start_time(); }
+
+  /// Number of objects (with multiplicity).
+  size_t length() const { return entries_.size(); }
+
+  const std::vector<SegmentEntry>& entries() const { return entries_; }
+
+  /// The distinct objects of this segment in ascending ObjectId order
+  /// (duplicates removed). This is what pattern mining operates on
+  /// (patterns are sets; see DESIGN.md Semantics #4).
+  std::vector<ObjectId> DistinctObjects() const;
+
+  /// Debug representation, e.g. "G7[s2 @100..160: 5 3 9]".
+  std::string DebugString() const;
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+
+ private:
+  SegmentId id_ = kInvalidSegmentId;
+  StreamId stream_ = 0;
+  std::vector<SegmentEntry> entries_;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_STREAM_SEGMENT_H_

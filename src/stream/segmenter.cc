@@ -1,0 +1,46 @@
+#include "stream/segmenter.h"
+
+#include "common/check.h"
+
+namespace fcp {
+
+Segmenter::Segmenter(StreamId stream, DurationMs xi, SegmentIdGen* id_gen)
+    : stream_(stream), xi_(xi), id_gen_(id_gen) {
+  FCP_CHECK(xi > 0);
+  FCP_CHECK(id_gen != nullptr);
+}
+
+void Segmenter::Push(ObjectId object, Timestamp time,
+                     std::vector<Segment>* out) {
+  if (time < last_time_) {
+    time = last_time_;
+    ++reordered_;
+  }
+  last_time_ = time;
+
+  if (!window_.empty() && time - window_.front().time > xi_) {
+    // Admitting this event forces the left boundary to advance, so the
+    // current window [l, r] is maximal: emit it, then shrink.
+    EmitWindow(out);
+    while (!window_.empty() && time - window_.front().time > xi_) {
+      window_.pop_front();
+    }
+  }
+  window_.push_back(SegmentEntry{object, time});
+}
+
+void Segmenter::Flush(std::vector<Segment>* out) {
+  if (!window_.empty()) {
+    EmitWindow(out);
+    window_.clear();
+  }
+  last_time_ = kMinTimestamp;
+}
+
+void Segmenter::EmitWindow(std::vector<Segment>* out) {
+  FCP_DCHECK(!window_.empty());
+  std::vector<SegmentEntry> entries(window_.begin(), window_.end());
+  out->emplace_back(id_gen_->Next(), stream_, std::move(entries));
+}
+
+}  // namespace fcp

@@ -1,0 +1,81 @@
+// Online segmentation of one data stream into maximal windows of span <= xi
+// (Definition 5 of the paper).
+
+#ifndef FCP_STREAM_SEGMENTER_H_
+#define FCP_STREAM_SEGMENTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "stream/segment.h"
+
+namespace fcp {
+
+/// Hands out globally unique, monotonically increasing segment ids. One
+/// instance is shared by all segmenters of a mining pipeline (single
+/// threaded; the pipeline is driven by one consumer thread).
+class SegmentIdGen {
+ public:
+  SegmentId Next() { return next_++; }
+  SegmentId peek_next() const { return next_; }
+
+ private:
+  SegmentId next_ = 0;
+};
+
+/// Converts the ordered event sequence of ONE stream into its unique sequence
+/// of (overlapping) segments, online.
+///
+/// Enumeration rule (DESIGN.md Semantics #1): the segments of a stream are
+/// exactly its maximal windows [l, r] with t_r - t_l <= xi. We emit window
+/// [l(r), r] as soon as an event arrives whose admission forces the left
+/// boundary to advance (then the old window can never be extended again and
+/// is maximal); Flush() emits the trailing window.
+///
+/// Out-of-order events (time lower than the previous event of the same
+/// stream) are clamped up to the previous timestamp and counted in
+/// `reordered_count()`; streams are expected to be time-ordered (Def. 1).
+class Segmenter {
+ public:
+  /// `xi` must be positive. `id_gen` must outlive the segmenter and is shared
+  /// across streams so ids are globally unique.
+  Segmenter(StreamId stream, DurationMs xi, SegmentIdGen* id_gen);
+
+  Segmenter(const Segmenter&) = delete;
+  Segmenter& operator=(const Segmenter&) = delete;
+  Segmenter(Segmenter&&) = default;
+  Segmenter& operator=(Segmenter&&) = default;
+
+  /// Feeds the next object of this stream. Appends every segment that this
+  /// event *completes* (0 or 1 segments for in-order input) to `out`.
+  void Push(ObjectId object, Timestamp time, std::vector<Segment>* out);
+
+  /// Emits the trailing (not yet maximal-by-evidence) window, if any. Call at
+  /// end of stream. After Flush() the segmenter is empty and reusable.
+  void Flush(std::vector<Segment>* out);
+
+  StreamId stream() const { return stream_; }
+  DurationMs xi() const { return xi_; }
+
+  /// Number of events whose timestamps were clamped to restore monotonicity.
+  uint64_t reordered_count() const { return reordered_; }
+
+  /// Number of events currently buffered in the open window.
+  size_t pending_size() const { return window_.size(); }
+
+ private:
+  void EmitWindow(std::vector<Segment>* out);
+
+  StreamId stream_;
+  DurationMs xi_;
+  SegmentIdGen* id_gen_;  // not owned
+  std::deque<SegmentEntry> window_;
+  Timestamp last_time_ = kMinTimestamp;
+  uint64_t reordered_ = 0;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_STREAM_SEGMENTER_H_

@@ -1,0 +1,34 @@
+#include "stream/stream_mux.h"
+
+#include "common/check.h"
+
+namespace fcp {
+
+StreamMux::StreamMux(DurationMs xi) : xi_(xi) { FCP_CHECK(xi > 0); }
+
+void StreamMux::Push(const ObjectEvent& event, std::vector<Segment>* out) {
+  auto it = segmenters_.find(event.stream);
+  if (it == segmenters_.end()) {
+    it = segmenters_
+             .emplace(event.stream, std::make_unique<Segmenter>(
+                                        event.stream, xi_, &id_gen_))
+             .first;
+  }
+  it->second->Push(event.object, event.time, out);
+}
+
+void StreamMux::FlushAll(std::vector<Segment>* out) {
+  for (auto& [stream, segmenter] : segmenters_) {
+    segmenter->Flush(out);
+  }
+}
+
+uint64_t StreamMux::reordered_count() const {
+  uint64_t total = 0;
+  for (const auto& [stream, segmenter] : segmenters_) {
+    total += segmenter->reordered_count();
+  }
+  return total;
+}
+
+}  // namespace fcp

@@ -1,0 +1,54 @@
+// Routes the interleaved event feed of many streams to per-stream segmenters.
+
+#ifndef FCP_STREAM_STREAM_MUX_H_
+#define FCP_STREAM_STREAM_MUX_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "stream/segment.h"
+#include "stream/segmenter.h"
+
+namespace fcp {
+
+/// Demultiplexes a single interleaved feed of ObjectEvents (the union of all
+/// streams, as a data-center front end would receive it) into per-stream
+/// Segmenters, and surfaces completed segments in arrival order.
+///
+/// Single-threaded: the mining pipeline is one consumer; concurrency enters
+/// only via the BoundedQueue in front of it (Fig. 8 experiment).
+class StreamMux {
+ public:
+  /// `xi` is the segment span threshold, shared by all streams.
+  explicit StreamMux(DurationMs xi);
+
+  StreamMux(const StreamMux&) = delete;
+  StreamMux& operator=(const StreamMux&) = delete;
+
+  /// Feeds one event; appends any segments it completes to `out`.
+  void Push(const ObjectEvent& event, std::vector<Segment>* out);
+
+  /// Flushes the open window of every stream (end of feed).
+  void FlushAll(std::vector<Segment>* out);
+
+  /// Number of streams seen so far.
+  size_t num_streams() const { return segmenters_.size(); }
+
+  /// Total events whose timestamps had to be clamped (see Segmenter).
+  uint64_t reordered_count() const;
+
+  /// The id generator (exposed so callers can pre-register segments built by
+  /// hand, e.g. tests and the Twitter generator which emits whole segments).
+  SegmentIdGen* id_gen() { return &id_gen_; }
+
+ private:
+  DurationMs xi_;
+  SegmentIdGen id_gen_;
+  std::unordered_map<StreamId, std::unique_ptr<Segmenter>> segmenters_;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_STREAM_STREAM_MUX_H_

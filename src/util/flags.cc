@@ -1,0 +1,49 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace fcp {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) continue;
+    arg.remove_prefix(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      values_[std::string(arg)] = "true";
+    } else {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+std::string Flags::GetString(const std::string& name, std::string def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second != "false" && it->second != "0";
+}
+
+}  // namespace fcp

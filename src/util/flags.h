@@ -1,0 +1,35 @@
+// Minimal command-line flag parsing for the bench harness binaries
+// (`--key=value` / `--flag`). Not a general-purpose flags library; just
+// enough to make every bench parameterizable without extra dependencies.
+
+#ifndef FCP_UTIL_FLAGS_H_
+#define FCP_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fcp {
+
+/// Parses `--key=value` and bare `--key` arguments. Unknown positional
+/// arguments are ignored (google-benchmark consumes its own flags first).
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  /// True iff `--name` or `--name=...` was passed.
+  bool Has(const std::string& name) const;
+
+  /// Value lookups with defaults.
+  std::string GetString(const std::string& name, std::string def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_UTIL_FLAGS_H_

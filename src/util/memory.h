@@ -1,0 +1,48 @@
+// Analytic memory-footprint estimation for the index structures.
+//
+// The paper compares the three indexes by resident memory (Fig. 5(a)/5(b)).
+// We account analytically instead of asking the allocator: every index sums
+// the footprint of its nodes/entries/containers with the helpers below. The
+// constants are libstdc++-shaped estimates; what matters for reproducing the
+// figure is that all three indexes are measured with the same ruler.
+
+#ifndef FCP_UTIL_MEMORY_H_
+#define FCP_UTIL_MEMORY_H_
+
+#include <cstddef>
+
+namespace fcp {
+
+/// Estimated bytes of a std::vector<T> with `size` elements (capacity is
+/// assumed ~= size; the indexes shrink or grow geometrically, and the same
+/// assumption is applied to every index).
+template <typename T>
+constexpr size_t VectorFootprint(size_t size) {
+  return sizeof(void*) * 3 + size * sizeof(T);
+}
+
+/// Estimated per-element overhead of one std::unordered_map node
+/// (libstdc++: next pointer + cached hash) plus its bucket share.
+inline constexpr size_t kHashNodeOverhead = 16;
+inline constexpr size_t kHashBucketBytes = 8;
+
+/// Estimated bytes of a std::unordered_map<K, V> with `size` entries,
+/// assuming load factor ~1 and V stored inline in the node.
+template <typename K, typename V>
+constexpr size_t HashMapFootprint(size_t size) {
+  return size * (sizeof(K) + sizeof(V) + kHashNodeOverhead) +
+         size * kHashBucketBytes + 56 /* control block */;
+}
+
+/// Estimated bytes of a std::deque<T> with `size` elements (512-byte blocks
+/// plus the block map).
+template <typename T>
+constexpr size_t DequeFootprint(size_t size) {
+  const size_t per_block = 512 / sizeof(T) > 0 ? 512 / sizeof(T) : 1;
+  const size_t blocks = (size + per_block - 1) / per_block + 1;
+  return blocks * 512 + blocks * sizeof(void*) + 80;
+}
+
+}  // namespace fcp
+
+#endif  // FCP_UTIL_MEMORY_H_

@@ -1,0 +1,9 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace fcp {
+
+double Rng::Log(double x) { return std::log(x); }
+
+}  // namespace fcp

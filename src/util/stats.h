@@ -1,0 +1,74 @@
+// Online summary statistics and simple histograms for the bench harness.
+
+#ifndef FCP_UTIL_STATS_H_
+#define FCP_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fcp {
+
+/// Welford-style running mean / variance / min / max accumulator.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = (n_ == 1) ? x : std::min(min_, x);
+    max_ = (n_ == 1) ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void Reset() { *this = RunningStats(); }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact quantiles over a bounded sample (the bench runs are small enough to
+/// keep every observation). Not intended for unbounded production telemetry.
+class Sample {
+ public:
+  void Add(double x) { values_.push_back(x); }
+
+  /// q in [0, 1]; returns 0 on an empty sample.
+  double Quantile(double q) {
+    if (values_.empty()) return 0.0;
+    std::sort(values_.begin(), values_.end());
+    const double idx = q * static_cast<double>(values_.size() - 1);
+    const size_t lo = static_cast<size_t>(idx);
+    const size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+
+  size_t size() const { return values_.size(); }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_UTIL_STATS_H_

@@ -1,0 +1,38 @@
+// Wall-clock timing helper used by benches and the Fig. 8 workload harness.
+
+#ifndef FCP_UTIL_STOPWATCH_H_
+#define FCP_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fcp {
+
+/// Monotonic stopwatch. Start() (or construction) marks t0; Elapsed*() report
+/// time since t0.
+class Stopwatch {
+ public:
+  Stopwatch() { Start(); }
+
+  void Start() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_UTIL_STOPWATCH_H_

@@ -1,0 +1,59 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+#include <iomanip>
+
+#include "common/check.h"
+
+namespace fcp {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FCP_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  FCP_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c])) << row[c];
+      os << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+  os.flush();  // bench output is often piped to a file; don't sit in buffers
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << (c + 1 == row.size() ? "\n" : ",");
+    }
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+}  // namespace fcp

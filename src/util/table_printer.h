@@ -1,0 +1,45 @@
+// Plain-text table output for the bench harness: every figure of the paper is
+// regenerated as an aligned table (one row per plotted point) that is easy to
+// diff and to feed into a plotting script.
+
+#ifndef FCP_UTIL_TABLE_PRINTER_H_
+#define FCP_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fcp {
+
+/// Collects rows of string cells and prints them column-aligned.
+///
+/// Usage:
+///   TablePrinter t({"rate", "seg_tree_mb", "di_index_mb", "matrix_mb"});
+///   t.AddRow({"1000", "12.1", "15.0", "48.2"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a data row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with `digits` fractional digits.
+  static std::string Num(double v, int digits = 2);
+
+  /// Prints the header, a separator, and all rows, space-aligned.
+  void Print(std::ostream& os) const;
+
+  /// Prints in comma-separated form (for plotting scripts).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,42 @@
+// Zipfian object popularity distribution used by the Twitter-like generator
+// (word frequencies) and the e-commerce example (item popularity).
+
+#ifndef FCP_UTIL_ZIPF_H_
+#define FCP_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fcp {
+
+/// Samples ranks in [0, n) with P(rank = r) proportional to 1 / (r+1)^s.
+///
+/// Implementation: precomputed cumulative table + binary search. Build cost
+/// is O(n); sampling is O(log n). For the vocabulary sizes we use (<= 1M)
+/// the table is small and sampling is fast and exact.
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1; `s` is the skew exponent (s = 0 is uniform; Twitter
+  /// word frequencies are conventionally modeled near s = 1).
+  ZipfDistribution(uint64_t n, double s);
+
+  /// Draws one rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+  /// Probability mass of rank `r` (for tests).
+  double Pmf(uint64_t r) const;
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i), cdf_.back() == 1.0
+};
+
+}  // namespace fcp
+
+#endif  // FCP_UTIL_ZIPF_H_

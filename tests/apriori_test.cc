@@ -1,0 +1,79 @@
+#include "core/apriori.h"
+
+#include <gtest/gtest.h>
+
+namespace fcp {
+namespace {
+
+TEST(AprioriTest, EmptyInput) {
+  EXPECT_TRUE(GenerateCandidates({}).empty());
+}
+
+TEST(AprioriTest, SingletonsJoinToPairs) {
+  const std::vector<Pattern> f1 = {{1}, {2}, {3}};
+  const std::vector<Pattern> candidates = GenerateCandidates(f1);
+  EXPECT_EQ(candidates,
+            (std::vector<Pattern>{{1, 2}, {1, 3}, {2, 3}}));
+}
+
+TEST(AprioriTest, SingleSingletonNoCandidates) {
+  EXPECT_TRUE(GenerateCandidates({{7}}).empty());
+}
+
+TEST(AprioriTest, PairsJoinOnlyOnSharedPrefix) {
+  // {1,2} and {1,3} share prefix {1} -> candidate {1,2,3} needs subset {2,3}.
+  {
+    const std::vector<Pattern> f2 = {{1, 2}, {1, 3}, {2, 3}};
+    EXPECT_EQ(GenerateCandidates(f2), (std::vector<Pattern>{{1, 2, 3}}));
+  }
+  {
+    // Without {2,3} the candidate is pruned.
+    const std::vector<Pattern> f2 = {{1, 2}, {1, 3}};
+    EXPECT_TRUE(GenerateCandidates(f2).empty());
+  }
+}
+
+TEST(AprioriTest, NoJoinAcrossDifferentPrefixes) {
+  const std::vector<Pattern> f2 = {{1, 2}, {3, 4}};
+  EXPECT_TRUE(GenerateCandidates(f2).empty());
+}
+
+TEST(AprioriTest, TriplesToQuads) {
+  const std::vector<Pattern> f3 = {
+      {1, 2, 3}, {1, 2, 4}, {1, 3, 4}, {2, 3, 4}};
+  EXPECT_EQ(GenerateCandidates(f3), (std::vector<Pattern>{{1, 2, 3, 4}}));
+}
+
+TEST(AprioriTest, QuadPrunedWhenSubsetMissing) {
+  // Missing {2,3,4}: {1,2,3,4} must be pruned.
+  const std::vector<Pattern> f3 = {{1, 2, 3}, {1, 2, 4}, {1, 3, 4}};
+  EXPECT_TRUE(GenerateCandidates(f3).empty());
+}
+
+TEST(AprioriTest, AllSubsetsFrequentDirect) {
+  const std::vector<Pattern> f2 = {{1, 2}, {1, 3}, {2, 3}};
+  EXPECT_TRUE(AllSubsetsFrequent({1, 2, 3}, f2));
+  const std::vector<Pattern> missing = {{1, 2}, {1, 3}};
+  EXPECT_FALSE(AllSubsetsFrequent({1, 2, 3}, missing));
+}
+
+TEST(AprioriTest, PairCandidateAlwaysPassesSubsetCheck) {
+  // For size-2 candidates both subsets are the join parents.
+  EXPECT_TRUE(AllSubsetsFrequent({4, 9}, {{4}, {9}}));
+}
+
+TEST(AprioriTest, LargeJoinCount) {
+  // n singletons -> C(n,2) pair candidates.
+  std::vector<Pattern> f1;
+  for (ObjectId o = 0; o < 20; ++o) f1.push_back({o});
+  EXPECT_EQ(GenerateCandidates(f1).size(), 190u);
+}
+
+TEST(AprioriTest, OutputSortedLexicographically) {
+  std::vector<Pattern> f1 = {{2}, {5}, {9}};
+  const auto candidates = GenerateCandidates(f1);
+  EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+}
+
+}  // namespace
+}  // namespace fcp

@@ -1,0 +1,91 @@
+#include "stream/bounded_queue.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fcp {
+namespace {
+
+TEST(BoundedQueueTest, PushPopFifo) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, TryPushFailsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  EXPECT_EQ(q.size(), 2u);
+  q.Pop();
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(BoundedQueueTest, TryPopEmptyReturnsNullopt) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.TryPop(), std::nullopt);
+  q.TryPush(5);
+  EXPECT_EQ(q.TryPop(), 5);
+}
+
+TEST(BoundedQueueTest, CloseWakesConsumerAndDrains) {
+  BoundedQueue<int> q(4);
+  q.TryPush(1);
+  q.Close();
+  EXPECT_FALSE(q.TryPush(2));  // closed
+  EXPECT_EQ(q.Pop(), 1);       // drains remaining
+  EXPECT_EQ(q.Pop(), std::nullopt);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueueTest, BlockingPopWaitsForProducer) {
+  BoundedQueue<int> q(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.TryPush(42);
+  });
+  EXPECT_EQ(q.Pop(), 42);  // blocks until producer delivers
+  producer.join();
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersConsumers) {
+  constexpr int kPerProducer = 2000;
+  BoundedQueue<int> q(64);
+  std::atomic<int> consumed{0};
+  std::atomic<long long> sum{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum += *v;
+        ++consumed;
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        while (!q.TryPush(1)) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(consumed.load(), 2 * kPerProducer);
+  EXPECT_EQ(sum.load(), 2 * kPerProducer);
+}
+
+TEST(BoundedQueueDeathTest, ZeroCapacityAborts) {
+  EXPECT_DEATH(BoundedQueue<int>(0), "FCP_CHECK");
+}
+
+}  // namespace
+}  // namespace fcp

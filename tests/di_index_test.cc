@@ -1,0 +1,104 @@
+#include "index/di_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fcp {
+namespace {
+
+using ::fcp::testing::MakeSegment;
+
+constexpr DurationMs kTau = 1000;
+
+TEST(DiIndexTest, InsertAndLookup) {
+  DiIndex index;
+  index.Insert(MakeSegment(1, 0, {5, 6}, 100));
+  index.Insert(MakeSegment(2, 1, {6, 7}, 200));
+  EXPECT_EQ(index.ValidSegments(6, 200, kTau),
+            (std::vector<SegmentId>{1, 2}));
+  EXPECT_EQ(index.ValidSegments(5, 200, kTau), (std::vector<SegmentId>{1}));
+  EXPECT_EQ(index.ValidSegments(7, 200, kTau), (std::vector<SegmentId>{2}));
+  EXPECT_TRUE(index.ValidSegments(99, 200, kTau).empty());
+  EXPECT_EQ(index.num_segments(), 2u);
+  EXPECT_EQ(index.total_entries(), 4u);
+}
+
+TEST(DiIndexTest, DuplicateObjectsIndexedOnce) {
+  DiIndex index;
+  index.Insert(MakeSegment(1, 0, {5, 5, 5}, 100));
+  EXPECT_EQ(index.total_entries(), 1u);
+  EXPECT_EQ(index.ValidSegments(5, 100, kTau), (std::vector<SegmentId>{1}));
+}
+
+TEST(DiIndexTest, ValidityFiltersBy_Tau) {
+  DiIndex index;
+  index.Insert(MakeSegment(1, 0, {5}, 0));
+  index.Insert(MakeSegment(2, 1, {5}, 600));
+  EXPECT_EQ(index.ValidSegments(5, 1000, kTau),
+            (std::vector<SegmentId>{1, 2}));  // boundary: 1000 - 0 == tau
+  EXPECT_EQ(index.ValidSegments(5, 1001, kTau),
+            (std::vector<SegmentId>{2}));
+}
+
+TEST(DiIndexTest, LookupCompactsPosting) {
+  DiIndex index;
+  index.Insert(MakeSegment(1, 0, {5}, 0));
+  index.Insert(MakeSegment(2, 1, {5}, 2000));
+  EXPECT_EQ(index.total_entries(), 2u);
+  index.ValidSegments(5, 2000, kTau);  // segment 1 expired -> compacted away
+  EXPECT_EQ(index.total_entries(), 1u);
+  // Registry still holds it until the full sweep (the paper's pain point).
+  EXPECT_EQ(index.num_segments(), 2u);
+}
+
+TEST(DiIndexTest, FullSweepRetiresEverywhere) {
+  DiIndex index;
+  index.Insert(MakeSegment(1, 0, {5, 6, 7}, 0));
+  index.Insert(MakeSegment(2, 1, {5, 6}, 2000));
+  const size_t removed = index.RemoveExpired(2000, kTau);
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(index.num_segments(), 1u);
+  EXPECT_EQ(index.total_entries(), 2u);
+  EXPECT_EQ(index.stats().segments_expired, 1u);
+  EXPECT_EQ(index.ValidSegments(7, 2000, kTau), std::vector<SegmentId>{});
+  EXPECT_EQ(index.ValidSegments(5, 2000, kTau), std::vector<SegmentId>{2});
+}
+
+TEST(DiIndexTest, SweepWithNothingExpiredIsCheap) {
+  DiIndex index;
+  index.Insert(MakeSegment(1, 0, {5}, 100));
+  const uint64_t scanned_before = index.stats().posting_entries_scanned;
+  EXPECT_EQ(index.RemoveExpired(200, kTau), 0u);
+  EXPECT_EQ(index.stats().posting_entries_scanned, scanned_before);
+}
+
+TEST(DiIndexTest, EmptyPostingErased) {
+  DiIndex index;
+  index.Insert(MakeSegment(1, 0, {5}, 0));
+  EXPECT_EQ(index.num_postings(), 1u);
+  index.RemoveExpired(5000, kTau);
+  EXPECT_EQ(index.num_postings(), 0u);
+  EXPECT_EQ(index.total_entries(), 0u);
+}
+
+TEST(DiIndexTest, MemoryTracksEntries) {
+  DiIndex index;
+  const size_t empty = index.MemoryUsage();
+  for (SegmentId id = 0; id < 50; ++id) {
+    index.Insert(MakeSegment(id, 0, {static_cast<ObjectId>(id % 7)},
+                             static_cast<Timestamp>(id)));
+  }
+  EXPECT_GT(index.MemoryUsage(), empty);
+  index.RemoveExpired(1000000, kTau);
+  EXPECT_LT(index.MemoryUsage(), empty + 1000);
+}
+
+TEST(DiIndexDeathTest, DuplicateIdAborts) {
+  DiIndex index;
+  index.Insert(MakeSegment(1, 0, {5}, 0));
+  EXPECT_DEATH(index.Insert(MakeSegment(1, 0, {6}, 0)), "FCP_CHECK");
+}
+
+}  // namespace
+}  // namespace fcp

@@ -1,0 +1,209 @@
+// Edge-case and stress tests across the mining stack: extreme parameter
+// settings, degenerate workloads, and adversarial shapes that the main unit
+// tests do not reach.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/coomine.h"
+#include "core/mining_engine.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace fcp {
+namespace {
+
+using ::fcp::testing::MakeSegment;
+using ::fcp::testing::PatternsOf;
+
+MiningParams BaseParams() {
+  MiningParams params;
+  params.xi = Seconds(60);
+  params.tau = Minutes(30);
+  params.theta = 2;
+  return params;
+}
+
+TEST(EdgeCaseTest, ThetaOneEveryPatternIsFrequent) {
+  MiningParams params = BaseParams();
+  params.theta = 1;
+  params.max_pattern_size = 3;
+  MiningEngine engine(MinerKind::kCooMine, params);
+  auto fcps = engine.PushSegment(
+      MakeSegment(engine.AllocateSegmentId(), 0, {1, 2, 3}, 100));
+  // 3 singletons + 3 pairs + 1 triple, all supported by one stream.
+  EXPECT_EQ(fcps.size(), 7u);
+}
+
+TEST(EdgeCaseTest, TauEqualsXi) {
+  MiningParams params = BaseParams();
+  params.tau = params.xi;  // smallest legal tau
+  ASSERT_TRUE(params.Validate().ok());
+  MiningEngine engine(MinerKind::kCooMine, params);
+  engine.PushSegment(MakeSegment(engine.AllocateSegmentId(), 0, {5}, 0));
+  // Within tau: counts.
+  auto hit = engine.PushSegment(
+      MakeSegment(engine.AllocateSegmentId(), 1, {5}, Seconds(30)));
+  EXPECT_EQ(hit.size(), 1u);
+  // A third occurrence beyond tau of the first but within tau of the
+  // second still finds theta=2 supporters.
+  auto hit2 = engine.PushSegment(
+      MakeSegment(engine.AllocateSegmentId(), 2, {5}, Seconds(80)));
+  EXPECT_EQ(hit2.size(), 1u);
+}
+
+TEST(EdgeCaseTest, MinEqualsMaxPatternSize) {
+  MiningParams params = BaseParams();
+  params.min_pattern_size = 3;
+  params.max_pattern_size = 3;
+  MiningEngine engine(MinerKind::kDiMine, params);
+  engine.PushSegment(MakeSegment(engine.AllocateSegmentId(), 0, {1, 2, 3}, 0));
+  auto fcps = engine.PushSegment(
+      MakeSegment(engine.AllocateSegmentId(), 1, {1, 2, 3}, 100));
+  ASSERT_EQ(fcps.size(), 1u);
+  EXPECT_EQ(fcps[0].objects, (Pattern{1, 2, 3}));
+}
+
+TEST(EdgeCaseTest, SingleStreamNeverFrequentAtThetaTwo) {
+  MiningEngine engine(MinerKind::kCooMine, BaseParams());
+  std::vector<Fcp> all;
+  for (int i = 0; i < 50; ++i) {
+    for (Fcp& f : engine.PushSegment(MakeSegment(
+             engine.AllocateSegmentId(), 0, {1, 2}, Minutes(i)))) {
+      all.push_back(std::move(f));
+    }
+  }
+  EXPECT_TRUE(all.empty());
+}
+
+TEST(EdgeCaseTest, ManyStreamsSameInstant) {
+  // 100 streams all emit {7,8} at the same timestamp.
+  MiningParams params = BaseParams();
+  params.theta = 100;
+  params.min_pattern_size = 2;
+  MiningEngine engine(MinerKind::kCooMine, params);
+  std::vector<Fcp> all;
+  for (StreamId s = 0; s < 100; ++s) {
+    for (Fcp& f : engine.PushSegment(
+             MakeSegment(engine.AllocateSegmentId(), s, {7, 8}, 1000))) {
+      all.push_back(std::move(f));
+    }
+  }
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].objects, (Pattern{7, 8}));
+  EXPECT_EQ(all[0].streams.size(), 100u);
+}
+
+TEST(EdgeCaseTest, ZeroSpanSegments) {
+  // Tweet-style: every segment has span 0; boundary of Definition 2.
+  MiningEngine engine(MinerKind::kMatrixMine, BaseParams());
+  engine.PushSegment(MakeSegment(engine.AllocateSegmentId(), 0, {4, 4, 4}, 7));
+  auto fcps = engine.PushSegment(
+      MakeSegment(engine.AllocateSegmentId(), 1, {4}, 9));
+  ASSERT_EQ(fcps.size(), 1u);
+  EXPECT_EQ(fcps[0].objects, (Pattern{4}));
+}
+
+TEST(EdgeCaseTest, PatternVanishesAfterTau) {
+  MiningEngine engine(MinerKind::kCooMine, BaseParams());
+  engine.PushSegment(MakeSegment(engine.AllocateSegmentId(), 0, {9}, 0));
+  auto hit = engine.PushSegment(
+      MakeSegment(engine.AllocateSegmentId(), 1, {9}, Minutes(10)));
+  EXPECT_EQ(hit.size(), 1u);
+  // 31 minutes later both supporters are stale; a new single occurrence in
+  // a third stream is not frequent.
+  auto miss = engine.PushSegment(
+      MakeSegment(engine.AllocateSegmentId(), 2, {9}, Minutes(41)));
+  EXPECT_TRUE(miss.empty());
+}
+
+TEST(EdgeCaseTest, VeryLongSegment) {
+  // One segment with 500 entries cycling 30 distinct objects, capped.
+  MiningParams params = BaseParams();
+  params.theta = 1;
+  params.max_segment_objects = 8;
+  params.max_pattern_size = 2;
+  MiningEngine engine(MinerKind::kCooMine, params);
+  std::vector<SegmentEntry> entries;
+  for (int i = 0; i < 500; ++i) {
+    entries.push_back(SegmentEntry{static_cast<ObjectId>(i % 30),
+                                   static_cast<Timestamp>(i * 10)});
+  }
+  auto fcps = engine.PushSegment(
+      Segment(engine.AllocateSegmentId(), 0, std::move(entries)));
+  // Capped at 8 objects: 8 singletons + C(8,2) pairs.
+  EXPECT_EQ(fcps.size(), 8u + 28u);
+}
+
+TEST(EdgeCaseTest, InterleavedBurstsAcrossManyStreams) {
+  // Deterministic stress: 20 streams, alternating shared/unshared bursts;
+  // miners must agree and never crash (invariants checked via CooMine).
+  MiningParams params = BaseParams();
+  params.theta = 5;
+  params.max_pattern_size = 3;
+  Rng rng(123);
+  MiningEngine coo(MinerKind::kCooMine, params);
+  MiningEngine di(MinerKind::kDiMine, params);
+  std::vector<Fcp> coo_all, di_all;
+  Timestamp now = 0;
+  for (int burst = 0; burst < 60; ++burst) {
+    now += Minutes(1);
+    const bool shared = burst % 3 == 0;
+    const ObjectId base = shared ? 1000 : static_cast<ObjectId>(burst);
+    for (StreamId s = 0; s < 20; ++s) {
+      if (!shared && !rng.Chance(0.4)) continue;
+      for (ObjectId o = base; o < base + 3; ++o) {
+        const ObjectEvent event{s, o, now + static_cast<Timestamp>(s)};
+        for (Fcp& f : coo.PushEvent(event)) coo_all.push_back(std::move(f));
+        for (Fcp& f : di.PushEvent(event)) di_all.push_back(std::move(f));
+      }
+    }
+  }
+  for (Fcp& f : coo.Flush()) coo_all.push_back(std::move(f));
+  for (Fcp& f : di.Flush()) di_all.push_back(std::move(f));
+  EXPECT_EQ(testing::SignaturesOf(coo_all), testing::SignaturesOf(di_all));
+  EXPECT_FALSE(coo_all.empty());
+  static_cast<const CooMine&>(coo.miner()).seg_tree().CheckInvariants();
+}
+
+TEST(EdgeCaseTest, ObjectIdExtremes) {
+  MiningEngine engine(MinerKind::kCooMine, BaseParams());
+  const ObjectId huge = 0xfffffffeu;
+  engine.PushSegment(MakeSegment(engine.AllocateSegmentId(), 0, {0, huge}, 0));
+  auto fcps = engine.PushSegment(
+      MakeSegment(engine.AllocateSegmentId(), 1, {0, huge}, 50));
+  EXPECT_EQ(PatternsOf(fcps),
+            (std::set<Pattern>{{0}, {huge}, {0, huge}}));
+}
+
+TEST(EdgeCaseTest, LargeTimestamps) {
+  // Timestamps near the year-292471806 boundary of int64 milliseconds are
+  // irrelevant, but ~2^53 exercises arithmetic robustness.
+  MiningEngine engine(MinerKind::kDiMine, BaseParams());
+  const Timestamp base = int64_t{1} << 53;
+  engine.PushSegment(MakeSegment(engine.AllocateSegmentId(), 0, {3}, base));
+  auto fcps = engine.PushSegment(
+      MakeSegment(engine.AllocateSegmentId(), 1, {3}, base + Seconds(10)));
+  EXPECT_EQ(fcps.size(), 1u);
+}
+
+TEST(EdgeCaseTest, SuppressionAcrossEpisodes) {
+  EngineOptions options;
+  options.suppression_window = Minutes(60);
+  MiningParams params = BaseParams();
+  MiningEngine engine(MinerKind::kCooMine, params, options);
+  auto push = [&](StreamId s, Timestamp t) {
+    return engine.PushSegment(
+        MakeSegment(engine.AllocateSegmentId(), s, {5}, t));
+  };
+  push(0, 0);
+  EXPECT_EQ(push(1, Minutes(1)).size(), 1u);   // first episode reported
+  EXPECT_TRUE(push(2, Minutes(2)).empty());    // suppressed
+  // A second episode two hours later is reported again.
+  push(0, Minutes(120));
+  EXPECT_EQ(push(1, Minutes(121)).size(), 1u);
+}
+
+}  // namespace
+}  // namespace fcp

@@ -1,0 +1,65 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace fcp {
+namespace {
+
+Flags Make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(FlagsTest, ParsesKeyValue) {
+  Flags f = Make({"--rate=5000", "--dataset=tr"});
+  EXPECT_EQ(f.GetInt("rate", 0), 5000);
+  EXPECT_EQ(f.GetString("dataset", ""), "tr");
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  Flags f = Make({"--quick"});
+  EXPECT_TRUE(f.Has("quick"));
+  EXPECT_TRUE(f.GetBool("quick", false));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags f = Make({});
+  EXPECT_FALSE(f.Has("missing"));
+  EXPECT_EQ(f.GetInt("missing", 42), 42);
+  EXPECT_EQ(f.GetString("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 2.5), 2.5);
+  EXPECT_TRUE(f.GetBool("missing", true));
+}
+
+TEST(FlagsTest, BoolFalseSpellings) {
+  Flags f = Make({"--a=false", "--b=0", "--c=yes"});
+  EXPECT_FALSE(f.GetBool("a", true));
+  EXPECT_FALSE(f.GetBool("b", true));
+  EXPECT_TRUE(f.GetBool("c", false));
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  Flags f = Make({"--ratio=0.75"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("ratio", 0.0), 0.75);
+}
+
+TEST(FlagsTest, IgnoresPositionalArgs) {
+  Flags f = Make({"positional", "--x=1", "another"});
+  EXPECT_EQ(f.GetInt("x", 0), 1);
+  EXPECT_FALSE(f.Has("positional"));
+}
+
+TEST(FlagsTest, LastValueWins) {
+  Flags f = Make({"--x=1", "--x=2"});
+  EXPECT_EQ(f.GetInt("x", 0), 2);
+}
+
+TEST(FlagsTest, EmptyValue) {
+  Flags f = Make({"--name="});
+  EXPECT_TRUE(f.Has("name"));
+  EXPECT_EQ(f.GetString("name", "zzz"), "");
+}
+
+}  // namespace
+}  // namespace fcp

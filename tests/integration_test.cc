@@ -1,0 +1,172 @@
+// End-to-end integration: synthetic workloads from datagen flow through the
+// full pipeline (mux -> segmenter -> miner -> collector) and the planted
+// ground-truth patterns are recovered.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/coomine.h"
+#include "core/mining_engine.h"
+#include "datagen/traffic_gen.h"
+#include "datagen/twitter_gen.h"
+#include "test_util.h"
+
+namespace fcp {
+namespace {
+
+TEST(IntegrationTest, TrafficConvoysRecovered) {
+  TrafficConfig config;
+  config.num_cameras = 30;
+  config.num_vehicles = 2000;
+  config.per_camera_rate_hz = 0.1;
+  config.total_events = 20000;
+  config.num_convoys = 4;
+  config.convoy_size_min = 2;
+  config.convoy_size_max = 3;
+  config.route_len_min = 4;
+  config.route_len_max = 6;
+  config.seed = 11;
+  const TrafficTrace trace = GenerateTraffic(config);
+
+  MiningParams params;
+  params.xi = Seconds(60);
+  params.tau = Minutes(30);
+  params.theta = 3;
+  params.min_pattern_size = 2;
+  params.max_pattern_size = 4;
+
+  MiningEngine engine(MinerKind::kCooMine, params);
+  std::vector<Fcp> all;
+  for (const ObjectEvent& event : trace.events) {
+    for (Fcp& fcp : engine.PushEvent(event)) all.push_back(std::move(fcp));
+  }
+  for (Fcp& fcp : engine.Flush()) all.push_back(std::move(fcp));
+
+  const std::set<Pattern> found = testing::PatternsOf(all);
+  // Every planted convoy whose full run fits in the trace must surface as an
+  // FCP (the full vehicle group, or at least every pair of its members).
+  size_t recovered = 0;
+  for (const ConvoyPlan& convoy : trace.convoys) {
+    bool pairs_found = true;
+    for (size_t i = 0; i < convoy.vehicles.size() && pairs_found; ++i) {
+      for (size_t j = i + 1; j < convoy.vehicles.size(); ++j) {
+        Pattern pair = {convoy.vehicles[i], convoy.vehicles[j]};
+        std::sort(pair.begin(), pair.end());
+        if (!found.contains(pair)) {
+          pairs_found = false;
+          break;
+        }
+      }
+    }
+    if (pairs_found) ++recovered;
+  }
+  EXPECT_EQ(recovered, trace.convoys.size());
+}
+
+TEST(IntegrationTest, TwitterEventsRecovered) {
+  TwitterConfig config;
+  config.num_users = 300;
+  config.vocab_size = 5000;
+  config.total_tweets = 8000;
+  config.num_events = 3;
+  config.event_participants_min = 30;
+  config.event_participants_max = 60;
+  config.seed = 13;
+  const TwitterTrace trace = GenerateTwitter(config);
+
+  MiningParams params;
+  params.xi = Seconds(60);
+  params.tau = Minutes(30);
+  params.theta = 10;
+  params.min_pattern_size = 2;
+  params.max_pattern_size = 4;
+
+  MiningEngine engine(MinerKind::kCooMine, params);
+  std::vector<Fcp> all;
+  for (const ObjectEvent& event : trace.events) {
+    for (Fcp& fcp : engine.PushEvent(event)) all.push_back(std::move(fcp));
+  }
+  for (Fcp& fcp : engine.Flush()) all.push_back(std::move(fcp));
+
+  const std::set<Pattern> found = testing::PatternsOf(all);
+  for (const EventPlan& plan : trace.planted_events) {
+    EXPECT_TRUE(found.contains(plan.keywords))
+        << "planted event '" << plan.name << "' not recovered";
+  }
+}
+
+TEST(IntegrationTest, MinersAgreeOnTrafficWorkload) {
+  TrafficConfig config;
+  config.num_cameras = 10;
+  config.num_vehicles = 300;
+  config.total_events = 4000;
+  config.num_convoys = 2;
+  config.seed = 17;
+  const TrafficTrace trace = GenerateTraffic(config);
+
+  MiningParams params;
+  params.xi = Seconds(60);
+  params.tau = Minutes(20);
+  params.theta = 2;
+  params.min_pattern_size = 2;
+  params.max_pattern_size = 3;
+
+  MiningEngine coo(MinerKind::kCooMine, params);
+  MiningEngine di(MinerKind::kDiMine, params);
+  MiningEngine matrix(MinerKind::kMatrixMine, params);
+  std::vector<Fcp> coo_all, di_all, matrix_all;
+  for (const ObjectEvent& event : trace.events) {
+    for (Fcp& f : coo.PushEvent(event)) coo_all.push_back(std::move(f));
+    for (Fcp& f : di.PushEvent(event)) di_all.push_back(std::move(f));
+    for (Fcp& f : matrix.PushEvent(event)) matrix_all.push_back(std::move(f));
+  }
+  EXPECT_EQ(testing::SignaturesOf(coo_all), testing::SignaturesOf(di_all));
+  EXPECT_EQ(testing::SignaturesOf(coo_all), testing::SignaturesOf(matrix_all));
+  EXPECT_GT(coo_all.size(), 0u);
+}
+
+TEST(IntegrationTest, CompressionContrastBetweenRegimes) {
+  // The paper's Fig. 5(f) contrast: TR compresses, Twitter does not.
+  MiningParams params;
+  params.xi = Seconds(60);
+  params.tau = Minutes(30);
+  params.theta = 3;
+
+  // TR-like.
+  TrafficConfig traffic_config;
+  traffic_config.num_cameras = 20;
+  traffic_config.num_vehicles = 1000;
+  traffic_config.total_events = 10000;
+  traffic_config.num_convoys = 0;
+  traffic_config.seed = 19;
+  const TrafficTrace traffic = GenerateTraffic(traffic_config);
+
+  MiningEngine tr_engine(MinerKind::kCooMine, params);
+  for (const ObjectEvent& event : traffic.events) tr_engine.PushEvent(event);
+  const auto& tr_tree =
+      static_cast<const CooMine&>(tr_engine.miner()).seg_tree();
+
+  // Twitter-like.
+  TwitterConfig twitter_config;
+  twitter_config.num_users = 400;
+  twitter_config.vocab_size = 20000;
+  twitter_config.total_tweets = 4000;
+  twitter_config.num_events = 0;
+  twitter_config.seed = 23;
+  const TwitterTrace twitter = GenerateTwitter(twitter_config);
+
+  MiningEngine tw_engine(MinerKind::kCooMine, params);
+  for (const ObjectEvent& event : twitter.events) tw_engine.PushEvent(event);
+  const auto& tw_tree =
+      static_cast<const CooMine&>(tw_engine.miner()).seg_tree();
+
+  EXPECT_GT(tr_tree.CompressionRatio(), 0.3)
+      << "dense camera streams must compress";
+  EXPECT_LT(tw_tree.CompressionRatio(), tr_tree.CompressionRatio())
+      << "tweet segments barely overlap";
+}
+
+}  // namespace
+}  // namespace fcp

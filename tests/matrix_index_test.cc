@@ -1,0 +1,95 @@
+#include "index/matrix_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fcp {
+namespace {
+
+using ::fcp::testing::MakeSegment;
+
+constexpr DurationMs kTau = 1000;
+
+TEST(MatrixIndexTest, PairAndDiagonalLookup) {
+  MatrixIndex index;
+  index.Insert(MakeSegment(1, 0, {5, 6, 7}, 100));
+  index.Insert(MakeSegment(2, 1, {6, 7}, 200));
+  // Diagonal = single object.
+  EXPECT_EQ(index.ValidSegments(6, 6, 200, kTau),
+            (std::vector<SegmentId>{1, 2}));
+  EXPECT_EQ(index.ValidSegments(5, 5, 200, kTau),
+            (std::vector<SegmentId>{1}));
+  // Pairs, in either argument order.
+  EXPECT_EQ(index.ValidSegments(6, 7, 200, kTau),
+            (std::vector<SegmentId>{1, 2}));
+  EXPECT_EQ(index.ValidSegments(7, 6, 200, kTau),
+            (std::vector<SegmentId>{1, 2}));
+  EXPECT_EQ(index.ValidSegments(5, 7, 200, kTau),
+            (std::vector<SegmentId>{1}));
+  EXPECT_TRUE(index.ValidSegments(5, 99, 200, kTau).empty());
+}
+
+TEST(MatrixIndexTest, QuadraticEntryCount) {
+  MatrixIndex index;
+  index.Insert(MakeSegment(1, 0, {1, 2, 3, 4}, 0));
+  // 4 diagonal + C(4,2)=6 pairs = 10 entries.
+  EXPECT_EQ(index.total_entries(), 10u);
+  EXPECT_EQ(index.num_cells(), 10u);
+}
+
+TEST(MatrixIndexTest, DuplicateObjectsCollapse) {
+  MatrixIndex index;
+  index.Insert(MakeSegment(1, 0, {5, 5, 6}, 0));
+  // Distinct {5,6}: 2 diagonal + 1 pair.
+  EXPECT_EQ(index.total_entries(), 3u);
+}
+
+TEST(MatrixIndexTest, ValidityAndCompaction) {
+  MatrixIndex index;
+  index.Insert(MakeSegment(1, 0, {5, 6}, 0));
+  index.Insert(MakeSegment(2, 1, {5, 6}, 2000));
+  EXPECT_EQ(index.ValidSegments(5, 6, 2000, kTau),
+            (std::vector<SegmentId>{2}));
+  // The touched cell was compacted; untouched cells still hold stale ids.
+  EXPECT_EQ(index.total_entries(), 5u);  // 6 - 1 compacted
+}
+
+TEST(MatrixIndexTest, FullSweep) {
+  MatrixIndex index;
+  index.Insert(MakeSegment(1, 0, {5, 6}, 0));
+  index.Insert(MakeSegment(2, 1, {6, 7}, 2000));
+  EXPECT_EQ(index.RemoveExpired(2000, kTau), 1u);
+  EXPECT_EQ(index.num_segments(), 1u);
+  EXPECT_EQ(index.total_entries(), 3u);
+  EXPECT_TRUE(index.ValidSegments(5, 5, 2000, kTau).empty());
+  EXPECT_EQ(index.ValidSegments(6, 7, 2000, kTau),
+            (std::vector<SegmentId>{2}));
+}
+
+TEST(MatrixIndexTest, SweepErasesEmptyCells) {
+  MatrixIndex index;
+  index.Insert(MakeSegment(1, 0, {1, 2, 3}, 0));
+  EXPECT_EQ(index.num_cells(), 6u);
+  index.RemoveExpired(5000, kTau);
+  EXPECT_EQ(index.num_cells(), 0u);
+  EXPECT_EQ(index.total_entries(), 0u);
+}
+
+TEST(MatrixIndexTest, MemoryComparesAboveDiIndexShape) {
+  // Sanity: the matrix of a 6-object segment holds ~C(6,2)+6 entries while
+  // an inverted index would hold 6 — memory must reflect that gap.
+  MatrixIndex matrix;
+  matrix.Insert(MakeSegment(1, 0, {1, 2, 3, 4, 5, 6}, 0));
+  EXPECT_EQ(matrix.total_entries(), 21u);
+  EXPECT_GT(matrix.MemoryUsage(), 21u * sizeof(SegmentId));
+}
+
+TEST(MatrixIndexDeathTest, DuplicateIdAborts) {
+  MatrixIndex index;
+  index.Insert(MakeSegment(1, 0, {5}, 0));
+  EXPECT_DEATH(index.Insert(MakeSegment(1, 0, {6}, 0)), "FCP_CHECK");
+}
+
+}  // namespace
+}  // namespace fcp

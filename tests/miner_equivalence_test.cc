@@ -1,0 +1,147 @@
+// The central cross-validation property: CooMine, DIMine, MatrixMine and the
+// brute-force oracle produce identical FCPs (patterns AND supporting stream
+// sets) on every trigger, across random workloads and a parameter grid.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "stream/segment.h"
+#include "stream/stream_mux.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace fcp {
+namespace {
+
+using ::fcp::testing::SignaturesOf;
+
+struct GridParams {
+  uint64_t seed;
+  uint32_t theta;
+  DurationMs tau;
+  uint32_t max_k;
+};
+
+// Random multi-stream segment workload: segments arrive in end-time order,
+// with object overlap engineered so that cross-stream patterns happen.
+std::vector<Segment> RandomWorkload(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<Segment> segments;
+  Timestamp now = 0;
+  for (SegmentId id = 0; id < count; ++id) {
+    now += static_cast<Timestamp>(rng.Below(Minutes(2)));
+    const StreamId stream = static_cast<StreamId>(rng.Below(5));
+    const size_t length = 1 + rng.Below(6);
+    std::vector<SegmentEntry> entries;
+    Timestamp t = now;
+    for (size_t i = 0; i < length; ++i) {
+      // Small object universe -> plenty of collisions across streams.
+      entries.push_back(SegmentEntry{static_cast<ObjectId>(rng.Below(12)), t});
+      t += static_cast<Timestamp>(rng.Below(Seconds(5)));
+    }
+    segments.emplace_back(id, stream, std::move(entries));
+  }
+  return segments;
+}
+
+class MinerEquivalenceTest : public ::testing::TestWithParam<GridParams> {};
+
+TEST_P(MinerEquivalenceTest, AllMinersAgreeOnEveryTrigger) {
+  const GridParams grid = GetParam();
+  MiningParams params;
+  params.xi = Minutes(2);
+  params.tau = grid.tau;
+  params.theta = grid.theta;
+  params.min_pattern_size = 1;
+  params.max_pattern_size = grid.max_k;
+  ASSERT_TRUE(params.Validate().ok());
+
+  std::vector<std::unique_ptr<FcpMiner>> miners;
+  miners.push_back(MakeMiner(MinerKind::kBruteForce, params));
+  miners.push_back(MakeMiner(MinerKind::kCooMine, params));
+  miners.push_back(MakeMiner(MinerKind::kDiMine, params));
+  miners.push_back(MakeMiner(MinerKind::kMatrixMine, params));
+
+  const std::vector<Segment> workload = RandomWorkload(grid.seed, 150);
+  std::vector<Fcp> reference, candidate;
+  for (const Segment& segment : workload) {
+    reference.clear();
+    miners[0]->AddSegment(segment, &reference);
+    const auto want = SignaturesOf(reference);
+    for (size_t i = 1; i < miners.size(); ++i) {
+      candidate.clear();
+      miners[i]->AddSegment(segment, &candidate);
+      EXPECT_EQ(SignaturesOf(candidate), want)
+          << miners[i]->name() << " disagrees with BruteForce on segment "
+          << segment.DebugString();
+    }
+  }
+}
+
+std::vector<GridParams> MakeGrid() {
+  std::vector<GridParams> grid;
+  for (uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    for (uint32_t theta : {1u, 2u, 3u}) {
+      grid.push_back({seed, theta, Minutes(10), 4});
+    }
+    // Tight tau exercises expiry; large max_k exercises deep Apriori.
+    grid.push_back({seed, 2, Minutes(3), 6});
+    grid.push_back({seed, 4, Minutes(30), 3});
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MinerEquivalenceTest, ::testing::ValuesIn(MakeGrid()),
+    [](const ::testing::TestParamInfo<GridParams>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_theta" +
+             std::to_string(info.param.theta) + "_tau" +
+             std::to_string(info.param.tau / Minutes(1)) + "_k" +
+             std::to_string(info.param.max_k);
+    });
+
+// Equivalence must also hold when segments come from the real segmenter over
+// a realistic interleaved event feed.
+TEST(MinerEquivalenceStreamTest, SegmenterFedMinersAgree) {
+  MiningParams params;
+  params.xi = Seconds(30);
+  params.tau = Minutes(2);
+  params.theta = 2;
+  params.max_pattern_size = 4;
+
+  Rng rng(77);
+  StreamMux mux(params.xi);
+  std::vector<std::unique_ptr<FcpMiner>> miners;
+  miners.push_back(MakeMiner(MinerKind::kBruteForce, params));
+  miners.push_back(MakeMiner(MinerKind::kCooMine, params));
+  miners.push_back(MakeMiner(MinerKind::kDiMine, params));
+  miners.push_back(MakeMiner(MinerKind::kMatrixMine, params));
+
+  Timestamp now = 0;
+  std::vector<Segment> completed;
+  std::vector<Fcp> reference, candidate;
+  for (int i = 0; i < 1500; ++i) {
+    now += static_cast<Timestamp>(rng.Below(Seconds(4)));
+    const ObjectEvent event{static_cast<StreamId>(rng.Below(4)),
+                            static_cast<ObjectId>(rng.Below(6)), now};
+    completed.clear();
+    mux.Push(event, &completed);
+    for (const Segment& segment : completed) {
+      reference.clear();
+      miners[0]->AddSegment(segment, &reference);
+      const auto want = SignaturesOf(reference);
+      for (size_t m = 1; m < miners.size(); ++m) {
+        candidate.clear();
+        miners[m]->AddSegment(segment, &candidate);
+        ASSERT_EQ(SignaturesOf(candidate), want)
+            << miners[m]->name() << " @ " << segment.DebugString();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fcp

@@ -1,0 +1,94 @@
+#include "core/mining_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fcp {
+namespace {
+
+using ::fcp::testing::MakeSegment;
+using ::fcp::testing::PatternsOf;
+
+MiningParams SmallParams() {
+  MiningParams params;
+  params.xi = Seconds(10);
+  params.tau = Minutes(5);
+  params.theta = 2;
+  params.max_pattern_size = 3;
+  return params;
+}
+
+TEST(MiningEngineTest, EndToEndEventsToFcps) {
+  MiningEngine engine(MinerKind::kCooMine, SmallParams());
+  // Two streams each seeing objects {7, 8} close together; segments complete
+  // when a later far-away event arrives.
+  std::vector<Fcp> all;
+  auto push = [&](StreamId s, ObjectId o, Timestamp t) {
+    for (Fcp& fcp : engine.PushEvent({s, o, t})) all.push_back(std::move(fcp));
+  };
+  push(0, 7, 1000);
+  push(0, 8, 2000);
+  push(1, 7, 3000);
+  push(1, 8, 4000);
+  EXPECT_TRUE(all.empty());  // windows still open
+  push(0, 9, Minutes(1));    // closes stream 0's window
+  push(1, 9, Minutes(1));    // closes stream 1's window -> patterns complete
+  EXPECT_EQ(PatternsOf(all), (std::set<Pattern>{{7}, {8}, {7, 8}}));
+  EXPECT_EQ(engine.segments_completed(), 2u);
+}
+
+TEST(MiningEngineTest, FlushClosesTrailingWindows) {
+  MiningEngine engine(MinerKind::kCooMine, SmallParams());
+  engine.PushEvent({0, 7, 1000});
+  engine.PushEvent({1, 7, 2000});
+  std::vector<Fcp> flushed = engine.Flush();
+  EXPECT_EQ(PatternsOf(flushed), (std::set<Pattern>{{7}}));
+  EXPECT_EQ(engine.segments_completed(), 2u);
+}
+
+TEST(MiningEngineTest, DirectSegmentPush) {
+  MiningEngine engine(MinerKind::kDiMine, SmallParams());
+  const SegmentId id1 = engine.AllocateSegmentId();
+  const SegmentId id2 = engine.AllocateSegmentId();
+  std::vector<Fcp> out1 = engine.PushSegment(MakeSegment(id1, 0, {1, 2}, 100));
+  EXPECT_TRUE(out1.empty());
+  std::vector<Fcp> out2 = engine.PushSegment(MakeSegment(id2, 1, {1, 2}, 200));
+  EXPECT_EQ(PatternsOf(out2), (std::set<Pattern>{{1}, {2}, {1, 2}}));
+}
+
+TEST(MiningEngineTest, SuppressionWindowDeduplicates) {
+  EngineOptions options;
+  options.suppression_window = Minutes(10);
+  MiningEngine engine(MinerKind::kCooMine, SmallParams(), options);
+  SegmentId ids[4] = {engine.AllocateSegmentId(), engine.AllocateSegmentId(),
+                      engine.AllocateSegmentId(), engine.AllocateSegmentId()};
+  engine.PushSegment(MakeSegment(ids[0], 0, {5}, 100));
+  auto first = engine.PushSegment(MakeSegment(ids[1], 1, {5}, 200));
+  EXPECT_EQ(first.size(), 1u);
+  // Re-discovered by a third stream soon after: suppressed.
+  auto second = engine.PushSegment(MakeSegment(ids[2], 2, {5}, 300));
+  EXPECT_TRUE(second.empty());
+  EXPECT_EQ(engine.collector().total_suppressed(), 1u);
+}
+
+TEST(MiningEngineTest, WorksWithEveryMinerKind) {
+  for (MinerKind kind : {MinerKind::kCooMine, MinerKind::kDiMine,
+                         MinerKind::kMatrixMine, MinerKind::kBruteForce}) {
+    MiningEngine engine(kind, SmallParams());
+    engine.PushEvent({0, 1, 100});
+    engine.PushEvent({1, 1, 200});
+    auto fcps = engine.Flush();
+    EXPECT_EQ(PatternsOf(fcps), (std::set<Pattern>{{1}}))
+        << MinerKindToString(kind);
+  }
+}
+
+TEST(MiningEngineTest, MemoryUsageExposed) {
+  MiningEngine engine(MinerKind::kCooMine, SmallParams());
+  engine.PushEvent({0, 1, 100});
+  EXPECT_GT(engine.MemoryUsage(), 0u);
+}
+
+}  // namespace
+}  // namespace fcp

@@ -1,0 +1,181 @@
+#include "core/parallel_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/mining_engine.h"
+#include "datagen/traffic_gen.h"
+#include "test_util.h"
+
+namespace fcp {
+namespace {
+
+MiningParams Params() {
+  MiningParams params;
+  params.xi = Seconds(60);
+  params.tau = Minutes(30);
+  params.theta = 3;
+  params.min_pattern_size = 2;
+  params.max_pattern_size = 4;
+  return params;
+}
+
+TrafficTrace Trace(uint64_t seed = 31) {
+  TrafficConfig config;
+  config.num_cameras = 20;
+  config.num_vehicles = 1000;
+  config.total_events = 8000;
+  config.num_convoys = 4;
+  config.seed = seed;
+  return GenerateTraffic(config);
+}
+
+// Offline Definition-3 checker: does `pattern` appear in >= theta distinct
+// streams, each appearance within xi, all within one tau window?
+bool IsGenuineFcp(const std::vector<ObjectEvent>& events,
+                  const Pattern& pattern, const MiningParams& params) {
+  // Occurrences per stream: sliding window over the stream's events finding
+  // windows of span <= xi containing all pattern objects.
+  std::map<StreamId, std::vector<ObjectEvent>> per_stream;
+  for (const ObjectEvent& e : events) per_stream[e.stream].push_back(e);
+  std::vector<std::pair<StreamId, Timestamp>> occurrences;  // (stream, time)
+  for (const auto& [stream, stream_events] : per_stream) {
+    for (size_t l = 0; l < stream_events.size(); ++l) {
+      std::set<ObjectId> seen;
+      for (size_t r = l; r < stream_events.size() &&
+                         stream_events[r].time - stream_events[l].time <=
+                             params.xi;
+           ++r) {
+        if (std::binary_search(pattern.begin(), pattern.end(),
+                               stream_events[r].object)) {
+          seen.insert(stream_events[r].object);
+        }
+        if (seen.size() == pattern.size()) {
+          occurrences.push_back({stream, stream_events[l].time});
+          break;
+        }
+      }
+    }
+  }
+  // Any tau window covering >= theta distinct streams?
+  std::sort(occurrences.begin(), occurrences.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  for (size_t i = 0; i < occurrences.size(); ++i) {
+    std::set<StreamId> streams;
+    for (size_t j = i; j < occurrences.size() &&
+                       occurrences[j].second - occurrences[i].second <=
+                           params.tau;
+         ++j) {
+      streams.insert(occurrences[j].first);
+    }
+    if (streams.size() >= params.theta) return true;
+  }
+  return false;
+}
+
+TEST(ParallelEngineTest, RecoversPlantedConvoys) {
+  const TrafficTrace trace = Trace();
+  ParallelEngineOptions options;
+  options.num_workers = 3;
+  ParallelEngine engine(MinerKind::kCooMine, Params(), options);
+  for (const ObjectEvent& event : trace.events) engine.Push(event);
+  engine.Finish();
+
+  const std::set<Pattern> found = testing::PatternsOf(engine.results());
+  for (const ConvoyPlan& convoy : trace.convoys) {
+    for (size_t i = 0; i < convoy.vehicles.size(); ++i) {
+      for (size_t j = i + 1; j < convoy.vehicles.size(); ++j) {
+        Pattern pair = {convoy.vehicles[i], convoy.vehicles[j]};
+        std::sort(pair.begin(), pair.end());
+        EXPECT_TRUE(found.contains(pair))
+            << "convoy pair " << testing::ToString(pair) << " missing";
+      }
+    }
+  }
+  EXPECT_EQ(engine.events_pushed(), trace.events.size());
+  EXPECT_GT(engine.segments_completed(), 0u);
+}
+
+TEST(ParallelEngineTest, EveryEmittedPatternIsSound) {
+  const MiningParams params = Params();
+  const TrafficTrace trace = Trace(32);
+  ParallelEngineOptions options;
+  options.num_workers = 4;
+  ParallelEngine engine(MinerKind::kCooMine, params, options);
+  for (const ObjectEvent& event : trace.events) engine.Push(event);
+  engine.Finish();
+
+  const std::set<Pattern> found = testing::PatternsOf(engine.results());
+  ASSERT_FALSE(found.empty());
+  for (const Pattern& pattern : found) {
+    EXPECT_TRUE(IsGenuineFcp(trace.events, pattern, params))
+        << testing::ToString(pattern) << " is not a genuine FCP";
+  }
+}
+
+TEST(ParallelEngineTest, MatchesSerialEngineOnPatternSet) {
+  // With workers >= streams progressing at comparable pace and a final
+  // flush, the discovered pattern set matches the serial engine's.
+  const MiningParams params = Params();
+  const TrafficTrace trace = Trace(33);
+
+  MiningEngine serial(MinerKind::kCooMine, params);
+  std::vector<Fcp> serial_all;
+  for (const ObjectEvent& event : trace.events) {
+    for (Fcp& f : serial.PushEvent(event)) serial_all.push_back(std::move(f));
+  }
+  for (Fcp& f : serial.Flush()) serial_all.push_back(std::move(f));
+
+  ParallelEngineOptions options;
+  options.num_workers = 2;
+  ParallelEngine parallel(MinerKind::kCooMine, params, options);
+  for (const ObjectEvent& event : trace.events) parallel.Push(event);
+  parallel.Finish();
+
+  EXPECT_EQ(testing::PatternsOf(parallel.results()),
+            testing::PatternsOf(serial_all));
+}
+
+TEST(ParallelEngineTest, SingleWorkerStillWorks) {
+  ParallelEngineOptions options;
+  options.num_workers = 1;
+  ParallelEngine engine(MinerKind::kDiMine, Params(), options);
+  const TrafficTrace trace = Trace(34);
+  for (const ObjectEvent& event : trace.events) engine.Push(event);
+  engine.Finish();
+  EXPECT_GT(engine.results().size(), 0u);
+}
+
+TEST(ParallelEngineTest, FinishIsIdempotent) {
+  ParallelEngine engine(MinerKind::kCooMine, Params());
+  engine.Push({0, 1, 100});
+  engine.Finish();
+  engine.Finish();
+  SUCCEED();
+}
+
+TEST(ParallelEngineTest, EmptyRun) {
+  ParallelEngine engine(MinerKind::kCooMine, Params());
+  engine.Finish();
+  EXPECT_TRUE(engine.results().empty());
+  EXPECT_EQ(engine.segments_completed(), 0u);
+}
+
+TEST(ParallelEngineTest, SmallQueuesExerciseBackpressure) {
+  ParallelEngineOptions options;
+  options.num_workers = 2;
+  options.event_queue_capacity = 4;
+  options.segment_queue_capacity = 4;
+  ParallelEngine engine(MinerKind::kCooMine, Params(), options);
+  const TrafficTrace trace = Trace(35);
+  for (const ObjectEvent& event : trace.events) engine.Push(event);
+  engine.Finish();
+  EXPECT_EQ(engine.events_pushed(), trace.events.size());
+  EXPECT_GT(engine.segments_completed(), 0u);
+}
+
+}  // namespace
+}  // namespace fcp

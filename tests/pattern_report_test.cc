@@ -1,0 +1,104 @@
+#include "core/pattern_report.h"
+
+#include <gtest/gtest.h>
+
+namespace fcp {
+namespace {
+
+Fcp MakeFcp(Pattern objects, size_t num_streams, Timestamp end = 100) {
+  Fcp fcp;
+  fcp.objects = std::move(objects);
+  for (StreamId s = 0; s < num_streams; ++s) fcp.streams.push_back(s);
+  fcp.window_start = end - 50;
+  fcp.window_end = end;
+  return fcp;
+}
+
+TEST(MaximalOnlyTest, DropsSubsets) {
+  const std::vector<Fcp> batch = {
+      MakeFcp({1}, 3),       MakeFcp({2}, 3),    MakeFcp({1, 2}, 3),
+      MakeFcp({1, 2, 3}, 3), MakeFcp({4, 5}, 3),
+  };
+  const auto maximal = MaximalOnly(batch);
+  ASSERT_EQ(maximal.size(), 2u);
+  EXPECT_EQ(maximal[0].objects, (Pattern{1, 2, 3}));
+  EXPECT_EQ(maximal[1].objects, (Pattern{4, 5}));
+}
+
+TEST(MaximalOnlyTest, KeepsIncomparablePatterns) {
+  const std::vector<Fcp> batch = {MakeFcp({1, 2}, 3), MakeFcp({2, 3}, 3)};
+  EXPECT_EQ(MaximalOnly(batch).size(), 2u);
+}
+
+TEST(MaximalOnlyTest, DeduplicatesIdenticalPatterns) {
+  const std::vector<Fcp> batch = {MakeFcp({1, 2}, 3), MakeFcp({1, 2}, 4)};
+  const auto maximal = MaximalOnly(batch);
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal[0].streams.size(), 3u);  // first occurrence kept
+}
+
+TEST(MaximalOnlyTest, EmptyBatch) {
+  EXPECT_TRUE(MaximalOnly({}).empty());
+}
+
+TEST(PatternSupportIndexTest, TracksBestSupport) {
+  PatternSupportIndex index;
+  index.Add(MakeFcp({1, 2}, 3, 100));
+  index.Add(MakeFcp({1, 2}, 7, 200));  // better
+  index.Add(MakeFcp({1, 2}, 5, 300));  // worse, ignored
+  EXPECT_EQ(index.SupportOf({1, 2}), 7u);
+  EXPECT_EQ(index.SupportOf({9}), 0u);
+  EXPECT_EQ(index.size(), 1u);
+  const auto top = index.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].window_end, 200);  // window of the best support
+}
+
+TEST(PatternSupportIndexTest, TopKOrdering) {
+  PatternSupportIndex index;
+  index.Add(MakeFcp({1}, 5));
+  index.Add(MakeFcp({2}, 9));
+  index.Add(MakeFcp({3}, 7));
+  index.Add(MakeFcp({4}, 7));  // tie with {3}: pattern order breaks it
+  const auto top = index.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].pattern, (Pattern{2}));
+  EXPECT_EQ(top[1].pattern, (Pattern{3}));
+  EXPECT_EQ(top[2].pattern, (Pattern{4}));
+}
+
+TEST(PatternSupportIndexTest, TopKLargerThanSize) {
+  PatternSupportIndex index;
+  index.Add(MakeFcp({1}, 5));
+  EXPECT_EQ(index.TopK(10).size(), 1u);
+}
+
+TEST(PatternSupportIndexTest, MaximalPatterns) {
+  PatternSupportIndex index;
+  index.Add(MakeFcp({1}, 9));
+  index.Add(MakeFcp({2}, 9));
+  index.Add(MakeFcp({1, 2}, 5));
+  index.Add(MakeFcp({3}, 4));
+  const auto maximal = index.MaximalPatterns();
+  ASSERT_EQ(maximal.size(), 2u);
+  EXPECT_EQ(maximal[0].pattern, (Pattern{1, 2}));
+  EXPECT_EQ(maximal[1].pattern, (Pattern{3}));
+}
+
+TEST(PatternSupportIndexTest, Clear) {
+  PatternSupportIndex index;
+  index.Add(MakeFcp({1}, 2));
+  index.Clear();
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.SupportOf({1}), 0u);
+}
+
+TEST(PatternSupportIndexTest, AddAll) {
+  PatternSupportIndex index;
+  index.AddAll({MakeFcp({1}, 2), MakeFcp({2}, 3), MakeFcp({1}, 4)});
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_EQ(index.SupportOf({1}), 4u);
+}
+
+}  // namespace
+}  // namespace fcp

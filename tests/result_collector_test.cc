@@ -1,0 +1,75 @@
+#include "core/result_collector.h"
+
+#include <gtest/gtest.h>
+
+namespace fcp {
+namespace {
+
+Fcp MakeFcp(Pattern objects, Timestamp end) {
+  Fcp fcp;
+  fcp.objects = std::move(objects);
+  fcp.streams = {0, 1, 2};
+  fcp.window_start = end - 100;
+  fcp.window_end = end;
+  return fcp;
+}
+
+TEST(ResultCollectorTest, NoSuppressionAcceptsEverything) {
+  ResultCollector collector(0);
+  EXPECT_TRUE(collector.Offer(MakeFcp({1, 2}, 100)));
+  EXPECT_TRUE(collector.Offer(MakeFcp({1, 2}, 101)));
+  EXPECT_EQ(collector.results().size(), 2u);
+  EXPECT_EQ(collector.total_offered(), 2u);
+  EXPECT_EQ(collector.total_suppressed(), 0u);
+}
+
+TEST(ResultCollectorTest, SuppressesRepeatsWithinWindow) {
+  ResultCollector collector(1000);
+  EXPECT_TRUE(collector.Offer(MakeFcp({1, 2}, 100)));
+  EXPECT_FALSE(collector.Offer(MakeFcp({1, 2}, 500)));   // 400 < 1000
+  EXPECT_FALSE(collector.Offer(MakeFcp({1, 2}, 1099)));  // 999 < 1000
+  EXPECT_TRUE(collector.Offer(MakeFcp({1, 2}, 1100)));   // exactly 1000
+  EXPECT_EQ(collector.total_suppressed(), 2u);
+  EXPECT_EQ(collector.results().size(), 2u);
+}
+
+TEST(ResultCollectorTest, DifferentPatternsIndependent) {
+  ResultCollector collector(1000);
+  EXPECT_TRUE(collector.Offer(MakeFcp({1, 2}, 100)));
+  EXPECT_TRUE(collector.Offer(MakeFcp({1, 3}, 100)));
+  EXPECT_TRUE(collector.Offer(MakeFcp({1}, 100)));
+}
+
+TEST(ResultCollectorTest, DistinctPatternCountsBySize) {
+  ResultCollector collector(0);
+  collector.Offer(MakeFcp({1}, 1));
+  collector.Offer(MakeFcp({2}, 2));
+  collector.Offer(MakeFcp({1}, 3));      // repeat: not a new distinct
+  collector.Offer(MakeFcp({1, 2}, 4));
+  collector.Offer(MakeFcp({3, 4, 5}, 5));
+  const auto& counts = collector.distinct_patterns_by_size();
+  EXPECT_EQ(counts.at(1), 2u);
+  EXPECT_EQ(counts.at(2), 1u);
+  EXPECT_EQ(counts.at(3), 1u);
+}
+
+TEST(ResultCollectorTest, OfferAllCollectsAccepted) {
+  ResultCollector collector(1000);
+  std::vector<Fcp> batch = {MakeFcp({1}, 100), MakeFcp({1}, 200),
+                            MakeFcp({2}, 100)};
+  std::vector<Fcp> accepted;
+  collector.OfferAll(batch, &accepted);
+  EXPECT_EQ(accepted.size(), 2u);
+}
+
+TEST(ResultCollectorTest, ClearResets) {
+  ResultCollector collector(1000);
+  collector.Offer(MakeFcp({1}, 100));
+  collector.Clear();
+  EXPECT_TRUE(collector.results().empty());
+  EXPECT_EQ(collector.total_offered(), 0u);
+  EXPECT_TRUE(collector.Offer(MakeFcp({1}, 100)));  // no longer suppressed
+}
+
+}  // namespace
+}  // namespace fcp

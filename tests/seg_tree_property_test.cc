@@ -1,0 +1,229 @@
+// Property tests: the Seg-tree under random workloads behaves exactly like a
+// naive segment store, and its structural invariants survive arbitrary
+// insert/expire interleavings (with and without graft-on-delete and
+// DistanceBound pruning).
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/seg_tree.h"
+#include "stream/segment.h"
+#include "util/rng.h"
+
+namespace fcp {
+namespace {
+
+constexpr DurationMs kTau = 1000;
+
+// Naive mirror of the Seg-tree's query surface.
+class NaiveStore {
+ public:
+  void Insert(const Segment& segment) {
+    segments_[segment.id()] = segment;
+  }
+  void Remove(SegmentId id) { segments_.erase(id); }
+
+  size_t RemoveExpired(Timestamp now) {
+    size_t removed = 0;
+    for (auto it = segments_.begin(); it != segments_.end();) {
+      if (now - it->second.start_time() > kTau) {
+        it = segments_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  std::vector<SegmentId> RelevantSegments(ObjectId object,
+                                          Timestamp now) const {
+    std::vector<SegmentId> out;
+    for (const auto& [id, segment] : segments_) {
+      if (now - segment.start_time() > kTau) continue;
+      const auto objects = segment.DistinctObjects();
+      if (std::binary_search(objects.begin(), objects.end(), object)) {
+        out.push_back(id);
+      }
+    }
+    return out;  // map iteration is id-ordered
+  }
+
+  std::map<SegmentId, std::vector<ObjectId>> Slcp(const Segment& probe,
+                                                  Timestamp now) const {
+    std::map<SegmentId, std::vector<ObjectId>> rows;
+    const auto probe_objects = probe.DistinctObjects();
+    for (const auto& [id, segment] : segments_) {
+      if (now - segment.start_time() > kTau) continue;
+      std::vector<ObjectId> common;
+      const auto objects = segment.DistinctObjects();
+      std::set_intersection(objects.begin(), objects.end(),
+                            probe_objects.begin(), probe_objects.end(),
+                            std::back_inserter(common));
+      if (!common.empty()) rows[id] = common;
+    }
+    return rows;
+  }
+
+  uint64_t total_objects() const {
+    uint64_t total = 0;
+    for (const auto& [id, segment] : segments_) total += segment.length();
+    return total;
+  }
+
+  size_t size() const { return segments_.size(); }
+
+ private:
+  std::map<SegmentId, Segment> segments_;
+};
+
+Segment RandomSegment(SegmentId id, Rng& rng, Timestamp now) {
+  const StreamId stream = static_cast<StreamId>(rng.Below(6));
+  const size_t length = 1 + rng.Below(8);
+  std::vector<SegmentEntry> entries;
+  Timestamp t = now;
+  for (size_t i = 0; i < length; ++i) {
+    entries.push_back(
+        SegmentEntry{static_cast<ObjectId>(rng.Below(15)), t});
+    t += static_cast<Timestamp>(rng.Below(5));
+  }
+  return Segment(id, stream, std::move(entries));
+}
+
+struct PropertyParams {
+  uint64_t seed;
+  bool graft;
+  bool distance_bound;
+};
+
+class SegTreePropertyTest
+    : public ::testing::TestWithParam<PropertyParams> {};
+
+TEST_P(SegTreePropertyTest, MatchesNaiveStoreUnderRandomWorkload) {
+  const PropertyParams param = GetParam();
+  Rng rng(param.seed);
+  SegTreeOptions options;
+  options.graft_on_delete = param.graft;
+  options.use_distance_bound = param.distance_bound;
+  SegTree tree(options);
+  NaiveStore naive;
+
+  SegmentId next_id = 0;
+  Timestamp now = 0;
+  std::vector<SegmentId> live;
+
+  for (int step = 0; step < 400; ++step) {
+    now += static_cast<Timestamp>(rng.Below(40));
+    const uint64_t dice = rng.Below(100);
+    if (dice < 55 || live.empty()) {
+      // Insert.
+      const Segment segment = RandomSegment(next_id++, rng, now);
+      tree.Insert(segment);
+      naive.Insert(segment);
+      live.push_back(segment.id());
+    } else if (dice < 70) {
+      // Remove a random live segment.
+      const size_t pick = rng.Below(live.size());
+      const SegmentId id = live[pick];
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+      tree.Remove(id);
+      naive.Remove(id);
+    } else if (dice < 80) {
+      // Expiry sweep.
+      EXPECT_EQ(tree.RemoveExpired(now, kTau), naive.RemoveExpired(now));
+      live.clear();  // lazily rebuilt below
+      for (ObjectId o = 0; o < 15; ++o) {
+        for (SegmentId id : naive.RelevantSegments(o, now)) {
+          live.push_back(id);
+        }
+      }
+      std::sort(live.begin(), live.end());
+      live.erase(std::unique(live.begin(), live.end()), live.end());
+    } else if (dice < 92) {
+      // Point query.
+      const ObjectId object = static_cast<ObjectId>(rng.Below(15));
+      EXPECT_EQ(tree.RelevantSegments(object, now, kTau),
+                naive.RelevantSegments(object, now))
+          << "object=" << object << " step=" << step;
+    } else {
+      // SLCP probe.
+      const Segment probe = RandomSegment(next_id++, rng, now);
+      std::vector<SegmentId> expired;
+      const auto rows = tree.Slcp(probe, now, kTau, &expired);
+      std::map<SegmentId, std::vector<ObjectId>> got;
+      for (const LcpRow& row : rows) got[row.segment] = row.common;
+      EXPECT_EQ(got, naive.Slcp(probe, now)) << "step=" << step;
+      // Lazily delete what the search flagged, mirroring CooMine.
+      for (SegmentId id : expired) {
+        tree.Remove(id);
+        naive.Remove(id);
+      }
+    }
+    if (step % 20 == 0) tree.CheckInvariants();
+    EXPECT_EQ(tree.num_segments(), naive.size());
+    EXPECT_EQ(tree.total_objects(), naive.total_objects());
+  }
+  tree.CheckInvariants();
+  // Compression never goes negative: node count <= stored objects.
+  EXPECT_LE(tree.num_nodes(), tree.total_objects());
+}
+
+std::vector<PropertyParams> MakeParams() {
+  std::vector<PropertyParams> params;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    params.push_back({seed, true, true});
+    params.push_back({seed, false, true});
+    params.push_back({seed, true, false});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, SegTreePropertyTest, ::testing::ValuesIn(MakeParams()),
+    [](const ::testing::TestParamInfo<PropertyParams>& info) {
+      return "seed" + std::to_string(info.param.seed) +
+             (info.param.graft ? "_graft" : "_root") +
+             (info.param.distance_bound ? "_bound" : "_nobound");
+    });
+
+TEST(SegTreeCompressionTest, HighOverlapCompressesWell) {
+  // Consecutive segments sharing long prefixes (the TR regime).
+  SegTree tree;
+  SegmentId id = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<SegmentEntry> entries;
+    for (int j = 0; j < 10; ++j) {
+      entries.push_back(SegmentEntry{static_cast<ObjectId>(i + j),
+                                     static_cast<Timestamp>(i * 10 + j)});
+    }
+    tree.Insert(Segment(id++, 0, std::move(entries)));
+  }
+  // Each new segment shares 9 of 10 objects with its predecessor... but as a
+  // *prefix* only the aligned part is shared; still, compression must be
+  // substantial.
+  EXPECT_GT(tree.CompressionRatio(), 0.5);
+  tree.CheckInvariants();
+}
+
+TEST(SegTreeCompressionTest, DisjointSegmentsDoNotCompress) {
+  // The Twitter regime: segments share nothing.
+  SegTree tree;
+  SegmentId id = 0;
+  ObjectId next_object = 0;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<SegmentEntry> entries;
+    for (int j = 0; j < 5; ++j) {
+      entries.push_back(SegmentEntry{next_object++, static_cast<Timestamp>(i)});
+    }
+    tree.Insert(Segment(id++, static_cast<StreamId>(i), std::move(entries)));
+  }
+  EXPECT_EQ(tree.CompressionRatio(), 0.0);
+  tree.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace fcp

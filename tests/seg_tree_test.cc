@@ -1,0 +1,415 @@
+// Unit tests of the Seg-tree, including the paper's worked examples
+// (Example 2: insertion; Example 3: attribute updates; Fig. 2/3 tree shape;
+// Table 1: SLCP result).
+
+#include "index/seg_tree.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fcp {
+namespace {
+
+using ::fcp::testing::MakeSegment;
+
+// Object ids for the paper's Fig. 3 letters.
+constexpr ObjectId b = 1, c = 2, d = 3, e = 4, f = 5, h = 6, j = 7, k = 8,
+                   m = 9, n = 10, o = 11, p = 12, r = 13, s = 14, t = 15,
+                   w = 16, z = 17;
+
+constexpr DurationMs kTau = Minutes(30);
+
+// The segments of Fig. 3 (stream s1 = 1, stream s2 = 2). Timestamps are
+// spread a little so ordering is realistic but everything stays valid.
+std::vector<Segment> PaperS1Segments() {
+  return {
+      MakeSegment(10, 1, {b, c, d}, 100),
+      MakeSegment(11, 1, {c, d, f, k}, 200),
+      MakeSegment(12, 1, {h, m, n}, 300),
+      MakeSegment(13, 1, {n, c, p, o}, 400),
+      MakeSegment(14, 1, {h, b, k, r, s, t}, 500),
+  };
+}
+
+std::vector<Segment> PaperS2Segments() {
+  return {
+      MakeSegment(20, 2, {e, c, f}, 150),
+      MakeSegment(21, 2, {c, f, h, j}, 250),
+      MakeSegment(22, 2, {j, p, o}, 350),
+      MakeSegment(23, 2, {e, c, m, n}, 450),
+      MakeSegment(24, 2, {n, s, w, z}, 550),
+  };
+}
+
+TEST(SegTreeTest, EmptyTree) {
+  SegTree tree;
+  EXPECT_EQ(tree.num_nodes(), 0u);
+  EXPECT_EQ(tree.num_segments(), 0u);
+  EXPECT_EQ(tree.total_objects(), 0u);
+  EXPECT_EQ(tree.CompressionRatio(), 0.0);
+  tree.CheckInvariants();
+}
+
+TEST(SegTreeTest, PaperExample2InsertionSharing) {
+  SegTree tree;
+  const auto segments = PaperS1Segments();
+
+  // G0 (b,c,d) goes under the root: 3 new nodes.
+  tree.Insert(segments[0]);
+  EXPECT_EQ(tree.num_nodes(), 3u);
+
+  // G1 (c,d,f,k): prefix (c,d) exists inside the b-branch; only f,k are new.
+  tree.Insert(segments[1]);
+  EXPECT_EQ(tree.num_nodes(), 5u);
+  EXPECT_EQ(tree.stats().prefix_nodes_shared, 2u);
+
+  // G2 (h,m,n): no matching prefix; 3 new nodes at the root.
+  tree.Insert(segments[2]);
+  EXPECT_EQ(tree.num_nodes(), 8u);
+
+  // G3 (n,c,p,o): prefix n matches inside the h-branch; c,p,o are new.
+  tree.Insert(segments[3]);
+  EXPECT_EQ(tree.num_nodes(), 11u);
+
+  // G4 (h,b,k,r,s,t): prefix h matches; 5 new nodes.
+  tree.Insert(segments[4]);
+  EXPECT_EQ(tree.num_nodes(), 16u);
+
+  EXPECT_EQ(tree.num_segments(), 5u);
+  EXPECT_EQ(tree.total_objects(), 20u);
+  EXPECT_NEAR(tree.CompressionRatio(), 4.0 / 20.0, 1e-12);
+  tree.CheckInvariants();
+}
+
+TEST(SegTreeTest, PaperExample3AttributeUpdates) {
+  SegTree tree;
+  const auto segments = PaperS1Segments();
+  tree.Insert(segments[0]);
+  // Before inserting G1: c has (dist=1, cnt=1), d has (dist=0, cnt=1).
+  {
+    const std::string dump = tree.DebugString();
+    EXPECT_NE(dump.find("obj=2 (dist=1, cnt=1)"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("obj=3 (dist=0, cnt=1)"), std::string::npos) << dump;
+  }
+  tree.Insert(segments[1]);
+  // After inserting G1: c -> (3, 2) and d -> (2, 2), per Example 3.
+  {
+    const std::string dump = tree.DebugString();
+    EXPECT_NE(dump.find("obj=2 (dist=3, cnt=2)"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("obj=3 (dist=2, cnt=2)"), std::string::npos) << dump;
+  }
+  tree.CheckInvariants();
+}
+
+TEST(SegTreeTest, RelevantSegmentsFindsAllContainingSegments) {
+  SegTree tree;
+  for (const Segment& g : PaperS1Segments()) tree.Insert(g);
+  for (const Segment& g : PaperS2Segments()) tree.Insert(g);
+  const Timestamp now = 600;
+
+  EXPECT_EQ(tree.RelevantSegments(c, now, kTau),
+            (std::vector<SegmentId>{10, 11, 13, 20, 21, 23}));
+  EXPECT_EQ(tree.RelevantSegments(n, now, kTau),
+            (std::vector<SegmentId>{12, 13, 23, 24}));
+  EXPECT_EQ(tree.RelevantSegments(t, now, kTau),
+            (std::vector<SegmentId>{14}));
+  EXPECT_TRUE(tree.RelevantSegments(999, now, kTau).empty());
+}
+
+TEST(SegTreeTest, PaperTable1Slcp) {
+  SegTree tree;
+  for (const Segment& g : PaperS1Segments()) tree.Insert(g);
+  for (const Segment& g : PaperS2Segments()) tree.Insert(g);
+
+  // Example 4's new segment G0 = (m,n,p,o) in stream s3.
+  const Segment probe = MakeSegment(30, 3, {m, n, p, o}, 600);
+  std::vector<SegmentId> expired;
+  const std::vector<LcpRow> rows = tree.Slcp(probe, 600, kTau, &expired);
+  EXPECT_TRUE(expired.empty());
+
+  std::map<SegmentId, std::vector<ObjectId>> got;
+  for (const LcpRow& row : rows) got[row.segment] = row.common;
+
+  const std::map<SegmentId, std::vector<ObjectId>> want = {
+      {12, {m, n}},     // (G2, s1): {m, n}
+      {13, {n, o, p}},  // (G3, s1): {n, p, o}
+      {22, {o, p}},     // (G2, s2): {p, o}
+      {23, {m, n}},     // (G3, s2): {m, n}
+      {24, {n}},        // (G4, s2): {n}
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(SegTreeTest, SlcpReportsStreamAndTimes) {
+  SegTree tree;
+  tree.Insert(MakeSegment(1, 7, {c, d}, 1000));
+  const Segment probe = MakeSegment(2, 8, {d}, 1500);
+  const auto rows = tree.Slcp(probe, 1500, kTau, nullptr);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].segment, 1u);
+  EXPECT_EQ(rows[0].stream, 7u);
+  EXPECT_EQ(rows[0].start, 1000);
+  EXPECT_EQ(rows[0].end, 1000);
+}
+
+TEST(SegTreeTest, SlcpSkipsExpiredAndReportsThem) {
+  SegTree tree;
+  tree.Insert(MakeSegment(1, 1, {c, d}, 0));
+  tree.Insert(MakeSegment(2, 2, {c}, 100));
+  const Timestamp now = kTau + 50;  // segment 1 has expired, 2 is valid
+  const Segment probe = MakeSegment(3, 3, {c}, now);
+  std::vector<SegmentId> expired;
+  const auto rows = tree.Slcp(probe, now, kTau, &expired);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].segment, 2u);
+  EXPECT_EQ(expired, std::vector<SegmentId>{1});
+}
+
+TEST(SegTreeTest, RemoveSharedPrefixKeepsOtherSegments) {
+  SegTree tree;
+  const auto segments = PaperS1Segments();
+  for (const Segment& g : segments) tree.Insert(g);
+
+  // Removing G0 (b,c,d) must keep G1 (c,d,f,k) intact: b disappears and the
+  // orphaned (c,d,f,k) chain grafts onto G3's existing c node, merging the
+  // duplicate c (16 - b - merged c = 14 nodes).
+  tree.Remove(10);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.num_segments(), 4u);
+  EXPECT_EQ(tree.num_nodes(), 14u);
+  EXPECT_EQ(tree.RelevantSegments(c, 600, kTau),
+            (std::vector<SegmentId>{11, 13}));
+  EXPECT_EQ(tree.RelevantSegments(b, 600, kTau),
+            (std::vector<SegmentId>{14}));
+}
+
+TEST(SegTreeTest, RemoveLeafSegment) {
+  SegTree tree;
+  const auto segments = PaperS1Segments();
+  for (const Segment& g : segments) tree.Insert(g);
+  tree.Remove(14);  // (h,b,k,r,s,t): h shared with G2, rest unique
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.num_nodes(), 11u);
+  EXPECT_TRUE(tree.RelevantSegments(t, 600, kTau).empty());
+  EXPECT_EQ(tree.RelevantSegments(h, 600, kTau),
+            (std::vector<SegmentId>{12}));
+}
+
+TEST(SegTreeTest, RemoveIsIdempotent) {
+  SegTree tree;
+  tree.Insert(MakeSegment(1, 1, {c, d}, 0));
+  tree.Remove(1);
+  tree.Remove(1);  // no-op
+  EXPECT_EQ(tree.num_segments(), 0u);
+  EXPECT_EQ(tree.num_nodes(), 0u);
+  tree.CheckInvariants();
+}
+
+TEST(SegTreeTest, RemoveEverythingLeavesEmptyTree) {
+  SegTree tree;
+  const auto s1 = PaperS1Segments();
+  const auto s2 = PaperS2Segments();
+  for (const Segment& g : s1) tree.Insert(g);
+  for (const Segment& g : s2) tree.Insert(g);
+  for (const Segment& g : s1) {
+    tree.Remove(g.id());
+    tree.CheckInvariants();
+  }
+  for (const Segment& g : s2) {
+    tree.Remove(g.id());
+    tree.CheckInvariants();
+  }
+  EXPECT_EQ(tree.num_nodes(), 0u);
+  EXPECT_EQ(tree.num_segments(), 0u);
+  EXPECT_EQ(tree.total_objects(), 0u);
+}
+
+TEST(SegTreeTest, RemoveExpiredSweep) {
+  SegTree tree;
+  tree.Insert(MakeSegment(1, 1, {c, d}, 0));
+  tree.Insert(MakeSegment(2, 2, {d, f}, 1000));
+  tree.Insert(MakeSegment(3, 3, {f, k}, kTau + 500));
+  const size_t removed = tree.RemoveExpired(kTau + 500, kTau);
+  EXPECT_EQ(removed, 1u);  // only segment 1 (start 0) expired
+  EXPECT_EQ(tree.num_segments(), 2u);
+  tree.CheckInvariants();
+}
+
+TEST(SegTreeTest, SameSegmentInsertedTwiceByDifferentIdsShares) {
+  // Identical object sequences compress onto a single path.
+  SegTree tree;
+  tree.Insert(MakeSegment(1, 1, {c, d, f}, 0));
+  tree.Insert(MakeSegment(2, 2, {c, d, f}, 10));
+  EXPECT_EQ(tree.num_nodes(), 3u);
+  EXPECT_EQ(tree.num_segments(), 2u);
+  EXPECT_NEAR(tree.CompressionRatio(), 0.5, 1e-12);
+  // Both segments are tails on the same node.
+  EXPECT_EQ(tree.RelevantSegments(f, 10, kTau),
+            (std::vector<SegmentId>{1, 2}));
+  tree.CheckInvariants();
+}
+
+TEST(SegTreeTest, DuplicateObjectsWithinSegment) {
+  SegTree tree;
+  tree.Insert(MakeSegment(1, 1, {c, c, d, c}, 0));
+  EXPECT_EQ(tree.num_nodes(), 4u);
+  EXPECT_EQ(tree.RelevantSegments(c, 0, kTau), (std::vector<SegmentId>{1}));
+  const Segment probe = MakeSegment(2, 2, {c, d}, 10);
+  const auto rows = tree.Slcp(probe, 10, kTau, nullptr);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].common, (std::vector<ObjectId>{c, d}));
+  tree.CheckInvariants();
+}
+
+TEST(SegTreeTest, SingleObjectSegments) {
+  SegTree tree;
+  tree.Insert(MakeSegment(1, 1, {c}, 0));
+  tree.Insert(MakeSegment(2, 2, {c}, 10));
+  EXPECT_EQ(tree.num_nodes(), 1u);  // fully shared
+  EXPECT_EQ(tree.RelevantSegments(c, 10, kTau),
+            (std::vector<SegmentId>{1, 2}));
+  tree.Remove(1);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  tree.Remove(2);
+  EXPECT_EQ(tree.num_nodes(), 0u);
+  tree.CheckInvariants();
+}
+
+TEST(SegTreeTest, DistanceBoundPruningMatchesExhaustive) {
+  SegTreeOptions no_bound;
+  no_bound.use_distance_bound = false;
+  SegTree pruned;       // default: pruning on
+  SegTree exhaustive(no_bound);
+  for (const Segment& g : PaperS1Segments()) {
+    pruned.Insert(g);
+    exhaustive.Insert(g);
+  }
+  for (const Segment& g : PaperS2Segments()) {
+    pruned.Insert(g);
+    exhaustive.Insert(g);
+  }
+  for (ObjectId object : {b, c, d, e, f, h, j, k, m, n, o, p, r, s, t, w, z}) {
+    EXPECT_EQ(pruned.RelevantSegments(object, 600, kTau),
+              exhaustive.RelevantSegments(object, 600, kTau))
+        << "object " << object;
+  }
+  // Pruning must visit no more nodes than the exhaustive search.
+  EXPECT_LE(pruned.stats().distance_bound_visits,
+            exhaustive.stats().distance_bound_visits);
+}
+
+TEST(SegTreeTest, GraftReusesExistingBranch) {
+  // Build G0=(b,c,d) and G1=(c,d,f,k) sharing (c,d) inside the b-branch,
+  // plus an independent (c,d) path elsewhere via (x=99,c,d)? Simpler: after
+  // removing G0, the orphaned (c,d,f,k) subtree should graft onto the
+  // existing standalone (c,d) path of another segment.
+  SegTree tree;  // graft_on_delete is on by default
+  tree.Insert(MakeSegment(1, 1, {b, c, d}, 0));
+  tree.Insert(MakeSegment(2, 1, {c, d, f, k}, 10));
+  tree.Insert(MakeSegment(3, 2, {m, c, d}, 20));
+  const size_t nodes_before = tree.num_nodes();  // b,c,d,f,k + m,c,d = 8
+  EXPECT_EQ(nodes_before, 8u);
+  tree.Remove(1);
+  tree.CheckInvariants();
+  // b is gone; the orphaned (c,d,f,k) chain merges with m's (c,d) branch:
+  // nodes: m,c,d,f,k = 5.
+  EXPECT_EQ(tree.num_nodes(), 5u);
+  EXPECT_GE(tree.stats().subtrees_grafted, 1u);
+  EXPECT_EQ(tree.RelevantSegments(c, 20, kTau),
+            (std::vector<SegmentId>{2, 3}));
+  EXPECT_EQ(tree.RelevantSegments(k, 20, kTau), (std::vector<SegmentId>{2}));
+}
+
+TEST(SegTreeTest, RootAttachModeKeepsCorrectness) {
+  SegTreeOptions options;
+  options.graft_on_delete = false;
+  SegTree tree(options);
+  tree.Insert(MakeSegment(1, 1, {b, c, d}, 0));
+  tree.Insert(MakeSegment(2, 1, {c, d, f, k}, 10));
+  tree.Insert(MakeSegment(3, 2, {m, c, d}, 20));
+  tree.Remove(1);
+  tree.CheckInvariants();
+  // No merging: the orphan chain re-roots as-is (7 nodes remain).
+  EXPECT_EQ(tree.num_nodes(), 7u);
+  EXPECT_GE(tree.stats().subtrees_reattached, 1u);
+  EXPECT_EQ(tree.RelevantSegments(c, 20, kTau),
+            (std::vector<SegmentId>{2, 3}));
+}
+
+TEST(SegTreeTest, MemoryUsageGrowsAndShrinks) {
+  SegTree tree;
+  const size_t empty = tree.MemoryUsage();
+  for (const Segment& g : PaperS1Segments()) tree.Insert(g);
+  const size_t full = tree.MemoryUsage();
+  EXPECT_GT(full, empty);
+  for (const Segment& g : PaperS1Segments()) tree.Remove(g.id());
+  EXPECT_LT(tree.MemoryUsage(), full);
+}
+
+
+TEST(SegTreeTest, PrefixProbeCapLimitsSharingButNotCorrectness) {
+  SegTreeOptions capped;
+  capped.max_prefix_probes = 1;  // only the newest chain node is probed
+  SegTree tree(capped);
+  // Two identical segments starting with c: the first probe target is the
+  // newest chain node, so sharing still happens for the common case...
+  tree.Insert(MakeSegment(1, 1, {c, d, f}, 0));
+  tree.Insert(MakeSegment(2, 2, {c, d, f}, 10));
+  EXPECT_EQ(tree.num_nodes(), 3u);
+  // ...but with many distinct c-branches the cap forgoes deeper matches.
+  tree.Insert(MakeSegment(3, 3, {c, k}, 20));      // probes newest c only
+  tree.Insert(MakeSegment(4, 1, {c, d, f}, 30));   // newest c is now 3's
+  tree.CheckInvariants();
+  // Queries stay exact regardless of sharing.
+  EXPECT_EQ(tree.RelevantSegments(c, 30, kTau),
+            (std::vector<SegmentId>{1, 2, 3, 4}));
+  EXPECT_EQ(tree.RelevantSegments(f, 30, kTau),
+            (std::vector<SegmentId>{1, 2, 4}));
+}
+
+TEST(SegTreeTest, UnboundedPrefixProbesMatchPaperAlgorithm) {
+  SegTreeOptions unbounded;
+  unbounded.max_prefix_probes = 0;
+  SegTree tree(unbounded);
+  for (int i = 0; i < 32; ++i) {
+    tree.Insert(MakeSegment(static_cast<SegmentId>(i), 1,
+                            {static_cast<ObjectId>(100 + i), c},
+                            static_cast<Timestamp>(i)));
+  }
+  // A (c, d) segment must find SOME c to extend, even though every c sits
+  // at the bottom of a different branch.
+  tree.Insert(MakeSegment(99, 2, {c, d}, 40));
+  EXPECT_EQ(tree.stats().prefix_nodes_shared, 1u);
+  tree.CheckInvariants();
+}
+
+TEST(SegTreeTest, SweepStopsAtFirstLiveEntry) {
+  // An out-of-completion-order old segment behind a live one survives the
+  // sweep (documented Tlist behaviour) but is still invisible to queries.
+  SegTree tree;
+  tree.Insert(MakeSegment(1, 1, {c}, 1000));  // completes first, young
+  tree.Insert(MakeSegment(2, 2, {d}, 0));     // completes later, old
+  const Timestamp now = kTau + 500;           // only segment 2 is expired
+  EXPECT_EQ(tree.RemoveExpired(now, kTau), 0u);  // blocked by live front
+  EXPECT_EQ(tree.num_segments(), 2u);
+  EXPECT_TRUE(tree.RelevantSegments(d, now, kTau).empty());  // still exact
+  // Once the front expires too, the straggler goes with it.
+  const Timestamp later = 1000 + kTau + 1;
+  EXPECT_EQ(tree.RemoveExpired(later, kTau), 2u);
+  EXPECT_EQ(tree.num_segments(), 0u);
+  tree.CheckInvariants();
+}
+
+TEST(SegTreeDeathTest, DuplicateIdAborts) {
+  SegTree tree;
+  tree.Insert(MakeSegment(1, 1, {c}, 0));
+  EXPECT_DEATH(tree.Insert(MakeSegment(1, 2, {d}, 0)), "FCP_CHECK");
+}
+
+}  // namespace
+}  // namespace fcp

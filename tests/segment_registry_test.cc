@@ -1,0 +1,67 @@
+#include "index/segment_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace fcp {
+namespace {
+
+TEST(SegmentRegistryTest, AddFindRemove) {
+  SegmentRegistry registry;
+  registry.Add(1, SegmentInfo{/*stream=*/3, /*start=*/100, /*end=*/150,
+                              /*length=*/4});
+  ASSERT_NE(registry.Find(1), nullptr);
+  EXPECT_EQ(registry.Find(1)->stream, 3u);
+  EXPECT_EQ(registry.Find(1)->start, 100);
+  EXPECT_EQ(registry.Find(1)->end, 150);
+  EXPECT_EQ(registry.Find(1)->length, 4u);
+  EXPECT_EQ(registry.Find(2), nullptr);
+  EXPECT_TRUE(registry.Remove(1));
+  EXPECT_EQ(registry.Find(1), nullptr);
+  EXPECT_FALSE(registry.Remove(1));
+}
+
+TEST(SegmentRegistryTest, ValidityWindow) {
+  SegmentRegistry registry;
+  registry.Add(1, SegmentInfo{0, 1000, 1060, 2});
+  // tau = 500: valid until now = 1500.
+  EXPECT_TRUE(registry.IsValid(1, 1000, 500));
+  EXPECT_TRUE(registry.IsValid(1, 1500, 500));  // boundary inclusive
+  EXPECT_FALSE(registry.IsValid(1, 1501, 500));
+  EXPECT_FALSE(registry.IsExpired(1, 1500, 500));
+  EXPECT_TRUE(registry.IsExpired(1, 1501, 500));
+  // Unknown id: neither valid nor expired.
+  EXPECT_FALSE(registry.IsValid(9, 1000, 500));
+  EXPECT_FALSE(registry.IsExpired(9, 9999, 500));
+}
+
+TEST(SegmentRegistryTest, SizeAndIteration) {
+  SegmentRegistry registry;
+  for (SegmentId id = 0; id < 10; ++id) {
+    registry.Add(id, SegmentInfo{0, static_cast<Timestamp>(id), 0, 1});
+  }
+  EXPECT_EQ(registry.size(), 10u);
+  size_t seen = 0;
+  for (const auto& [id, info] : registry) {
+    EXPECT_LT(id, 10u);
+    ++seen;
+  }
+  EXPECT_EQ(seen, 10u);
+}
+
+TEST(SegmentRegistryTest, MemoryGrowsWithSize) {
+  SegmentRegistry registry;
+  const size_t empty = registry.MemoryUsage();
+  for (SegmentId id = 0; id < 100; ++id) {
+    registry.Add(id, SegmentInfo{});
+  }
+  EXPECT_GT(registry.MemoryUsage(), empty);
+}
+
+TEST(SegmentRegistryDeathTest, DuplicateAddAborts) {
+  SegmentRegistry registry;
+  registry.Add(1, SegmentInfo{});
+  EXPECT_DEATH(registry.Add(1, SegmentInfo{}), "FCP_CHECK");
+}
+
+}  // namespace
+}  // namespace fcp

@@ -1,0 +1,58 @@
+#include "stream/segment.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fcp {
+namespace {
+
+using ::fcp::testing::MakeSegment;
+using ::fcp::testing::MakeTimedSegment;
+
+TEST(SegmentTest, BasicAccessors) {
+  Segment g = MakeTimedSegment(7, 3, {{10, 100}, {11, 150}, {12, 160}});
+  EXPECT_EQ(g.id(), 7u);
+  EXPECT_EQ(g.stream(), 3u);
+  EXPECT_EQ(g.start_time(), 100);
+  EXPECT_EQ(g.end_time(), 160);
+  EXPECT_EQ(g.span(), 60);
+  EXPECT_EQ(g.length(), 3u);
+}
+
+TEST(SegmentTest, SingleObject) {
+  Segment g = MakeSegment(1, 0, {42}, 500);
+  EXPECT_EQ(g.span(), 0);
+  EXPECT_EQ(g.length(), 1u);
+  EXPECT_EQ(g.DistinctObjects(), std::vector<ObjectId>({42}));
+}
+
+TEST(SegmentTest, DistinctObjectsSortedAndDeduped) {
+  Segment g =
+      MakeTimedSegment(2, 0, {{5, 0}, {3, 1}, {5, 2}, {1, 3}, {3, 4}});
+  EXPECT_EQ(g.DistinctObjects(), std::vector<ObjectId>({1, 3, 5}));
+  EXPECT_EQ(g.length(), 5u);  // multiplicity preserved in entries
+}
+
+TEST(SegmentTest, DebugStringContainsPieces) {
+  Segment g = MakeTimedSegment(9, 2, {{5, 10}, {6, 20}});
+  const std::string s = g.DebugString();
+  EXPECT_NE(s.find("G9"), std::string::npos) << s;
+  EXPECT_NE(s.find("s2"), std::string::npos) << s;
+  EXPECT_NE(s.find("@10..20"), std::string::npos) << s;
+}
+
+TEST(SegmentTest, Equality) {
+  Segment a = MakeSegment(1, 0, {1, 2}, 5);
+  Segment b = MakeSegment(1, 0, {1, 2}, 5);
+  Segment c = MakeSegment(2, 0, {1, 2}, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SegmentDeathTest, EmptySegmentAborts) {
+  EXPECT_DEATH(Segment(1, 0, {}), "FCP_CHECK");
+}
+
+}  // namespace
+}  // namespace fcp

@@ -1,0 +1,192 @@
+#include "stream/segmenter.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fcp {
+namespace {
+
+// Feeds (object, time) pairs and returns all segments incl. the flush.
+std::vector<Segment> SegmentAll(
+    DurationMs xi, const std::vector<std::pair<ObjectId, Timestamp>>& events) {
+  SegmentIdGen ids;
+  Segmenter segmenter(/*stream=*/0, xi, &ids);
+  std::vector<Segment> out;
+  for (const auto& [o, t] : events) segmenter.Push(o, t, &out);
+  segmenter.Flush(&out);
+  return out;
+}
+
+std::vector<std::vector<ObjectId>> ObjectSeqs(const std::vector<Segment>& gs) {
+  std::vector<std::vector<ObjectId>> seqs;
+  for (const Segment& g : gs) {
+    std::vector<ObjectId> seq;
+    for (const SegmentEntry& e : g.entries()) seq.push_back(e.object);
+    seqs.push_back(seq);
+  }
+  return seqs;
+}
+
+// Brute-force enumeration of maximal windows (Definition 5).
+std::vector<std::vector<ObjectId>> BruteForceSegments(
+    DurationMs xi, const std::vector<std::pair<ObjectId, Timestamp>>& events) {
+  std::vector<std::vector<ObjectId>> result;
+  const size_t n = events.size();
+  for (size_t l = 0; l < n; ++l) {
+    size_t r = l;
+    while (r + 1 < n && events[r + 1].second - events[l].second <= xi) ++r;
+    // Window [l, r] is maximal iff it is not contained in the window of l-1.
+    const bool left_maximal =
+        (l == 0) || (events[r].second - events[l - 1].second > xi);
+    if (left_maximal) {
+      std::vector<ObjectId> seq;
+      for (size_t i = l; i <= r; ++i) seq.push_back(events[i].first);
+      result.push_back(seq);
+    }
+  }
+  return result;
+}
+
+TEST(SegmenterTest, PaperFigure1Example) {
+  // Fig. 1 temporal relations with xi = 10:
+  // td-ta < xi, tg-ta > xi, tg-td < xi, tg-tc > xi, te-td < xi, tb-td > xi.
+  constexpr ObjectId a = 1, c = 2, d = 3, g = 4, e = 5, b = 6;
+  const std::vector<std::pair<ObjectId, Timestamp>> events = {
+      {a, 0}, {c, 4}, {d, 8}, {g, 15}, {e, 17}, {b, 19}};
+  const auto seqs = ObjectSeqs(SegmentAll(10, events));
+  ASSERT_EQ(seqs.size(), 3u);
+  EXPECT_EQ(seqs[0], std::vector<ObjectId>({a, c, d}));   // G0 per the paper
+  EXPECT_EQ(seqs[1], std::vector<ObjectId>({d, g, e}));
+  EXPECT_EQ(seqs[2], std::vector<ObjectId>({g, e, b}));
+}
+
+TEST(SegmenterTest, SingleEventSingleSegment) {
+  const auto segments = SegmentAll(10, {{7, 100}});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].length(), 1u);
+  EXPECT_EQ(segments[0].start_time(), 100);
+}
+
+TEST(SegmenterTest, AllWithinXiIsOneSegment) {
+  const auto segments = SegmentAll(100, {{1, 0}, {2, 30}, {3, 60}, {4, 100}});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].length(), 4u);
+}
+
+TEST(SegmenterTest, LargeGapsGiveSingletons) {
+  const auto segments = SegmentAll(10, {{1, 0}, {2, 100}, {3, 200}});
+  ASSERT_EQ(segments.size(), 3u);
+  for (const Segment& g : segments) EXPECT_EQ(g.length(), 1u);
+}
+
+TEST(SegmenterTest, OverlappingSegmentsShareEvents) {
+  // 0,5,10,15 with xi=10: windows [0,10], [5,15] overlap in {5,10}.
+  const auto seqs =
+      ObjectSeqs(SegmentAll(10, {{1, 0}, {2, 5}, {3, 10}, {4, 15}}));
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0], std::vector<ObjectId>({1, 2, 3}));
+  EXPECT_EQ(seqs[1], std::vector<ObjectId>({2, 3, 4}));
+}
+
+TEST(SegmenterTest, EqualTimestampsStayTogether) {
+  const auto segments =
+      SegmentAll(10, {{1, 5}, {2, 5}, {3, 5}, {4, 5}, {5, 5}});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].length(), 5u);
+  EXPECT_EQ(segments[0].span(), 0);
+}
+
+TEST(SegmenterTest, BoundaryExactlyXiIncluded) {
+  // Span exactly xi is allowed (<=).
+  const auto segments = SegmentAll(10, {{1, 0}, {2, 10}, {3, 21}});
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].length(), 2u);  // {1,2}: span 10 == xi
+  EXPECT_EQ(segments[1].length(), 1u);
+}
+
+TEST(SegmenterTest, SegmentIdsAreUniqueAndIncreasing) {
+  SegmentIdGen ids;
+  Segmenter s0(0, 10, &ids);
+  Segmenter s1(1, 10, &ids);
+  std::vector<Segment> out;
+  s0.Push(1, 0, &out);
+  s0.Push(2, 100, &out);  // completes one segment in stream 0
+  s1.Push(3, 0, &out);
+  s1.Push(4, 100, &out);  // completes one segment in stream 1
+  s0.Flush(&out);
+  s1.Flush(&out);
+  ASSERT_EQ(out.size(), 4u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].id(), out[i].id());
+  }
+}
+
+TEST(SegmenterTest, OutOfOrderEventsClampedAndCounted) {
+  SegmentIdGen ids;
+  Segmenter segmenter(0, 10, &ids);
+  std::vector<Segment> out;
+  segmenter.Push(1, 100, &out);
+  segmenter.Push(2, 90, &out);  // out of order: clamped to 100
+  EXPECT_EQ(segmenter.reordered_count(), 1u);
+  segmenter.Flush(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].entries()[1].time, 100);
+}
+
+TEST(SegmenterTest, FlushResetsForReuse) {
+  SegmentIdGen ids;
+  Segmenter segmenter(0, 10, &ids);
+  std::vector<Segment> out;
+  segmenter.Push(1, 100, &out);
+  segmenter.Flush(&out);
+  EXPECT_EQ(segmenter.pending_size(), 0u);
+  // Timestamps may restart lower after a flush without being "reordered".
+  segmenter.Push(2, 5, &out);
+  segmenter.Flush(&out);
+  EXPECT_EQ(segmenter.reordered_count(), 0u);
+  ASSERT_EQ(out.size(), 2u);
+}
+
+TEST(SegmenterTest, EveryEventCoveredBySomeSegment) {
+  Rng rng(99);
+  std::vector<std::pair<ObjectId, Timestamp>> events;
+  Timestamp t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += rng.Range(0, 30);
+    events.push_back({static_cast<ObjectId>(rng.Below(50)), t});
+  }
+  const auto segments = SegmentAll(20, events);
+  size_t covered = 0;
+  for (const Segment& g : segments) covered += g.length();
+  EXPECT_GE(covered, events.size());  // overlap means >= is expected
+  for (const Segment& g : segments) EXPECT_LE(g.span(), 20);
+}
+
+// Property sweep: segmenter output == brute-force maximal windows, across
+// xi values and random traces.
+class SegmenterPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmenterPropertyTest, MatchesBruteForce) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const DurationMs xi = 1 + static_cast<DurationMs>(rng.Below(40));
+  std::vector<std::pair<ObjectId, Timestamp>> events;
+  Timestamp t = 0;
+  const int n = 1 + static_cast<int>(rng.Below(300));
+  for (int i = 0; i < n; ++i) {
+    t += rng.Range(0, 25);
+    events.push_back({static_cast<ObjectId>(rng.Below(20)), t});
+  }
+  EXPECT_EQ(ObjectSeqs(SegmentAll(xi, events)),
+            BruteForceSegments(xi, events))
+      << "xi=" << xi << " n=" << n << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTraces, SegmenterPropertyTest,
+                         ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace fcp

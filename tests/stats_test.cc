@@ -1,0 +1,84 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace fcp {
+namespace {
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.sum(), 4.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic example set: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.Add(-10.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -10.0);
+  EXPECT_EQ(s.max(), 10.0);
+}
+
+TEST(RunningStatsTest, Reset) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleTest, EmptyQuantile) {
+  Sample s;
+  EXPECT_EQ(s.Quantile(0.5), 0.0);
+}
+
+TEST(SampleTest, MedianOfOdd) {
+  Sample s;
+  for (double v : {5.0, 1.0, 3.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 3.0);
+}
+
+TEST(SampleTest, Extremes) {
+  Sample s;
+  for (double v : {4.0, 2.0, 8.0, 6.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 8.0);
+}
+
+TEST(SampleTest, InterpolatesBetweenPoints) {
+  Sample s;
+  s.Add(0.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 5.0);
+}
+
+}  // namespace
+}  // namespace fcp

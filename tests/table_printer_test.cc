@@ -1,0 +1,51 @@
+#include "util/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace fcp {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"rate", "mb"});
+  t.AddRow({"1000", "12.5"});
+  t.AddRow({"50", "7"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("rate"), std::string::npos);
+  EXPECT_NE(out.find("12.5"), std::string::npos);
+  // Each line has equal visible structure; the separator is dashes.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1", "2", "3"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(TablePrinterTest, NumFormatsDigits) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(3.0, 0), "3");
+  EXPECT_EQ(TablePrinter::Num(1234.5, 1), "1234.5");
+}
+
+TEST(TablePrinterTest, CountsRows) {
+  TablePrinter t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterDeathTest, RowArityMismatchAborts) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "FCP_CHECK");
+}
+
+}  // namespace
+}  // namespace fcp

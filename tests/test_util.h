@@ -1,0 +1,65 @@
+// Shared helpers for the libfcp test suite.
+
+#ifndef FCP_TESTS_TEST_UTIL_H_
+#define FCP_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <initializer_list>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/fcp.h"
+#include "stream/segment.h"
+
+namespace fcp::testing {
+
+/// Builds a segment whose objects all share one timestamp (tweet-style).
+inline Segment MakeSegment(SegmentId id, StreamId stream,
+                           std::initializer_list<ObjectId> objects,
+                           Timestamp time = 0) {
+  std::vector<SegmentEntry> entries;
+  for (ObjectId o : objects) entries.push_back(SegmentEntry{o, time});
+  return Segment(id, stream, std::move(entries));
+}
+
+/// Builds a segment from (object, time) pairs.
+inline Segment MakeTimedSegment(
+    SegmentId id, StreamId stream,
+    std::initializer_list<std::pair<ObjectId, Timestamp>> entries) {
+  std::vector<SegmentEntry> list;
+  for (const auto& [o, t] : entries) list.push_back(SegmentEntry{o, t});
+  return Segment(id, stream, std::move(list));
+}
+
+/// The set of patterns among a batch of FCPs (for order-insensitive
+/// comparison across miners).
+inline std::set<Pattern> PatternsOf(const std::vector<Fcp>& fcps) {
+  std::set<Pattern> out;
+  for (const Fcp& fcp : fcps) out.insert(fcp.objects);
+  return out;
+}
+
+/// The set of (pattern, sorted-stream-set) pairs — the strongest
+/// order-insensitive signature of a mining result.
+inline std::set<std::pair<Pattern, std::vector<StreamId>>> SignaturesOf(
+    const std::vector<Fcp>& fcps) {
+  std::set<std::pair<Pattern, std::vector<StreamId>>> out;
+  for (const Fcp& fcp : fcps) out.insert({fcp.objects, fcp.streams});
+  return out;
+}
+
+/// Pretty-printer for gtest failure messages.
+inline std::string ToString(const Pattern& pattern) {
+  std::string out = "{";
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(pattern[i]);
+  }
+  return out + "}";
+}
+
+}  // namespace fcp::testing
+
+#endif  // FCP_TESTS_TEST_UTIL_H_

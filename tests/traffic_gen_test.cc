@@ -1,0 +1,144 @@
+#include "datagen/traffic_gen.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fcp {
+namespace {
+
+TrafficConfig SmallConfig() {
+  TrafficConfig config;
+  config.num_cameras = 20;
+  config.num_vehicles = 500;
+  config.per_camera_rate_hz = 0.1;
+  config.total_events = 5000;
+  config.num_convoys = 5;
+  config.seed = 1;
+  return config;
+}
+
+TEST(TrafficGenTest, ConfigValidation) {
+  EXPECT_TRUE(SmallConfig().Validate().ok());
+  {
+    TrafficConfig c = SmallConfig();
+    c.num_cameras = 0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    TrafficConfig c = SmallConfig();
+    c.route_len_max = 100;  // more cameras than exist
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    TrafficConfig c = SmallConfig();
+    c.convoy_size_min = 5;
+    c.convoy_size_max = 2;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    TrafficConfig c = SmallConfig();
+    c.per_camera_rate_hz = 0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+}
+
+TEST(TrafficGenTest, DeterministicForSeed) {
+  const TrafficTrace a = GenerateTraffic(SmallConfig());
+  const TrafficTrace b = GenerateTraffic(SmallConfig());
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_TRUE(std::equal(a.events.begin(), a.events.end(), b.events.begin()));
+  EXPECT_EQ(a.convoys.size(), b.convoys.size());
+}
+
+TEST(TrafficGenTest, DifferentSeedsDiffer) {
+  TrafficConfig c2 = SmallConfig();
+  c2.seed = 2;
+  const TrafficTrace a = GenerateTraffic(SmallConfig());
+  const TrafficTrace b = GenerateTraffic(c2);
+  EXPECT_FALSE(a.events.size() == b.events.size() &&
+               std::equal(a.events.begin(), a.events.end(),
+                          b.events.begin()));
+}
+
+TEST(TrafficGenTest, EventsSortedByTime) {
+  const TrafficTrace trace = GenerateTraffic(SmallConfig());
+  EXPECT_TRUE(std::is_sorted(
+      trace.events.begin(), trace.events.end(),
+      [](const ObjectEvent& a, const ObjectEvent& b) { return a.time < b.time; }));
+}
+
+TEST(TrafficGenTest, RespectsTotalEvents) {
+  const TrafficTrace trace = GenerateTraffic(SmallConfig());
+  EXPECT_LE(trace.events.size(), 5000u);
+  EXPECT_GE(trace.events.size(), 4000u);  // Poisson noise tolerance
+}
+
+TEST(TrafficGenTest, StreamsAndObjectsInRange) {
+  const TrafficConfig config = SmallConfig();
+  const TrafficTrace trace = GenerateTraffic(config);
+  for (const ObjectEvent& e : trace.events) {
+    EXPECT_LT(e.stream, config.num_cameras);
+    EXPECT_LT(e.object, config.num_vehicles);
+    EXPECT_GE(e.time, 0);
+  }
+}
+
+TEST(TrafficGenTest, ConvoyPlansWellFormed) {
+  const TrafficConfig config = SmallConfig();
+  const TrafficTrace trace = GenerateTraffic(config);
+  ASSERT_EQ(trace.convoys.size(), config.num_convoys);
+  for (const ConvoyPlan& convoy : trace.convoys) {
+    EXPECT_GE(convoy.vehicles.size(), config.convoy_size_min);
+    EXPECT_LE(convoy.vehicles.size(), config.convoy_size_max);
+    EXPECT_GE(convoy.cameras.size(), config.route_len_min);
+    EXPECT_LE(convoy.cameras.size(), config.route_len_max);
+    EXPECT_TRUE(std::is_sorted(convoy.vehicles.begin(), convoy.vehicles.end()));
+    // Distinct cameras on the route.
+    std::set<StreamId> route(convoy.cameras.begin(), convoy.cameras.end());
+    EXPECT_EQ(route.size(), convoy.cameras.size());
+    EXPECT_LE(convoy.first_passage, convoy.last_passage);
+  }
+}
+
+TEST(TrafficGenTest, ConvoyEventsAppearInTrace) {
+  // Every (vehicle, camera) passage of the first convoy must be present,
+  // unless truncated by the Ds cap — use a config where the cap is slack.
+  TrafficConfig config = SmallConfig();
+  config.total_events = 20000;
+  const TrafficTrace trace = GenerateTraffic(config);
+  ASSERT_FALSE(trace.convoys.empty());
+  const ConvoyPlan& convoy = trace.convoys.front();
+  for (StreamId cam : convoy.cameras) {
+    for (ObjectId vehicle : convoy.vehicles) {
+      const bool found = std::any_of(
+          trace.events.begin(), trace.events.end(), [&](const ObjectEvent& e) {
+            return e.stream == cam && e.object == vehicle &&
+                   e.time >= convoy.first_passage &&
+                   e.time <= convoy.last_passage;
+          });
+      EXPECT_TRUE(found) << "vehicle " << vehicle << " at camera " << cam;
+    }
+  }
+}
+
+TEST(TrafficGenTest, DenseStreamsOverlapHeavily) {
+  // The TR regime: with 0.1 Hz per camera and xi = 60 s, consecutive camera
+  // events are usually closer than xi, so adjacent segments share events.
+  const TrafficTrace trace = GenerateTraffic(SmallConfig());
+  uint64_t close_gaps = 0, gaps = 0;
+  std::vector<Timestamp> last(20, -1);
+  for (const ObjectEvent& e : trace.events) {
+    if (last[e.stream] >= 0) {
+      ++gaps;
+      if (e.time - last[e.stream] <= Seconds(60)) ++close_gaps;
+    }
+    last[e.stream] = e.time;
+  }
+  ASSERT_GT(gaps, 0u);
+  EXPECT_GT(static_cast<double>(close_gaps) / static_cast<double>(gaps), 0.9);
+}
+
+}  // namespace
+}  // namespace fcp

@@ -1,0 +1,123 @@
+#include "datagen/twitter_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fcp {
+namespace {
+
+TwitterConfig SmallConfig() {
+  TwitterConfig config;
+  config.num_users = 100;
+  config.vocab_size = 2000;
+  config.total_tweets = 3000;
+  config.num_events = 3;
+  config.event_participants_min = 10;
+  config.event_participants_max = 30;
+  config.seed = 5;
+  return config;
+}
+
+TEST(TwitterGenTest, ConfigValidation) {
+  EXPECT_TRUE(SmallConfig().Validate().ok());
+  {
+    TwitterConfig c = SmallConfig();
+    c.num_users = 0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    TwitterConfig c = SmallConfig();
+    c.event_participants_max = 1000;  // more than users
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    TwitterConfig c = SmallConfig();
+    c.words_per_tweet_min = 0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+}
+
+TEST(TwitterGenTest, Deterministic) {
+  const TwitterTrace a = GenerateTwitter(SmallConfig());
+  const TwitterTrace b = GenerateTwitter(SmallConfig());
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_TRUE(std::equal(a.events.begin(), a.events.end(), b.events.begin()));
+}
+
+TEST(TwitterGenTest, EventsSortedByTime) {
+  const TwitterTrace trace = GenerateTwitter(SmallConfig());
+  EXPECT_TRUE(std::is_sorted(trace.events.begin(), trace.events.end(),
+                             [](const ObjectEvent& a, const ObjectEvent& b) {
+                               return a.time < b.time;
+                             }));
+}
+
+TEST(TwitterGenTest, TweetGapExceedsMinGapPerUser) {
+  // The "tweet == segment" invariant: two tweets of one user are >=
+  // min_tweet_gap apart, so a segmenter with xi < min_tweet_gap emits each
+  // tweet as its own segment.
+  const TwitterConfig config = SmallConfig();
+  const TwitterTrace trace = GenerateTwitter(config);
+  std::map<StreamId, Timestamp> last_time;
+  for (const ObjectEvent& e : trace.events) {
+    auto it = last_time.find(e.stream);
+    if (it != last_time.end() && e.time != it->second) {
+      EXPECT_GE(e.time - it->second, config.min_tweet_gap)
+          << "user " << e.stream;
+    }
+    last_time[e.stream] = e.time;
+  }
+}
+
+TEST(TwitterGenTest, PlantedEventKeywordsOutsideBackgroundVocab) {
+  const TwitterConfig config = SmallConfig();
+  const TwitterTrace trace = GenerateTwitter(config);
+  ASSERT_EQ(trace.planted_events.size(), config.num_events);
+  for (const EventPlan& plan : trace.planted_events) {
+    for (ObjectId kw : plan.keywords) {
+      EXPECT_GE(kw, config.vocab_size);
+      EXPECT_FALSE(trace.WordName(kw).empty());
+      EXPECT_NE(trace.WordName(kw), "w" + std::to_string(kw))
+          << "planted keywords get real names, not the w<id> fallback";
+    }
+  }
+}
+
+TEST(TwitterGenTest, EventTweetsReachManyStreams) {
+  const TwitterConfig config = SmallConfig();
+  const TwitterTrace trace = GenerateTwitter(config);
+  for (const EventPlan& plan : trace.planted_events) {
+    // Count streams that contain ALL of the event's keywords at one time
+    // (i.e. one tweet carrying the full set).
+    std::map<std::pair<StreamId, Timestamp>, std::set<ObjectId>> per_tweet;
+    for (const ObjectEvent& e : trace.events) {
+      if (std::binary_search(plan.keywords.begin(), plan.keywords.end(),
+                             e.object)) {
+        per_tweet[{e.stream, e.time}].insert(e.object);
+      }
+    }
+    std::set<StreamId> full_streams;
+    for (const auto& [key, words] : per_tweet) {
+      if (words.size() == plan.keywords.size()) full_streams.insert(key.first);
+    }
+    EXPECT_GE(full_streams.size(), plan.num_participants * 9 / 10)
+        << "event " << plan.name;
+  }
+}
+
+TEST(TwitterGenTest, WordNameFallback) {
+  const TwitterTrace trace = GenerateTwitter(SmallConfig());
+  EXPECT_EQ(trace.WordName(17), "w17");
+}
+
+TEST(TwitterGenTest, TweetCountNearTarget) {
+  const TwitterTrace trace = GenerateTwitter(SmallConfig());
+  EXPECT_GE(trace.num_tweets, 2500u);
+  EXPECT_LE(trace.num_tweets, 3200u);  // background cap + event tweets
+}
+
+}  // namespace
+}  // namespace fcp

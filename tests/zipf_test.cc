@@ -1,0 +1,66 @@
+#include "util/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fcp {
+namespace {
+
+TEST(ZipfTest, SingleElement) {
+  ZipfDistribution zipf(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfDistribution zipf(100, 1.0);
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(rng), 100u);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(500, 0.8);
+  double sum = 0;
+  for (uint64_t r = 0; r < 500; ++r) sum += zipf.Pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfMonotoneDecreasing) {
+  ZipfDistribution zipf(100, 1.2);
+  for (uint64_t r = 1; r < 100; ++r) {
+    EXPECT_LE(zipf.Pmf(r), zipf.Pmf(r - 1)) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, SkewZeroIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  for (uint64_t r = 0; r < 10; ++r) EXPECT_NEAR(zipf.Pmf(r), 0.1, 1e-9);
+}
+
+TEST(ZipfTest, EmpiricalMatchesPmf) {
+  constexpr uint64_t kN = 50;
+  ZipfDistribution zipf(kN, 1.0);
+  Rng rng(3);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(rng)];
+  for (uint64_t r = 0; r < kN; ++r) {
+    const double expected = zipf.Pmf(r);
+    const double observed = static_cast<double>(counts[r]) / kSamples;
+    EXPECT_NEAR(observed, expected, 0.01) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, HeadHeavierWithLargerSkew) {
+  ZipfDistribution flat(1000, 0.5);
+  ZipfDistribution steep(1000, 1.5);
+  EXPECT_GT(steep.Pmf(0), flat.Pmf(0));
+  EXPECT_LT(steep.Pmf(999), flat.Pmf(999));
+}
+
+}  // namespace
+}  // namespace fcp
