@@ -1,0 +1,169 @@
+// Hot-path allocation/latency microbench: ns/op and heap-allocations/op of
+// steady-state AddSegment for the three miners, on the skewed (Zipf
+// vocabulary) Twitter workload by default.
+//
+// Two workloads per miner:
+//  - "zipf":   paper-default parameters — the latency comparison point
+//              recorded in BENCH_hotpath.json;
+//  - "steady": same trace with theta raised so no FCP clears the bar — every
+//              trigger exercises the full index + mining path but emits
+//              nothing. The Zipf tail still yields first-seen objects
+//              throughout the trace, so structures keep growing slightly;
+//  - "cycle":  closed-universe replay — a fixed pool of segment shapes
+//              repeated with fresh ids and advancing timestamps. After the
+//              warm cycles every structure has converged, which is the
+//              regime where CooMine must perform ZERO heap allocations per
+//              AddSegment.
+//
+// `--json=<path>` appends the records to a BENCH_*.json trajectory file;
+// `--label=<tag>` names the run (e.g. "pre", "post").
+
+#include "util/alloc_counter.h"  // must be first: defines operator new/delete
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/miner.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+namespace fcp::bench {
+namespace {
+
+struct OpCost {
+  double ns_per_op = 0;
+  double allocs_per_op = 0;
+};
+
+OpCost MeasureAddSegment(MinerKind kind, const MiningParams& params,
+                         const std::vector<Segment>& segments) {
+  auto miner = MakeMiner(kind, params);
+  const size_t warm = segments.size() / 2;
+  std::vector<Fcp> sink;
+  sink.reserve(1024);
+  for (size_t i = 0; i < warm; ++i) {
+    sink.clear();
+    miner->AddSegment(segments[i], &sink);
+  }
+
+  const uint64_t allocs_before = alloc_counter::allocations();
+  Stopwatch timer;
+  for (size_t i = warm; i < segments.size(); ++i) {
+    sink.clear();
+    miner->AddSegment(segments[i], &sink);
+  }
+  const int64_t elapsed_ns = timer.ElapsedNanos();
+  const uint64_t allocs = alloc_counter::allocations() - allocs_before;
+
+  const double ops = static_cast<double>(segments.size() - warm);
+  OpCost cost;
+  cost.ns_per_op = static_cast<double>(elapsed_ns) / ops;
+  cost.allocs_per_op = static_cast<double>(allocs) / ops;
+  return cost;
+}
+
+// Builds `cycles` repetitions of the first `pool_size` segments, each cycle
+// shifted far enough in time that the previous cycle expires, with globally
+// fresh segment ids. The object universe is closed after cycle one, so a
+// warm miner sees no structural novelty — only churn.
+std::vector<Segment> BuildCyclicTrace(const std::vector<Segment>& segments,
+                                      size_t pool_size, int cycles,
+                                      const MiningParams& params) {
+  const size_t n = std::min(pool_size, segments.size());
+  Timestamp t_min = kMaxTimestamp;
+  Timestamp t_max = kMinTimestamp;
+  for (size_t i = 0; i < n; ++i) {
+    t_min = std::min(t_min, segments[i].start_time());
+    t_max = std::max(t_max, segments[i].end_time());
+  }
+  const Timestamp period = (t_max - t_min) + params.tau + params.xi;
+  std::vector<Segment> out;
+  out.reserve(n * static_cast<size_t>(cycles));
+  SegmentId next_id = 1;
+  for (int c = 0; c < cycles; ++c) {
+    const Timestamp shift = period * c;
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<SegmentEntry> entries = segments[i].entries();
+      for (SegmentEntry& e : entries) e.time += shift;
+      out.emplace_back(next_id++, segments[i].stream(), std::move(entries));
+    }
+  }
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const BenchScale scale(flags);
+  const Dataset dataset =
+      flags.GetString("dataset", "twitter") == "traffic" ? Dataset::kTraffic
+                                                         : Dataset::kTwitter;
+  const uint64_t events = scale.Events(
+      static_cast<uint64_t>(flags.GetInt("events", 400000)));
+  const std::string label = flags.GetString("label", "run");
+
+  PrintHeader("hot-path alloc",
+              "steady-state AddSegment ns/op and heap allocations/op "
+              "(operator-new counter); 'steady' raises theta so no FCP is "
+              "emitted");
+
+  const std::vector<ObjectEvent> trace =
+      GenerateEvents(dataset, events, /*seed=*/42);
+  const MiningParams zipf_params = DefaultParams(dataset);
+  const std::vector<Segment> segments = SegmentTrace(trace, zipf_params.xi);
+  std::printf("dataset=%s events=%" PRIu64 " segments=%zu\n\n",
+              std::string(DatasetName(dataset)).c_str(), events,
+              segments.size());
+
+  MiningParams steady_params = zipf_params;
+  steady_params.theta = 1u << 20;  // unreachable: no emissions
+
+  const MinerKind kinds[] = {MinerKind::kCooMine, MinerKind::kDiMine,
+                             MinerKind::kMatrixMine};
+  std::vector<JsonRecord> records;
+  std::printf("%-24s %14s %14s %12s\n", "case", "ns/op", "allocs/op",
+              "rss(MB)");
+  for (MinerKind kind : kinds) {
+    for (const bool steady : {false, true}) {
+      const OpCost cost = MeasureAddSegment(
+          kind, steady ? steady_params : zipf_params, segments);
+      JsonRecord record;
+      record.name = std::string(MinerKindToString(kind)) +
+                    (steady ? "/steady" : "/zipf");
+      record.ns_per_op = cost.ns_per_op;
+      record.allocs_per_op = cost.allocs_per_op;
+      record.rss_bytes = CurrentRssBytes();
+      std::printf("%-24s %14.1f %14.3f %12.1f\n", record.name.c_str(),
+                  record.ns_per_op, record.allocs_per_op,
+                  static_cast<double>(record.rss_bytes) / (1024.0 * 1024.0));
+      records.push_back(record);
+    }
+  }
+  // Closed-universe cyclic replay (see file comment): MeasureAddSegment
+  // warms on the first half (3 cycles), measures the last 3.
+  const std::vector<Segment> cyclic =
+      BuildCyclicTrace(segments, /*pool_size=*/4000, /*cycles=*/6,
+                       steady_params);
+  for (MinerKind kind : kinds) {
+    const OpCost cost = MeasureAddSegment(kind, steady_params, cyclic);
+    JsonRecord record;
+    record.name = std::string(MinerKindToString(kind)) + "/cycle";
+    record.ns_per_op = cost.ns_per_op;
+    record.allocs_per_op = cost.allocs_per_op;
+    record.rss_bytes = CurrentRssBytes();
+    std::printf("%-24s %14.1f %14.3f %12.1f\n", record.name.c_str(),
+                record.ns_per_op, record.allocs_per_op,
+                static_cast<double>(record.rss_bytes) / (1024.0 * 1024.0));
+    records.push_back(record);
+  }
+  MaybeAppendBenchJson(flags, "bench_hotpath_alloc", label, records);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fcp::bench
+
+int main(int argc, char** argv) { return fcp::bench::Run(argc, argv); }

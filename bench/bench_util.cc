@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "common/check.h"
 #include "stream/stream_mux.h"
@@ -142,6 +145,67 @@ uint64_t BenchScale::Events(uint64_t paper_value) const {
 void PrintHeader(const std::string& figure, const std::string& note) {
   std::printf("=== %s ===\n%s\n\n", figure.c_str(), note.c_str());
   std::fflush(stdout);
+}
+
+uint64_t CurrentRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      uint64_t kb = 0;
+      std::sscanf(line.c_str() + 6, "%lu", &kb);
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+void MaybeAppendBenchJson(const Flags& flags, const std::string& bench,
+                          const std::string& label,
+                          const std::vector<JsonRecord>& records) {
+  const std::string path = flags.GetString("json", "");
+  if (path.empty()) return;
+
+  std::ostringstream run;
+  run << "  {\"bench\": \"" << bench << "\", \"label\": \"" << label
+      << "\", \"records\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    run << "    {\"name\": \"" << r.name << "\", \"ns_per_op\": "
+        << r.ns_per_op << ", \"allocs_per_op\": " << r.allocs_per_op
+        << ", \"rss_bytes\": " << r.rss_bytes << "}"
+        << (i + 1 < records.size() ? ",\n" : "\n");
+  }
+  run << "  ]}";
+
+  // Keep the file a valid JSON array without parsing it: strip the trailing
+  // `]` of an existing array and re-close after appending this run.
+  std::string existing;
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    existing = buffer.str();
+  }
+  while (!existing.empty() &&
+         (existing.back() == '\n' || existing.back() == ' ')) {
+    existing.pop_back();
+  }
+  std::ofstream out(path, std::ios::trunc);
+  FCP_CHECK(out.good());
+  if (!existing.empty() && existing.back() == ']') {
+    existing.pop_back();
+    while (!existing.empty() && (existing.back() == '\n' ||
+                                 existing.back() == ' ')) {
+      existing.pop_back();
+    }
+    const bool was_empty_array =
+        !existing.empty() && existing.back() == '[';
+    out << existing << (was_empty_array ? "\n" : ",\n") << run.str()
+        << "\n]\n";
+  } else {
+    out << "[\n" << run.str() << "\n]\n";
+  }
 }
 
 }  // namespace fcp::bench

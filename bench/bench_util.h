@@ -101,6 +101,27 @@ struct BenchScale {
   double factor = 1.0;
 };
 
+/// One benchmark measurement for the JSON trajectory files (BENCH_*.json).
+struct JsonRecord {
+  std::string name;
+  double ns_per_op = 0;
+  double allocs_per_op = 0;
+  uint64_t rss_bytes = 0;
+};
+
+/// Resident set size (VmRSS) of the current process in bytes; 0 when
+/// /proc/self/status is unavailable.
+uint64_t CurrentRssBytes();
+
+/// If `--json=<path>` was passed, appends one run object
+/// `{"bench":..., "label":..., "records":[...]}` to the JSON array at
+/// <path> (creating it as `[...]` if absent). The file stays a valid JSON
+/// array across appends so successive PRs can extend a BENCH_*.json
+/// trajectory without a JSON parser.
+void MaybeAppendBenchJson(const Flags& flags, const std::string& bench,
+                          const std::string& label,
+                          const std::vector<JsonRecord>& records);
+
 /// Prints the standard bench header (figure id + interpretation note).
 void PrintHeader(const std::string& figure, const std::string& note);
 

@@ -1,9 +1,9 @@
 #include "core/coomine.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/check.h"
-#include "core/apriori.h"
 #include "util/stopwatch.h"
 
 namespace fcp {
@@ -22,17 +22,16 @@ void CooMine::AddSegment(const Segment& segment, std::vector<Fcp>* out) {
 
   // --- Mining phase: SLCP + Apriori over the LCP table. -------------------
   Stopwatch mine_timer;
-  std::vector<SegmentId> expired;
-  const std::vector<LcpRow> rows =
-      tree_.Slcp(segment, now, params_.tau, &expired);
-  stats_.lcp_rows += rows.size();
-  MineFromLcps(segment, rows, out);
+  scratch_.expired.clear();
+  tree_.SlcpInto(segment, now, params_.tau, &scratch_.expired, &scratch_.lcp);
+  stats_.lcp_rows += scratch_.lcp.rows.size();
+  MineFromLcps(segment, scratch_.lcp, out);
   stats_.mining_ns += mine_timer.ElapsedNanos();
 
   // --- Maintenance phase: lazy deletion + insert + periodic sweep. --------
   Stopwatch maint_timer;
-  for (SegmentId id : expired) tree_.Remove(id);
-  stats_.segments_expired += expired.size();
+  for (SegmentId id : scratch_.expired) tree_.Remove(id);
+  stats_.segments_expired += scratch_.expired.size();
   if (options_.periodic_sweep &&
       (last_sweep_ == kMinTimestamp ||
        now - last_sweep_ >= params_.maintenance_interval)) {
@@ -58,94 +57,190 @@ void CooMine::ForceMaintenance(Timestamp now) {
 
 size_t CooMine::MemoryUsage() const { return tree_.MemoryUsage(); }
 
-void CooMine::MineFromLcps(const Segment& segment,
-                           const std::vector<LcpRow>& rows,
+void CooMine::MineFromLcps(const Segment& segment, const LcpTable& lcp,
                            std::vector<Fcp>* out) {
-  const std::vector<ObjectId> objects =
-      DistinctObjectsCapped(segment, params_.max_segment_objects);
-  if (objects.empty()) return;
+  MiningScratch& s = scratch_;
+
+  // Distinct probe objects, capped — the same result as
+  // DistinctObjectsCapped, built in scratch.
+  s.objects.clear();
+  for (const SegmentEntry& e : segment.entries()) s.objects.push_back(e.object);
+  std::sort(s.objects.begin(), s.objects.end());
+  s.objects.erase(std::unique(s.objects.begin(), s.objects.end()),
+                  s.objects.end());
+  if (params_.max_segment_objects > 0 &&
+      s.objects.size() > params_.max_segment_objects) {
+    s.objects.resize(params_.max_segment_objects);
+  }
+  if (s.objects.empty()) return;
+
+  const size_t num_objects = s.objects.size();
+  const size_t num_rows = lcp.rows.size();
+  const size_t words = (num_rows + 63) / 64;  // bitset words per tidset
+
+  // Per-object tidsets: bit r of object_bits[oi] is set iff LCP row r's
+  // common set contains objects[oi]. Both sides are sorted, so one linear
+  // merge per row replaces a binary search per (row, object) pair. Objects
+  // in a row's common set beyond the max_segment_objects cap simply find no
+  // merge partner and are skipped, as before.
+  s.object_bits.assign(num_objects * words, 0);
+  for (size_t r = 0; r < num_rows; ++r) {
+    const LcpTable::Row& row = lcp.rows[r];
+    const ObjectId* c = lcp.CommonBegin(row);
+    const ObjectId* ce = lcp.CommonEnd(row);
+    const uint64_t bit_word = uint64_t{1} << (r % 64);
+    const size_t word = r / 64;
+    size_t oi = 0;
+    while (c != ce && oi < num_objects) {
+      if (*c < s.objects[oi]) {
+        ++c;
+      } else if (s.objects[oi] < *c) {
+        ++oi;
+      } else {
+        s.object_bits[oi * words + word] |= bit_word;
+        ++c;
+        ++oi;
+      }
+    }
+  }
 
   const Occurrence probe_occurrence{segment.stream(), segment.start_time(),
                                     segment.end_time()};
 
-  // Rows per object, indexed by the object's position in `objects` (which
-  // is sorted), for fast level-1 support and candidate verification without
-  // hash lookups on the hot path.
-  std::vector<std::vector<uint32_t>> rows_of_object(objects.size());
-  for (size_t r = 0; r < rows.size(); ++r) {
-    for (ObjectId o : rows[r].common) {
-      const auto it = std::lower_bound(objects.begin(), objects.end(), o);
-      // The common set can contain objects beyond the max_segment_objects
-      // cap; those are not candidates.
-      if (it == objects.end() || *it != o) continue;
-      rows_of_object[static_cast<size_t>(it - objects.begin())].push_back(
-          static_cast<uint32_t>(r));
+  // Evaluates one candidate from its tidset. The popcount prefilter is
+  // exact pruning, not an approximation: popcount rows plus the probe is an
+  // upper bound on distinct supporting streams, so failing it proves the
+  // candidate infrequent without touching the rows. On success,
+  // s.occurrences holds the supporting occurrences (probe first) and
+  // s.streams the sorted distinct stream ids.
+  auto evaluate = [&](const uint64_t* bits) -> bool {
+    size_t support_rows = 0;
+    for (size_t w = 0; w < words; ++w) {
+      support_rows += static_cast<size_t>(std::popcount(bits[w]));
     }
-  }
-  auto object_index = [&](ObjectId o) -> const std::vector<uint32_t>* {
-    const auto it = std::lower_bound(objects.begin(), objects.end(), o);
-    if (it == objects.end() || *it != o) return nullptr;
-    return &rows_of_object[static_cast<size_t>(it - objects.begin())];
-  };
+    if (support_rows + 1 < params_.theta) return false;
 
-  // Gathers the supporting occurrences of `pattern` (probe + rows whose
-  // common set includes the pattern, scanning the candidate rows of the
-  // pattern's rarest object).
-  auto support_of = [&](const Pattern& pattern) {
-    std::vector<Occurrence> occurrences{probe_occurrence};
-    const std::vector<uint32_t>* best = nullptr;
-    for (ObjectId o : pattern) {
-      const std::vector<uint32_t>* candidate_rows = object_index(o);
-      if (candidate_rows == nullptr) return occurrences;  // probe only
-      if (best == nullptr || candidate_rows->size() < best->size()) {
-        best = candidate_rows;
+    s.occurrences.clear();
+    s.occurrences.push_back(probe_occurrence);
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t word = bits[w];
+      while (word != 0) {
+        const size_t r = w * 64 + static_cast<size_t>(std::countr_zero(word));
+        word &= word - 1;
+        const LcpTable::Row& row = lcp.rows[r];
+        s.occurrences.push_back(Occurrence{row.stream, row.start, row.end});
       }
     }
-    for (uint32_t r : *best) {
-      const LcpRow& row = rows[r];
-      if (pattern.size() > row.common.size()) continue;
-      if (std::includes(row.common.begin(), row.common.end(), pattern.begin(),
-                        pattern.end())) {
-        occurrences.push_back(Occurrence{row.stream, row.start, row.end});
-      }
-    }
-    return occurrences;
+    s.streams.clear();
+    for (const Occurrence& occ : s.occurrences) s.streams.push_back(occ.stream);
+    std::sort(s.streams.begin(), s.streams.end());
+    s.streams.erase(std::unique(s.streams.begin(), s.streams.end()),
+                    s.streams.end());
+    return s.streams.size() >= params_.theta;
   };
 
-  // Level 1 (FCP_1) straight from the table, then iterate Apriori levels.
-  std::vector<Pattern> frequent;
-  Pattern singleton(1);
-  for (ObjectId o : objects) {
-    singleton[0] = o;
+  // Emits the Fcp for the pattern at `idx` (object indices, `size` of them)
+  // from the evaluate() scratch. Allocation here is output, not overhead.
+  auto emit = [&](const uint32_t* idx, size_t size) {
+    Fcp fcp;
+    fcp.objects.reserve(size);
+    for (size_t i = 0; i < size; ++i) fcp.objects.push_back(s.objects[idx[i]]);
+    fcp.streams.assign(s.streams.begin(), s.streams.end());
+    fcp.trigger = segment.id();
+    fcp.window_start = kMaxTimestamp;
+    fcp.window_end = kMinTimestamp;
+    for (const Occurrence& occ : s.occurrences) {
+      fcp.window_start = std::min(fcp.window_start, occ.start);
+      fcp.window_end = std::max(fcp.window_end, occ.end);
+    }
+    out->push_back(std::move(fcp));
+    ++stats_.fcps_emitted;
+  };
+
+  // Level 1 (FCP_1): each object's tidset is its support.
+  s.level_idx.clear();
+  s.level_bits.clear();
+  for (uint32_t oi = 0; oi < num_objects; ++oi) {
     ++stats_.candidates_checked;
-    auto fcp = MakeFcpIfFrequent(singleton, support_of(singleton),
-                                 params_.theta, segment.id());
-    if (!fcp.has_value()) continue;
-    frequent.push_back(singleton);
-    if (1 >= params_.min_pattern_size) {
-      out->push_back(*std::move(fcp));
-      ++stats_.fcps_emitted;
-    }
+    const uint64_t* bits = s.object_bits.data() + oi * words;
+    if (!evaluate(bits)) continue;
+    s.level_idx.push_back(oi);
+    s.level_bits.insert(s.level_bits.end(), bits, bits + words);
+    if (params_.min_pattern_size <= 1) emit(&oi, 1);
   }
 
+  // Level-wise Apriori: F_k x F_k join on a shared (k-1)-prefix, subset
+  // prune, then tidset intersection with the joined-in object — the
+  // candidate's support is parent_bits AND object_bits[last], carried to the
+  // next level so no support is ever recomputed from the table.
+  s.subset.clear();
+  s.cand_bits.assign(words, 0);
   uint32_t level = 1;
-  while (!frequent.empty() &&
+  while (!s.level_idx.empty() &&
          (params_.max_pattern_size == 0 || level < params_.max_pattern_size)) {
-    const std::vector<Pattern> candidates = GenerateCandidates(frequent);
+    const size_t k = level;  // current pattern size
+    const size_t level_count = s.level_idx.size() / k;
     ++level;
-    std::vector<Pattern> next;
-    for (const Pattern& candidate : candidates) {
-      ++stats_.candidates_checked;
-      auto fcp = MakeFcpIfFrequent(candidate, support_of(candidate),
-                                   params_.theta, segment.id());
-      if (!fcp.has_value()) continue;
-      next.push_back(candidate);
-      if (level >= params_.min_pattern_size) {
-        out->push_back(*std::move(fcp));
-        ++stats_.fcps_emitted;
+    s.next_idx.clear();
+    s.next_bits.clear();
+
+    // True iff every size-k subset of (prefix[0..k-1], last) obtained by
+    // dropping a non-parent position is in the (lexicographically sorted)
+    // level store. Binary search over the flat stride-k rows.
+    auto all_subsets_frequent = [&](const uint32_t* prefix, uint32_t last) {
+      s.subset.resize(k);
+      for (size_t drop = 0; drop + 2 < k + 1; ++drop) {
+        size_t w = 0;
+        for (size_t i = 0; i < k; ++i) {
+          if (i != drop) s.subset[w++] = prefix[i];
+        }
+        s.subset[w] = last;
+        size_t lo = 0, hi = level_count;
+        bool found = false;
+        while (lo < hi) {
+          const size_t mid = (lo + hi) / 2;
+          const uint32_t* row = s.level_idx.data() + mid * k;
+          if (std::lexicographical_compare(row, row + k, s.subset.data(),
+                                           s.subset.data() + k)) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        if (lo < level_count) {
+          const uint32_t* row = s.level_idx.data() + lo * k;
+          found = std::equal(row, row + k, s.subset.data());
+        }
+        if (!found) return false;
+      }
+      return true;
+    };
+
+    for (size_t i = 0; i < level_count; ++i) {
+      const uint32_t* pi = s.level_idx.data() + i * k;
+      const uint64_t* bi = s.level_bits.data() + i * words;
+      for (size_t j = i + 1; j < level_count; ++j) {
+        const uint32_t* pj = s.level_idx.data() + j * k;
+        // Patterns sharing the first k-1 indices are contiguous in
+        // lexicographic order; stop as soon as the prefix diverges.
+        if (!std::equal(pi, pi + k - 1, pj)) break;
+        const uint32_t last = pj[k - 1];
+        if (!all_subsets_frequent(pi, last)) continue;
+        ++stats_.candidates_checked;
+        const uint64_t* bo = s.object_bits.data() + last * words;
+        for (size_t w = 0; w < words; ++w) s.cand_bits[w] = bi[w] & bo[w];
+        if (!evaluate(s.cand_bits.data())) continue;
+        s.next_idx.insert(s.next_idx.end(), pi, pi + k);
+        s.next_idx.push_back(last);
+        s.next_bits.insert(s.next_bits.end(), s.cand_bits.begin(),
+                           s.cand_bits.end());
+        if (level >= params_.min_pattern_size) {
+          emit(s.next_idx.data() + s.next_idx.size() - (k + 1), k + 1);
+        }
       }
     }
-    frequent = std::move(next);
+    std::swap(s.level_idx, s.next_idx);
+    std::swap(s.level_bits, s.next_bits);
   }
 }
 

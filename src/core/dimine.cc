@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/hash.h"
 #include "core/apriori.h"
+#include "util/intersect.h"
 #include "util/stopwatch.h"
 
 namespace fcp {
@@ -110,11 +111,10 @@ void DiMine::Mine(const Segment& segment, std::vector<Fcp>* out) {
       auto parent_it = supports.find(parent);
       FCP_DCHECK(parent_it != supports.end());
       const std::vector<SegmentId>& last_posting = valid.at(candidate.back());
+      // Zipf-skewed posting lists make the parent/posting size ratio large;
+      // galloping turns the intersection into O(small * log(large)).
       std::vector<SegmentId> supporters;
-      std::set_intersection(parent_it->second.begin(),
-                            parent_it->second.end(), last_posting.begin(),
-                            last_posting.end(),
-                            std::back_inserter(supporters));
+      IntersectSorted(parent_it->second, last_posting, &supporters);
       auto fcp = MakeFcpIfFrequent(candidate, occurrences_of(supporters),
                                    params_.theta, segment.id());
       if (!fcp.has_value()) continue;

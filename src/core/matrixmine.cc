@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/hash.h"
 #include "core/apriori.h"
+#include "util/intersect.h"
 #include "util/stopwatch.h"
 
 namespace fcp {
@@ -111,10 +112,9 @@ void MatrixMine::Mine(const Segment& segment, std::vector<Fcp>* out) {
         FCP_DCHECK(parent_it != supports.end());
         const std::vector<SegmentId> pair_cell = index_.ValidSegments(
             candidate.front(), candidate.back(), now, params_.tau);
-        std::set_intersection(parent_it->second.begin(),
-                              parent_it->second.end(), pair_cell.begin(),
-                              pair_cell.end(),
-                              std::back_inserter(supporters));
+        // Pair cells of hot object pairs dwarf the parent supporter list;
+        // galloping keeps the intersection near the small side's size.
+        IntersectSorted(parent_it->second, pair_cell, &supporters);
       }
       auto fcp = MakeFcpIfFrequent(candidate, occurrences_of(supporters),
                                    params_.theta, segment.id());

@@ -2,35 +2,17 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/check.h"
 #include "util/memory.h"
 
 namespace fcp {
 
-// One (segment, length) pair recorded on a tail node — the only place the
-// Seg-tree stores per-segment membership (paper Section 4.3).
-struct SegTree::TailEntry {
-  SegmentId segment;
-  uint32_t length;
-  // Denormalized segment metadata so the search path never touches the
-  // registry hash map (one entry per live segment; the duplication is tiny).
-  StreamId stream;
-  Timestamp start;
-  Timestamp end;
-};
-
-// Tlist element: completion-ordered reference to a segment (via tail_of_).
-struct SegTree::TlistEntry {
-  SegmentId segment;
-  Timestamp start;
-  Timestamp end;
-};
-
 struct SegTree::Node {
-  explicit Node(ObjectId obj) : object(obj) {}
+  Node() = default;
 
-  ObjectId object;
+  ObjectId object = kInvalidObjectId;
   // Upper bound on the number of edges from this node to the farthest tail
   // node among segments containing it (exact after insertion; may
   // overestimate after deletions, which only weakens pruning).
@@ -40,33 +22,25 @@ struct SegTree::Node {
 
   Node* parent = nullptr;
   uint32_t parent_index = 0;  // position in parent->children (swap-erase)
-  std::vector<Node*> children;
+  PooledVec<Node*> children;  // chunk-arena backed (see ChunkArena)
 
   // Doubly linked Hlist chain of nodes carrying the same object.
   Node* hnext = nullptr;
   Node* hprev = nullptr;
 
   // Non-empty iff this is a tail node.
-  std::vector<TailEntry> tails;
-};
-
-struct SegTree::PrefixMatch {
-  std::vector<Node*> path;  // matched nodes, in segment order (maybe empty)
+  PooledVec<TailEntry> tails;
 };
 
 SegTree::SegTree(SegTreeOptions options)
-    : options_(options), root_(new Node(kInvalidObjectId)) {}
-
-SegTree::~SegTree() {
-  // Iterative post-order delete.
-  std::vector<Node*> stack{root_};
-  while (!stack.empty()) {
-    Node* n = stack.back();
-    stack.pop_back();
-    for (Node* c : n->children) stack.push_back(c);
-    delete n;
-  }
+    : options_(options),
+      pool_(options.pool_slab_nodes),
+      child_arena_(options.chunk_slab_bytes),
+      tail_arena_(options.chunk_slab_bytes) {
+  root_ = pool_.Acquire();  // freshly constructed: fields are default-init
 }
+
+SegTree::~SegTree() = default;  // pool_ destroys every node it ever made
 
 // ---------------------------------------------------------------------------
 // Low-level linkage helpers
@@ -75,7 +49,26 @@ SegTree::~SegTree() {
 SegTree::Node* SegTree::NewNode(ObjectId object) {
   ++num_nodes_;
   ++stats_.nodes_created;
-  return new Node(object);
+  Node* node = pool_.Acquire();
+  stats_.nodes_recycled = pool_.stats().objects_recycled;
+  node->object = object;
+  node->distance = 0;
+  node->count = 0;
+  node->parent = nullptr;
+  node->parent_index = 0;
+  node->hnext = node->hprev = nullptr;
+  FCP_DCHECK(node->children.empty() && node->tails.empty());
+  return node;
+}
+
+void SegTree::FreeNode(Node* node) {
+  // The arrays go back to their capacity-class free lists, not to the node:
+  // whichever node next needs that capacity reuses them.
+  node->children.Reset(child_arena_);
+  node->tails.Reset(tail_arena_);
+  pool_.Release(node);
+  --num_nodes_;
+  ++stats_.nodes_deleted;
 }
 
 void SegTree::LinkIntoHlist(Node* node) {
@@ -90,12 +83,12 @@ void SegTree::UnlinkFromHlist(Node* node) {
   if (node->hprev != nullptr) {
     node->hprev->hnext = node->hnext;
   } else {
-    auto it = hlist_.find(node->object);
-    FCP_DCHECK(it != hlist_.end() && it->second == node);
+    Node** head = hlist_.Find(node->object);
+    FCP_DCHECK(head != nullptr && *head == node);
     if (node->hnext == nullptr) {
-      hlist_.erase(it);
+      hlist_.Erase(node->object);
     } else {
-      it->second = node->hnext;
+      *head = node->hnext;
     }
   }
   if (node->hnext != nullptr) node->hnext->hprev = node->hprev;
@@ -105,7 +98,7 @@ void SegTree::UnlinkFromHlist(Node* node) {
 void SegTree::AttachChild(Node* parent, Node* child) {
   child->parent = parent;
   child->parent_index = static_cast<uint32_t>(parent->children.size());
-  parent->children.push_back(child);
+  parent->children.push_back(child, child_arena_);
 }
 
 void SegTree::DetachChild(Node* child) {
@@ -126,15 +119,16 @@ void SegTree::DetachChild(Node* child) {
 // Insertion (paper Section 4.4, Algorithm 1)
 // ---------------------------------------------------------------------------
 
-SegTree::PrefixMatch SegTree::FindLongestMatchingPrefix(
-    const std::vector<SegmentEntry>& entries) const {
-  PrefixMatch best;
-  auto it = hlist_.find(entries.front().object);
-  if (it == hlist_.end()) return best;
+void SegTree::FindLongestMatchingPrefix(
+    const std::vector<SegmentEntry>& entries) {
+  std::vector<Node*>& best = prefix_best_scratch_;
+  std::vector<Node*>& path = prefix_path_scratch_;
+  best.clear();
+  Node* const* head = hlist_.Find(entries.front().object);
+  if (head == nullptr) return;
 
-  std::vector<Node*> path;
   uint32_t probes = 0;
-  for (Node* start = it->second; start != nullptr; start = start->hnext) {
+  for (Node* start = *head; start != nullptr; start = start->hnext) {
     // Bound the number of candidate start nodes examined: popular objects
     // (hot words) can have thousands of chain nodes, and prefix sharing is
     // an optimization, not a correctness requirement. Chains are
@@ -158,10 +152,9 @@ SegTree::PrefixMatch SegTree::FindLongestMatchingPrefix(
       path.push_back(next);
       cur = next;
     }
-    if (path.size() > best.path.size()) best.path = path;
-    if (best.path.size() == entries.size()) break;  // cannot do better
+    if (path.size() > best.size()) best.assign(path.begin(), path.end());
+    if (best.size() == entries.size()) break;  // cannot do better
   }
-  return best;
 }
 
 void SegTree::Insert(const Segment& segment) {
@@ -170,20 +163,21 @@ void SegTree::Insert(const Segment& segment) {
   FCP_CHECK(length > 0);
   FCP_CHECK(registry_.Find(segment.id()) == nullptr);
 
-  PrefixMatch match = FindLongestMatchingPrefix(entries);
+  FindLongestMatchingPrefix(entries);
+  const std::vector<Node*>& prefix = prefix_best_scratch_;
 
   // Update the attributes of the shared prefix (Example 3).
-  for (size_t i = 0; i < match.path.size(); ++i) {
-    Node* node = match.path[i];
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    Node* node = prefix[i];
     node->count += 1;
     node->distance =
         std::max(node->distance, length - 1 - static_cast<uint32_t>(i));
   }
-  stats_.prefix_nodes_shared += match.path.size();
+  stats_.prefix_nodes_shared += prefix.size();
 
   // Append the remaining objects below the prefix (or below the root).
-  Node* cur = match.path.empty() ? root_ : match.path.back();
-  for (size_t i = match.path.size(); i < entries.size(); ++i) {
+  Node* cur = prefix.empty() ? root_ : prefix.back();
+  for (size_t i = prefix.size(); i < entries.size(); ++i) {
     Node* node = NewNode(entries[i].object);
     node->count = 1;
     node->distance = length - 1 - static_cast<uint32_t>(i);
@@ -194,8 +188,9 @@ void SegTree::Insert(const Segment& segment) {
 
   // `cur` is the tail node of this segment.
   cur->tails.push_back(TailEntry{segment.id(), length, segment.stream(),
-                                 segment.start_time(), segment.end_time()});
-  tail_of_.emplace(segment.id(), cur);
+                                 segment.start_time(), segment.end_time()},
+                       tail_arena_);
+  tail_of_.Insert(segment.id(), cur);
   registry_.Add(segment.id(),
                 SegmentInfo{segment.stream(), segment.start_time(),
                             segment.end_time(), length});
@@ -210,26 +205,28 @@ void SegTree::Insert(const Segment& segment) {
 // ---------------------------------------------------------------------------
 
 void SegTree::Remove(SegmentId id) {
-  auto it = tail_of_.find(id);
-  if (it == tail_of_.end()) return;  // already removed (lazy deletion races)
+  if (tail_of_.Find(id) == nullptr) return;  // removed (lazy deletion races)
   RemoveSegmentPath(id);
 }
 
 void SegTree::RemoveSegmentPath(SegmentId id) {
-  Node* tail = tail_of_.at(id);
+  Node* const* tail_slot = tail_of_.Find(id);
+  FCP_CHECK(tail_slot != nullptr);
+  Node* tail = *tail_slot;
   const SegmentInfo* info = registry_.Find(id);
   FCP_CHECK(info != nullptr);
   const uint32_t length = info->length;
 
   // Drop the tail entry.
   auto& tails = tail->tails;
-  auto te = std::find_if(tails.begin(), tails.end(),
-                         [&](const TailEntry& t) { return t.segment == id; });
-  FCP_CHECK(te != tails.end());
-  tails.erase(te);
+  size_t te = 0;
+  while (te < tails.size() && tails[te].segment != id) ++te;
+  FCP_CHECK(te < tails.size());
+  tails.erase_at(te);
 
   // Reconstruct the segment's node path by backtracking length-1 edges.
-  std::vector<Node*> path(length);
+  std::vector<Node*>& path = path_scratch_;
+  path.resize(length);
   Node* n = tail;
   for (uint32_t i = 0; i < length; ++i) {
     FCP_CHECK(n != nullptr && n != root_);
@@ -256,13 +253,12 @@ void SegTree::RemoveSegmentPath(SegmentId id) {
     }
     DetachChild(p);
     UnlinkFromHlist(p);
-    delete p;
-    --num_nodes_;
-    ++stats_.nodes_deleted;
+    FreeNode(p);
   }
+  path.clear();
 
   total_objects_ -= length;
-  tail_of_.erase(id);
+  tail_of_.Erase(id);
   registry_.Remove(id);
   ++stats_.segments_removed;
   // The Tlist entry is left behind and skipped/cleaned by RemoveExpired.
@@ -296,14 +292,14 @@ bool SegTree::TryGraft(Node* subtree_root) {
   // Any live segment with a tail inside the detached subtree is fully
   // contained in it (otherwise the deleted ancestors would have had
   // count > 0), so rewriting what is above the subtree root is safe.
-  auto it = hlist_.find(subtree_root->object);
-  if (it == hlist_.end()) return false;
+  Node* const* head = hlist_.Find(subtree_root->object);
+  if (head == nullptr) return false;
 
   auto parent_of = [](const void* n) -> const void* {
     return static_cast<const Node*>(n)->parent;
   };
   Node* target = nullptr;
-  for (Node* q = it->second; q != nullptr; q = q->hnext) {
+  for (Node* q = *head; q != nullptr; q = q->hnext) {
     if (q == subtree_root) continue;
     // A count==0 node is mid-deletion (live nodes always have count >= 1):
     // grafting into it would revive it only for RemoveSegmentPath to delete
@@ -316,8 +312,11 @@ bool SegTree::TryGraft(Node* subtree_root) {
   if (target == nullptr) return false;
 
   // Recursive merge: absorb `src` into `dst` (same object), then merge or
-  // attach src's children. Uses an explicit worklist to bound stack depth.
-  std::vector<std::pair<Node*, Node*>> work{{target, subtree_root}};
+  // attach src's children. Uses an explicit worklist (member scratch, so
+  // steady-state deletion stays allocation-free) to bound stack depth.
+  std::vector<std::pair<Node*, Node*>>& work = graft_work_;
+  work.clear();
+  work.emplace_back(target, subtree_root);
   while (!work.empty()) {
     auto [dst, src] = work.back();
     work.pop_back();
@@ -325,8 +324,10 @@ bool SegTree::TryGraft(Node* subtree_root) {
     dst->count += src->count;
     dst->distance = std::max(dst->distance, src->distance);
     for (const TailEntry& t : src->tails) {
-      dst->tails.push_back(t);
-      tail_of_[t.segment] = dst;
+      dst->tails.push_back(t, tail_arena_);
+      Node** slot = tail_of_.Find(t.segment);
+      FCP_DCHECK(slot != nullptr);
+      *slot = dst;
     }
     while (!src->children.empty()) {
       Node* sc = src->children.back();
@@ -349,9 +350,7 @@ bool SegTree::TryGraft(Node* subtree_root) {
       }
     }
     UnlinkFromHlist(src);
-    delete src;
-    --num_nodes_;
-    ++stats_.nodes_deleted;
+    FreeNode(src);
   }
   return true;
 }
@@ -433,10 +432,10 @@ std::vector<SegmentId> SegTree::RelevantSegments(ObjectId object,
                                                  Timestamp now,
                                                  DurationMs tau) const {
   std::vector<SegmentId> result;
-  auto it = hlist_.find(object);
-  if (it == hlist_.end()) return result;
+  Node* const* head = hlist_.Find(object);
+  if (head == nullptr) return result;
   std::vector<const TailEntry*> hits;
-  for (const Node* n = it->second; n != nullptr; n = n->hnext) {
+  for (const Node* n = *head; n != nullptr; n = n->hnext) {
     CollectRelevantTails(n, now, tau, &hits, nullptr);
   }
   result.reserve(hits.size());
@@ -446,9 +445,9 @@ std::vector<SegmentId> SegTree::RelevantSegments(ObjectId object,
   return result;
 }
 
-std::vector<LcpRow> SegTree::Slcp(const Segment& probe, Timestamp now,
-                                  DurationMs tau,
-                                  std::vector<SegmentId>* expired) const {
+void SegTree::SlcpInto(const Segment& probe, Timestamp now, DurationMs tau,
+                       std::vector<SegmentId>* expired, LcpTable* out) const {
+  out->Clear();
   // Gather (segment, probe-object) hit records, then sort and group them
   // into one row per relevant segment. Sorting a flat hit vector is markedly
   // faster than hash-accumulating per hit (popular objects produce
@@ -461,12 +460,21 @@ std::vector<LcpRow> SegTree::Slcp(const Segment& probe, Timestamp now,
   };
   static thread_local std::vector<Hit> hit_records;
   static thread_local std::vector<const TailEntry*> hits;
+  static thread_local std::vector<ObjectId> probe_objects;
   hit_records.clear();
-  for (ObjectId object : probe.DistinctObjects()) {
-    auto it = hlist_.find(object);
-    if (it == hlist_.end()) continue;
+  probe_objects.clear();
+  for (const SegmentEntry& entry : probe.entries()) {
+    probe_objects.push_back(entry.object);
+  }
+  std::sort(probe_objects.begin(), probe_objects.end());
+  probe_objects.erase(
+      std::unique(probe_objects.begin(), probe_objects.end()),
+      probe_objects.end());
+  for (ObjectId object : probe_objects) {
+    Node* const* head = hlist_.Find(object);
+    if (head == nullptr) continue;
     hits.clear();
-    for (const Node* n = it->second; n != nullptr; n = n->hnext) {
+    for (const Node* n = *head; n != nullptr; n = n->hnext) {
       CollectRelevantTails(n, now, tau, &hits, expired);
     }
     for (const TailEntry* t : hits) {
@@ -479,27 +487,47 @@ std::vector<LcpRow> SegTree::Slcp(const Segment& probe, Timestamp now,
               return a.object < b.object;
             });
 
-  std::vector<LcpRow> rows;
   for (size_t i = 0; i < hit_records.size();) {
     const Hit& first = hit_records[i];
-    LcpRow row;
+    LcpTable::Row row;
     row.segment = first.segment;
     row.stream = first.tail->stream;
     row.start = first.tail->start;
     row.end = first.tail->end;
+    row.common_begin = static_cast<uint32_t>(out->common_pool.size());
     while (i < hit_records.size() &&
            hit_records[i].segment == first.segment) {
-      if (row.common.empty() || row.common.back() != hit_records[i].object) {
-        row.common.push_back(hit_records[i].object);
+      if (out->common_pool.size() == row.common_begin ||
+          out->common_pool.back() != hit_records[i].object) {
+        out->common_pool.push_back(hit_records[i].object);
       }
       ++i;
     }
-    rows.push_back(std::move(row));
+    row.common_end = static_cast<uint32_t>(out->common_pool.size());
+    out->rows.push_back(row);
   }
   if (expired != nullptr) {
     std::sort(expired->begin(), expired->end());
     expired->erase(std::unique(expired->begin(), expired->end()),
                    expired->end());
+  }
+}
+
+std::vector<LcpRow> SegTree::Slcp(const Segment& probe, Timestamp now,
+                                  DurationMs tau,
+                                  std::vector<SegmentId>* expired) const {
+  LcpTable table;
+  SlcpInto(probe, now, tau, expired, &table);
+  std::vector<LcpRow> rows;
+  rows.reserve(table.rows.size());
+  for (const LcpTable::Row& row : table.rows) {
+    LcpRow out;
+    out.segment = row.segment;
+    out.stream = row.stream;
+    out.start = row.start;
+    out.end = row.end;
+    out.common.assign(table.CommonBegin(row), table.CommonEnd(row));
+    rows.push_back(std::move(out));
   }
   return rows;
 }
@@ -514,23 +542,19 @@ double SegTree::CompressionRatio() const {
          static_cast<double>(total_objects_);
 }
 
+size_t SegTree::ArenaBytes() const {
+  return pool_.SlabBytes() + pool_.FreeListBytes() + child_arena_.SlabBytes() +
+         child_arena_.FreeListBytes() + tail_arena_.SlabBytes() +
+         tail_arena_.FreeListBytes();
+}
+
 size_t SegTree::MemoryUsage() const {
-  size_t bytes = 0;
-  // Tree nodes (walk; MemoryUsage is called at sampling granularity only).
-  std::vector<const Node*> stack{root_};
-  while (!stack.empty()) {
-    const Node* n = stack.back();
-    stack.pop_back();
-    bytes += sizeof(Node);
-    bytes += n->children.capacity() * sizeof(Node*);
-    bytes += n->tails.capacity() * sizeof(TailEntry);
-    for (const Node* c : n->children) stack.push_back(c);
-  }
-  bytes += HashMapFootprint<ObjectId, Node*>(hlist_.size());
-  bytes += DequeFootprint<TlistEntry>(tlist_.size());
-  bytes += HashMapFootprint<SegmentId, Node*>(tail_of_.size());
-  bytes += registry_.MemoryUsage();
-  return bytes;
+  // Every node struct and every child/tail array lives in the arenas, so
+  // ArenaBytes() — slabs counted in full, live, free-listed and never-used
+  // space alike — already covers the whole tree without walking it. That
+  // memory is held either way, so the figure never undercounts.
+  return ArenaBytes() + hlist_.MemoryUsage() + tlist_.MemoryUsage() +
+         tail_of_.MemoryUsage() + registry_.MemoryUsage();
 }
 
 void SegTree::CheckInvariants() const {
@@ -562,9 +586,9 @@ void SegTree::CheckInvariants() const {
   // contributes to counts; distance is an upper bound along the path.
   uint64_t objects_total = 0;
   for (const auto& [id, info] : registry_) {
-    auto it = tail_of_.find(id);
-    FCP_CHECK(it != tail_of_.end());
-    const Node* n = it->second;
+    Node* const* tail_slot = tail_of_.Find(id);
+    FCP_CHECK(tail_slot != nullptr);
+    const Node* n = *tail_slot;
     bool tail_entry_found = false;
     for (const TailEntry& t : n->tails) {
       if (t.segment == id) {

@@ -15,19 +15,27 @@
 //  - Disconnected subtrees produced by deletion are re-attached under the
 //    root by default; the paper's prefix-graft is available as an option
 //    (`SegTreeOptions::graft_on_delete`) and benchmarked as an ablation.
+//
+// Hot-path memory layout (DESIGN.md §2 "Hot-path memory layout"): nodes live
+// in a slab ObjectPool; their child and tail arrays live in size-class
+// ChunkArenas and are recycled through per-capacity free lists; the id maps
+// are open-addressing FlatMaps and the Tlist is a ring buffer. Steady-state
+// insert/remove churn therefore performs no heap allocations once the
+// structures are warm.
 
 #ifndef FCP_INDEX_SEG_TREE_H_
 #define FCP_INDEX_SEG_TREE_H_
 
 #include <cstdint>
-#include <deque>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
 #include "index/segment_registry.h"
 #include "stream/segment.h"
+#include "util/arena.h"
+#include "util/flat_map.h"
+#include "util/ring_buffer.h"
 
 namespace fcp {
 
@@ -50,6 +58,12 @@ struct SegTreeOptions {
   /// compression optimization, so bounding the scan trades a little
   /// compression for O(1) insertion on skewed data.
   uint32_t max_prefix_probes = 64;
+
+  /// Nodes per arena slab of the node pool.
+  size_t pool_slab_nodes = 512;
+
+  /// Bytes per slab of the child/tail chunk arenas.
+  size_t chunk_slab_bytes = 64 * 1024;
 };
 
 /// Counters describing Seg-tree activity (inspected by tests and benches).
@@ -58,6 +72,7 @@ struct SegTreeStats {
   uint64_t segments_removed = 0;
   uint64_t nodes_created = 0;
   uint64_t nodes_deleted = 0;
+  uint64_t nodes_recycled = 0;  ///< node acquisitions served by the free list
   uint64_t prefix_nodes_shared = 0;  ///< nodes reused via prefix match
   uint64_t subtrees_reattached = 0;
   uint64_t subtrees_grafted = 0;
@@ -66,12 +81,47 @@ struct SegTreeStats {
 
 /// One row of an SLCP result: an existing segment and the set of objects it
 /// shares with the probe segment (its largest common CP with the probe).
+/// This is the owning, allocation-per-row convenience shape; the mining hot
+/// path uses LcpTable instead.
 struct LcpRow {
   SegmentId segment = kInvalidSegmentId;
   StreamId stream = 0;
   Timestamp start = 0;
   Timestamp end = 0;
   std::vector<ObjectId> common;  ///< sorted distinct objects
+};
+
+/// Flat, reusable SLCP result: one Row per relevant segment, with each row's
+/// common-object set stored as a [begin, end) slice of one shared pool.
+/// Clearing keeps the capacity, so a table reused across triggers stops
+/// allocating once warm — the zero-allocation counterpart of
+/// std::vector<LcpRow>.
+struct LcpTable {
+  struct Row {
+    SegmentId segment = kInvalidSegmentId;
+    StreamId stream = 0;
+    Timestamp start = 0;
+    Timestamp end = 0;
+    uint32_t common_begin = 0;  ///< index into common_pool
+    uint32_t common_end = 0;    ///< one past the row's last common object
+  };
+
+  std::vector<Row> rows;
+  std::vector<ObjectId> common_pool;  ///< sorted distinct objects per row
+
+  void Clear() {
+    rows.clear();
+    common_pool.clear();
+  }
+  size_t CommonSize(const Row& row) const {
+    return row.common_end - row.common_begin;
+  }
+  const ObjectId* CommonBegin(const Row& row) const {
+    return common_pool.data() + row.common_begin;
+  }
+  const ObjectId* CommonEnd(const Row& row) const {
+    return common_pool.data() + row.common_end;
+  }
 };
 
 /// The Seg-tree index. Single-threaded; owned by a CooMine instance (or used
@@ -101,14 +151,21 @@ class SegTree {
   /// CooMine otherwise deletes lazily through ExpiredCandidates().
   size_t RemoveExpired(Timestamp now, DurationMs tau);
 
-  /// SLCP (paper Algorithm 2): for every object of `probe`, finds all valid
-  /// segments containing it via DistanceBound (Algorithm 3), and returns one
-  /// row per relevant segment with the common object set. Expired segments
-  /// encountered during the search are recorded in `expired` (if non-null)
-  /// for lazy deletion by the caller; they do not appear in the result.
+  /// SLCP (paper Algorithm 2) into a caller-owned reusable table: for every
+  /// object of `probe`, finds all valid segments containing it via
+  /// DistanceBound (Algorithm 3), and emits one row per relevant segment
+  /// with the common object set. Expired segments encountered during the
+  /// search are recorded in `expired` (if non-null) for lazy deletion by the
+  /// caller; they do not appear in the result.
   ///
   /// `now` anchors validity (callers pass the probe's end time). The probe
-  /// itself must not be in the tree yet (mine first, insert after).
+  /// itself must not be in the tree yet (mine first, insert after). `out` is
+  /// cleared first; with a warm table the call performs no allocations.
+  void SlcpInto(const Segment& probe, Timestamp now, DurationMs tau,
+                std::vector<SegmentId>* expired, LcpTable* out) const;
+
+  /// Convenience SLCP shape for tests/benches: same result as SlcpInto, one
+  /// owning LcpRow per relevant segment.
   std::vector<LcpRow> Slcp(const Segment& probe, Timestamp now,
                            DurationMs tau,
                            std::vector<SegmentId>* expired) const;
@@ -131,9 +188,13 @@ class SegTree {
   /// Compression ratio (d1-d2)/d1 per Section 6.3, 0 if empty.
   double CompressionRatio() const;
 
-  /// Analytic memory footprint (bytes) of the tree + Hlist + Tlist +
-  /// registry.
+  /// Memory footprint (bytes) of the tree + Hlist + Tlist + registry. Slab
+  /// arena bytes are counted in full (free-listed and never-used slots
+  /// included), so the figure never undercounts the true footprint.
   size_t MemoryUsage() const;
+
+  /// Bytes held by the node arena (slabs + free-list bookkeeping).
+  size_t ArenaBytes() const;
 
   const SegTreeStats& stats() const { return stats_; }
   const SegmentRegistry& registry() const { return registry_; }
@@ -148,14 +209,33 @@ class SegTree {
 
  private:
   struct Node;
-  struct TailEntry;     // one (segment, length) pair on a tail node
-  struct TlistEntry;    // Tlist element
-  struct PrefixMatch;   // result of the longest-matching-prefix search
+
+  // One (segment, length) pair recorded on a tail node — the only place the
+  // Seg-tree stores per-segment membership (paper Section 4.3).
+  struct TailEntry {
+    SegmentId segment;
+    uint32_t length;
+    // Denormalized segment metadata so the search path never touches the
+    // registry hash map (one entry per live segment; the duplication is
+    // tiny).
+    StreamId stream;
+    Timestamp start;
+    Timestamp end;
+  };
+
+  // Tlist element: completion-ordered reference to a segment (via tail_of_).
+  struct TlistEntry {
+    SegmentId segment = kInvalidSegmentId;
+    Timestamp start = 0;
+    Timestamp end = 0;
+  };
 
   // --- construction helpers ---
-  PrefixMatch FindLongestMatchingPrefix(
-      const std::vector<SegmentEntry>& entries) const;
+  // Fills prefix_best_scratch_ with the nodes of the longest matching
+  // prefix (possibly empty), in segment order.
+  void FindLongestMatchingPrefix(const std::vector<SegmentEntry>& entries);
   Node* NewNode(ObjectId object);
+  void FreeNode(Node* node);
   void LinkIntoHlist(Node* node);
   void UnlinkFromHlist(Node* node);
   void AttachChild(Node* parent, Node* child);
@@ -172,13 +252,26 @@ class SegTree {
                             std::vector<SegmentId>* expired) const;
 
   SegTreeOptions options_;
+  ObjectPool<Node> pool_;
+  // The nodes' child and tail arrays live in these size-class arenas (not in
+  // per-node std::vectors): a freed node's arrays go back to their capacity
+  // class, so ANY node that later needs that capacity reuses them — the
+  // property that makes steady-state churn allocation-free.
+  ChunkArena<Node*> child_arena_;
+  ChunkArena<TailEntry> tail_arena_;
   Node* root_;
-  std::unordered_map<ObjectId, Node*> hlist_;
-  std::deque<TlistEntry> tlist_;
-  std::unordered_map<SegmentId, Node*> tail_of_;  // segment -> its tail node
+  FlatMap<ObjectId, Node*> hlist_;
+  RingBuffer<TlistEntry> tlist_;
+  FlatMap<SegmentId, Node*> tail_of_;  // segment -> its tail node
   SegmentRegistry registry_;
   size_t num_nodes_ = 0;
   uint64_t total_objects_ = 0;
+  // Reusable hot-path buffers (cleared per call, capacity kept) so the
+  // steady-state insert/remove cycle performs no heap allocations.
+  std::vector<Node*> path_scratch_;         // RemoveSegmentPath backtrack
+  std::vector<Node*> prefix_path_scratch_;  // prefix-match trial path
+  std::vector<Node*> prefix_best_scratch_;  // prefix-match best path
+  std::vector<std::pair<Node*, Node*>> graft_work_;  // TryGraft worklist
   mutable SegTreeStats stats_;
 };
 

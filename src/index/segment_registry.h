@@ -8,11 +8,10 @@
 #define FCP_INDEX_SEGMENT_REGISTRY_H_
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "common/check.h"
 #include "common/types.h"
-#include "util/memory.h"
+#include "util/flat_map.h"
 
 namespace fcp {
 
@@ -24,23 +23,22 @@ struct SegmentInfo {
   uint32_t length = 0;  ///< number of objects (with multiplicity)
 };
 
-/// Id -> SegmentInfo map with expiry convenience queries.
+/// Id -> SegmentInfo map with expiry convenience queries. Backed by a flat
+/// open-addressing table, so a size-stable registry (steady-state stream
+/// churn) performs no heap allocations.
 class SegmentRegistry {
  public:
   /// Registers a segment. `id` must not already be present.
   void Add(SegmentId id, const SegmentInfo& info) {
-    const bool inserted = segments_.emplace(id, info).second;
+    const bool inserted = segments_.Insert(id, info);
     FCP_CHECK(inserted);
   }
 
   /// Looks up a segment; nullptr if it was never added or was removed.
-  const SegmentInfo* Find(SegmentId id) const {
-    auto it = segments_.find(id);
-    return it == segments_.end() ? nullptr : &it->second;
-  }
+  const SegmentInfo* Find(SegmentId id) const { return segments_.Find(id); }
 
   /// Removes a segment (no-op if absent). Returns true if it was present.
-  bool Remove(SegmentId id) { return segments_.erase(id) > 0; }
+  bool Remove(SegmentId id) { return segments_.Erase(id); }
 
   /// A segment is valid at `now` iff it exists and `now - start <= tau`
   /// (DESIGN.md Semantics #2).
@@ -57,15 +55,13 @@ class SegmentRegistry {
 
   size_t size() const { return segments_.size(); }
 
-  size_t MemoryUsage() const {
-    return HashMapFootprint<SegmentId, SegmentInfo>(segments_.size());
-  }
+  size_t MemoryUsage() const { return segments_.MemoryUsage(); }
 
   auto begin() const { return segments_.begin(); }
   auto end() const { return segments_.end(); }
 
  private:
-  std::unordered_map<SegmentId, SegmentInfo> segments_;
+  FlatMap<SegmentId, SegmentInfo> segments_;
 };
 
 }  // namespace fcp

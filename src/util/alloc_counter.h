@@ -1,0 +1,143 @@
+// Counting replacements for the global allocation functions.
+//
+// Include this header in EXACTLY ONE translation unit of a binary (the one
+// that defines main): it *defines* the replaceable global `operator new` /
+// `operator delete` overloads, so a second inclusion in the same binary is an
+// ODR violation. Every heap allocation made anywhere in the process is then
+// visible through the fcp::alloc_counter accessors, which is how the
+// hot-path benches and the allocation-regression test measure allocations/op
+// without a malloc-interposing profiler.
+//
+// The counters use relaxed atomics: the hot paths under measurement are
+// single-threaded, and cross-thread exactness is not needed — only the delta
+// observed by the measuring thread around its own allocations.
+
+#ifndef FCP_UTIL_ALLOC_COUNTER_H_
+#define FCP_UTIL_ALLOC_COUNTER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace fcp::alloc_counter {
+
+/// Number of successful heap allocations since process start.
+inline std::atomic<uint64_t>& AllocationCounter() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
+
+/// Number of (non-null) deallocations since process start.
+inline std::atomic<uint64_t>& DeallocationCounter() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
+
+/// Total bytes requested from the heap since process start.
+inline std::atomic<uint64_t>& ByteCounter() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
+
+inline uint64_t allocations() {
+  return AllocationCounter().load(std::memory_order_relaxed);
+}
+inline uint64_t deallocations() {
+  return DeallocationCounter().load(std::memory_order_relaxed);
+}
+inline uint64_t bytes_allocated() {
+  return ByteCounter().load(std::memory_order_relaxed);
+}
+
+inline void* CountedAllocate(std::size_t size, std::size_t alignment) {
+  AllocationCounter().fetch_add(1, std::memory_order_relaxed);
+  ByteCounter().fetch_add(size, std::memory_order_relaxed);
+  if (alignment <= alignof(std::max_align_t)) return std::malloc(size);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  return std::aligned_alloc(alignment, rounded);
+}
+
+// GCC pairs allocation/deallocation functions when both ends of a heap
+// object's life get inlined into one function and then flags our free() as
+// mismatched with `operator new` — but these helpers ARE the global operator
+// new/delete implementation, and free() is the matching call for the
+// malloc/aligned_alloc they perform.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+inline void CountedFree(void* ptr) {
+  if (ptr == nullptr) return;
+  DeallocationCounter().fetch_add(1, std::memory_order_relaxed);
+  std::free(ptr);  // glibc free() accepts aligned_alloc pointers
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace fcp::alloc_counter
+
+// --- Replaceable global allocation functions (defined once per binary). ----
+
+void* operator new(std::size_t size) {
+  void* p = fcp::alloc_counter::CountedAllocate(
+      size, alignof(std::max_align_t));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* p = fcp::alloc_counter::CountedAllocate(
+      size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return ::operator new(size, alignment);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return fcp::alloc_counter::CountedAllocate(size,
+                                             alignof(std::max_align_t));
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+
+void operator delete(void* ptr) noexcept { fcp::alloc_counter::CountedFree(ptr); }
+void operator delete[](void* ptr) noexcept { fcp::alloc_counter::CountedFree(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept {
+  fcp::alloc_counter::CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::size_t) noexcept {
+  fcp::alloc_counter::CountedFree(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  fcp::alloc_counter::CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  fcp::alloc_counter::CountedFree(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  fcp::alloc_counter::CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  fcp::alloc_counter::CountedFree(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  fcp::alloc_counter::CountedFree(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  fcp::alloc_counter::CountedFree(ptr);
+}
+
+#endif  // FCP_UTIL_ALLOC_COUNTER_H_

@@ -1,0 +1,204 @@
+// Open-addressing hash map for integral keys on the mining hot path.
+//
+// std::unordered_map allocates one heap node per element, so the Seg-tree's
+// id -> node and object -> chain-head maps produced a malloc/free pair per
+// segment even at steady state. FlatMap stores slots inline in one flat
+// array (linear probing, power-of-two capacity) and erases with
+// backward-shift deletion, so there are no tombstones and a size-stable map
+// performs ZERO heap allocations: memory is only touched when the element
+// count outgrows the load-factor bound and the table rehashes.
+//
+// Not a general-purpose map: keys must be integral (hashed with Mix64),
+// iteration order is unspecified, and iterators/pointers are invalidated by
+// any mutation (the callers only iterate over a map they are not mutating).
+
+#ifndef FCP_UTIL_FLAT_MAP_H_
+#define FCP_UTIL_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace fcp {
+
+template <typename K, typename V>
+class FlatMap {
+  static_assert(std::is_integral_v<K>, "FlatMap keys must be integral ids");
+
+ public:
+  using value_type = std::pair<K, V>;
+
+  FlatMap() = default;
+
+  /// Ensures capacity for `n` elements without rehashing.
+  void Reserve(size_t n) {
+    size_t cap = kMinCapacity;
+    while (cap * kMaxLoadNum < n * kMaxLoadDen) cap <<= 1;
+    if (cap > slots_.size()) Rehash(cap);
+  }
+
+  V* Find(K key) {
+    if (size_ == 0) return nullptr;
+    for (size_t i = Home(key);; i = Next(i)) {
+      if (!used_[i]) return nullptr;
+      if (slots_[i].first == key) return &slots_[i].second;
+    }
+  }
+  const V* Find(K key) const {
+    return const_cast<FlatMap*>(this)->Find(key);
+  }
+
+  bool Contains(K key) const { return Find(key) != nullptr; }
+
+  /// Returns the value for `key`, inserting a default-constructed V first if
+  /// absent (the unordered_map operator[] shape the index code uses).
+  V& operator[](K key) {
+    MaybeGrow();
+    for (size_t i = Home(key);; i = Next(i)) {
+      if (!used_[i]) {
+        used_[i] = 1;
+        slots_[i].first = key;
+        slots_[i].second = V{};
+        ++size_;
+        return slots_[i].second;
+      }
+      if (slots_[i].first == key) return slots_[i].second;
+    }
+  }
+
+  /// Inserts (key, value); returns false (leaving the map unchanged) if the
+  /// key is already present.
+  bool Insert(K key, V value) {
+    MaybeGrow();
+    for (size_t i = Home(key);; i = Next(i)) {
+      if (!used_[i]) {
+        used_[i] = 1;
+        slots_[i].first = key;
+        slots_[i].second = std::move(value);
+        ++size_;
+        return true;
+      }
+      if (slots_[i].first == key) return false;
+    }
+  }
+
+  /// Removes `key` if present (backward-shift deletion: no tombstones, so
+  /// load factor — and therefore rehash pressure — never creeps up under
+  /// churn). Returns true iff the key was present.
+  bool Erase(K key) {
+    if (size_ == 0) return false;
+    size_t i = Home(key);
+    for (;; i = Next(i)) {
+      if (!used_[i]) return false;
+      if (slots_[i].first == key) break;
+    }
+    // Shift the probe chain back over the hole.
+    size_t hole = i;
+    for (size_t j = Next(i);; j = Next(j)) {
+      if (!used_[j]) break;
+      const size_t home = Home(slots_[j].first);
+      // `j` may move into the hole iff its home position is not inside the
+      // (hole, j] cycle — i.e. the element is not already as close to its
+      // home as the hole would allow.
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+    }
+    used_[hole] = 0;
+    slots_[hole].second = V{};  // drop payload resources eagerly
+    --size_;
+    return true;
+  }
+
+  void Clear() {
+    std::fill(used_.begin(), used_.end(), uint8_t{0});
+    for (auto& slot : slots_) slot.second = V{};
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Bytes held by the table (slot array + occupancy bytes).
+  size_t MemoryUsage() const {
+    return slots_.capacity() * sizeof(value_type) +
+           used_.capacity() * sizeof(uint8_t) + sizeof(*this);
+  }
+
+  /// Forward iterator over occupied slots (unspecified order). Mutation
+  /// invalidates iterators.
+  class const_iterator {
+   public:
+    const_iterator(const FlatMap* map, size_t index)
+        : map_(map), index_(index) {
+      SkipFree();
+    }
+    const value_type& operator*() const { return map_->slots_[index_]; }
+    const value_type* operator->() const { return &map_->slots_[index_]; }
+    const_iterator& operator++() {
+      ++index_;
+      SkipFree();
+      return *this;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.index_ == b.index_;
+    }
+
+   private:
+    void SkipFree() {
+      while (index_ < map_->slots_.size() && !map_->used_[index_]) ++index_;
+    }
+    const FlatMap* map_;
+    size_t index_;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, slots_.size()); }
+
+ private:
+  static constexpr size_t kMinCapacity = 16;
+  // Max load factor 7/8: linear probing stays fast and growth is rare.
+  static constexpr size_t kMaxLoadNum = 7;
+  static constexpr size_t kMaxLoadDen = 8;
+
+  size_t Home(K key) const {
+    return static_cast<size_t>(Mix64(static_cast<uint64_t>(key))) & mask_;
+  }
+  size_t Next(size_t i) const { return (i + 1) & mask_; }
+
+  void MaybeGrow() {
+    if (slots_.empty()) {
+      Rehash(kMinCapacity);
+    } else if ((size_ + 1) * kMaxLoadDen > slots_.size() * kMaxLoadNum) {
+      Rehash(slots_.size() * 2);
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    FCP_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<value_type> old_slots = std::move(slots_);
+    std::vector<uint8_t> old_used = std::move(used_);
+    slots_.assign(new_capacity, value_type{});
+    used_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_used[i]) Insert(old_slots[i].first, std::move(old_slots[i].second));
+    }
+  }
+
+  std::vector<value_type> slots_;
+  std::vector<uint8_t> used_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_UTIL_FLAT_MAP_H_

@@ -1,0 +1,154 @@
+// Allocation-count regression tests for the zero-allocation hot path.
+//
+// The workload is a closed-universe cyclic replay: a fixed pool of segment
+// shapes repeated with fresh ids and time-shifted so each cycle expires the
+// previous one. After the warm cycles every arena, free list, flat map, ring
+// buffer and scratch vector has converged to its steady-state capacity, and
+// from then on CooMine::AddSegment (and the bare Seg-tree insert/expire
+// cycle) must perform ZERO heap allocations. The counter sees every
+// `operator new` in the process, so a single regression anywhere on the path
+// — an emplace into a node-based container, a vector that outgrew its
+// scratch, a std::function capture — fails the test deterministically.
+
+#include "util/alloc_counter.h"  // must be first: defines operator new/delete
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "index/seg_tree.h"
+#include "stream/segment.h"
+#include "util/rng.h"
+
+namespace fcp {
+namespace {
+
+// Deterministic segment pool over a small closed object universe: every
+// object appears in cycle one, so later cycles present no structural novelty
+// — only churn.
+std::vector<Segment> BuildSegmentPool(size_t count, Rng& rng) {
+  constexpr ObjectId kVocab = 200;
+  constexpr StreamId kStreams = 12;
+  std::vector<Segment> pool;
+  pool.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t length = 2 + rng.Below(5);
+    std::vector<SegmentEntry> entries;
+    const Timestamp time = static_cast<Timestamp>(i * 50);
+    for (size_t j = 0; j < length; ++j) {
+      entries.push_back(
+          SegmentEntry{static_cast<ObjectId>(rng.Below(kVocab)), time});
+    }
+    pool.emplace_back(static_cast<SegmentId>(i),
+                      static_cast<StreamId>(i % kStreams), std::move(entries));
+  }
+  return pool;
+}
+
+// `cycles` repetitions of the pool, each shifted by one full validity window
+// so the previous cycle is expired, with globally fresh segment ids.
+std::vector<Segment> BuildCyclicTrace(const std::vector<Segment>& pool,
+                                      int cycles, const MiningParams& params) {
+  Timestamp t_min = kMaxTimestamp;
+  Timestamp t_max = kMinTimestamp;
+  for (const Segment& s : pool) {
+    t_min = std::min(t_min, s.start_time());
+    t_max = std::max(t_max, s.end_time());
+  }
+  const Timestamp period = (t_max - t_min) + params.tau + params.xi;
+  std::vector<Segment> out;
+  out.reserve(pool.size() * static_cast<size_t>(cycles));
+  SegmentId next_id = 1;
+  for (int c = 0; c < cycles; ++c) {
+    const Timestamp shift = period * c;
+    for (const Segment& s : pool) {
+      std::vector<SegmentEntry> entries = s.entries();
+      for (SegmentEntry& e : entries) e.time += shift;
+      out.emplace_back(next_id++, s.stream(), std::move(entries));
+    }
+  }
+  return out;
+}
+
+MiningParams SteadyParams() {
+  MiningParams params;
+  params.xi = Seconds(60);
+  params.tau = Minutes(5);
+  params.theta = 1u << 20;  // unreachable: the mining path runs, emits nothing
+  params.min_pattern_size = 1;
+  params.max_pattern_size = 5;
+  params.max_segment_objects = 24;
+  return params;
+}
+
+TEST(AllocRegressionTest, CooMineSteadyStateAddSegmentIsAllocationFree) {
+  const MiningParams params = SteadyParams();
+  Rng rng(42);
+  const std::vector<Segment> trace =
+      BuildCyclicTrace(BuildSegmentPool(400, rng), /*cycles=*/6, params);
+
+  auto miner = MakeMiner(MinerKind::kCooMine, params);
+  std::vector<Fcp> sink;
+  sink.reserve(64);
+
+  // Warm: first 3 of 6 cycles.
+  const size_t warm = trace.size() / 2;
+  for (size_t i = 0; i < warm; ++i) {
+    sink.clear();
+    miner->AddSegment(trace[i], &sink);
+  }
+
+  const uint64_t before = alloc_counter::allocations();
+  for (size_t i = warm; i < trace.size(); ++i) {
+    sink.clear();
+    miner->AddSegment(trace[i], &sink);
+  }
+  const uint64_t allocations = alloc_counter::allocations() - before;
+  EXPECT_EQ(allocations, 0u)
+      << "steady-state AddSegment performed " << allocations
+      << " heap allocations over " << (trace.size() - warm) << " calls";
+}
+
+TEST(AllocRegressionTest, SegTreeSteadyStateChurnIsAllocationFree) {
+  const MiningParams params = SteadyParams();
+  Rng rng(7);
+  const std::vector<Segment> trace =
+      BuildCyclicTrace(BuildSegmentPool(300, rng), /*cycles=*/6, params);
+  const size_t per_cycle = trace.size() / 6;
+
+  // Insert one full cycle, then expire it while inserting the next: the
+  // bare index insert/expire churn, no mining on top.
+  SegTree tree;
+  const size_t warm = trace.size() / 2;
+  for (size_t i = 0; i < warm; ++i) {
+    tree.Insert(trace[i]);
+    tree.RemoveExpired(trace[i].end_time(), params.tau);
+  }
+
+  const uint64_t before = alloc_counter::allocations();
+  for (size_t i = warm; i < trace.size(); ++i) {
+    tree.Insert(trace[i]);
+    tree.RemoveExpired(trace[i].end_time(), params.tau);
+  }
+  const uint64_t allocations = alloc_counter::allocations() - before;
+  EXPECT_EQ(allocations, 0u)
+      << "steady-state Seg-tree churn performed " << allocations
+      << " heap allocations over " << (trace.size() - warm) << " cycles";
+  EXPECT_EQ(tree.num_segments(), per_cycle);
+  EXPECT_GT(tree.stats().nodes_recycled, 0u);
+}
+
+// Guards the counter itself: a build that silently drops the replaced
+// operator new (e.g. a sanitizer interposing malloc) would make the two
+// tests above pass vacuously.
+TEST(AllocRegressionTest, CounterObservesAllocations) {
+  const uint64_t before = alloc_counter::allocations();
+  std::vector<int>* v = new std::vector<int>(1000);
+  EXPECT_GT(alloc_counter::allocations(), before);
+  delete v;
+}
+
+}  // namespace
+}  // namespace fcp

@@ -1,0 +1,126 @@
+// Unit tests for the open-addressing FlatMap used by the Seg-tree's id maps.
+// The randomized mirror test is the load-bearing one: backward-shift
+// deletion is easy to get subtly wrong, and a wrong shift silently corrupts
+// unrelated keys.
+
+#include "util/flat_map.h"
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fcp {
+namespace {
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap<uint64_t, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(42), nullptr);
+
+  EXPECT_TRUE(map.Insert(42, 1));
+  EXPECT_FALSE(map.Insert(42, 2)) << "duplicate insert must be rejected";
+  ASSERT_NE(map.Find(42), nullptr);
+  EXPECT_EQ(*map.Find(42), 1) << "rejected insert must not overwrite";
+  EXPECT_EQ(map.size(), 1u);
+
+  EXPECT_TRUE(map.Erase(42));
+  EXPECT_FALSE(map.Erase(42));
+  EXPECT_EQ(map.Find(42), nullptr);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMapTest, SubscriptInsertsDefaultAndReturnsExisting) {
+  FlatMap<uint32_t, int> map;
+  map[7] = 70;
+  EXPECT_EQ(map[7], 70);
+  EXPECT_EQ(map[8], 0);  // default-constructed
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatMapTest, GrowsPastLoadFactorAndKeepsAllEntries) {
+  FlatMap<uint64_t, uint64_t> map;
+  for (uint64_t k = 0; k < 5000; ++k) map.Insert(k, k * 3);
+  EXPECT_EQ(map.size(), 5000u);
+  for (uint64_t k = 0; k < 5000; ++k) {
+    ASSERT_NE(map.Find(k), nullptr) << "lost key " << k;
+    EXPECT_EQ(*map.Find(k), k * 3);
+  }
+}
+
+TEST(FlatMapTest, ReserveAvoidsRehashDuringFill) {
+  FlatMap<uint64_t, int> map;
+  map.Reserve(1000);
+  const size_t reserved = map.MemoryUsage();
+  for (uint64_t k = 0; k < 1000; ++k) map.Insert(k, 1);
+  EXPECT_EQ(map.MemoryUsage(), reserved)
+      << "Reserve(n) must make n inserts rehash-free";
+}
+
+TEST(FlatMapTest, IterationVisitsEveryEntryOnce) {
+  FlatMap<uint32_t, uint32_t> map;
+  for (uint32_t k = 10; k < 50; ++k) map.Insert(k, k + 1);
+  std::set<uint32_t> seen;
+  for (const auto& [key, value] : map) {
+    EXPECT_EQ(value, key + 1);
+    EXPECT_TRUE(seen.insert(key).second);
+  }
+  EXPECT_EQ(seen.size(), 40u);
+}
+
+TEST(FlatMapTest, ClearEmptiesButKeepsCapacity) {
+  FlatMap<uint64_t, int> map;
+  for (uint64_t k = 0; k < 100; ++k) map.Insert(k, 1);
+  const size_t warm = map.MemoryUsage();
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(5), nullptr);
+  EXPECT_EQ(map.MemoryUsage(), warm);
+  EXPECT_TRUE(map.Insert(5, 2));
+  EXPECT_EQ(*map.Find(5), 2);
+}
+
+// 50k random ops mirrored against std::unordered_map. Keys are drawn from a
+// small universe so probe chains constantly collide, overlap and shift —
+// exactly the regime where backward-shift deletion bugs surface.
+TEST(FlatMapTest, RandomOpsMatchUnorderedMap) {
+  FlatMap<uint64_t, uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> mirror;
+  Rng rng(2026);
+  for (int op = 0; op < 50000; ++op) {
+    const uint64_t key = rng.Below(512);
+    switch (rng.Below(3)) {
+      case 0: {
+        const uint64_t value = rng.Next();
+        EXPECT_EQ(map.Insert(key, value), mirror.emplace(key, value).second);
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(map.Erase(key), mirror.erase(key) > 0);
+        break;
+      }
+      default: {
+        const uint64_t* found = map.Find(key);
+        auto it = mirror.find(key);
+        ASSERT_EQ(found != nullptr, it != mirror.end()) << "key " << key;
+        if (found != nullptr) {
+          EXPECT_EQ(*found, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(map.size(), mirror.size());
+  }
+  // Final full sweep: every mirrored key is present with the right value.
+  for (const auto& [key, value] : mirror) {
+    const uint64_t* found = map.Find(key);
+    ASSERT_NE(found, nullptr) << "key " << key;
+    EXPECT_EQ(*found, value);
+  }
+}
+
+}  // namespace
+}  // namespace fcp

@@ -1,0 +1,85 @@
+// Unit tests for the power-of-two ring buffer behind the Seg-tree's Tlist.
+
+#include "util/ring_buffer.h"
+
+#include <cstdint>
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fcp {
+namespace {
+
+TEST(RingBufferTest, FifoOrderAcrossGrowth) {
+  RingBuffer<int> ring;
+  for (int i = 0; i < 100; ++i) ring.push_back(i);
+  ASSERT_EQ(ring.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.front(), i);
+    ring.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBufferTest, AtIndexesFromFront) {
+  RingBuffer<int> ring;
+  for (int i = 0; i < 10; ++i) ring.push_back(i * 10);
+  ring.pop_front();
+  ring.pop_front();
+  EXPECT_EQ(ring.at(0), 20);
+  EXPECT_EQ(ring.at(7), 90);
+}
+
+TEST(RingBufferTest, WrapAroundThenGrowPreservesOrder) {
+  RingBuffer<int> ring;
+  int next = 0;
+  // Fill to the initial capacity (16), drain most, then push past the wrap
+  // point and beyond capacity so Grow() has to linearize a wrapped layout.
+  for (; next < 16; ++next) ring.push_back(next);
+  for (int i = 0; i < 12; ++i) ring.pop_front();
+  for (; next < 60; ++next) ring.push_back(next);
+  ASSERT_EQ(ring.size(), 48u);
+  for (int expected = 12; expected < 60; ++expected) {
+    EXPECT_EQ(ring.front(), expected);
+    ring.pop_front();
+  }
+}
+
+TEST(RingBufferTest, MemoryIsStableOnceWarm) {
+  RingBuffer<uint64_t> ring;
+  for (uint64_t i = 0; i < 100; ++i) ring.push_back(i);
+  const size_t warm = ring.MemoryUsage();
+  // A size-stable FIFO advancing forever must not grow.
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ring.push_back(i);
+    ring.pop_front();
+  }
+  EXPECT_EQ(ring.MemoryUsage(), warm);
+}
+
+TEST(RingBufferTest, RandomOpsMatchDeque) {
+  RingBuffer<uint32_t> ring;
+  std::deque<uint32_t> mirror;
+  Rng rng(77);
+  for (int op = 0; op < 20000; ++op) {
+    if (mirror.empty() || rng.Chance(0.55)) {
+      const uint32_t value = static_cast<uint32_t>(rng.Next());
+      ring.push_back(value);
+      mirror.push_back(value);
+    } else {
+      ASSERT_EQ(ring.front(), mirror.front());
+      ring.pop_front();
+      mirror.pop_front();
+    }
+    ASSERT_EQ(ring.size(), mirror.size());
+    if (!mirror.empty()) {
+      const size_t probe = rng.Below(mirror.size());
+      ASSERT_EQ(ring.at(probe), mirror[probe]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fcp

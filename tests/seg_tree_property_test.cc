@@ -209,6 +209,45 @@ TEST(SegTreeCompressionTest, HighOverlapCompressesWell) {
   tree.CheckInvariants();
 }
 
+// Sustained churn through the arena-backed pool: 10k random insert/remove
+// cycles with every structural invariant re-validated after each mutation.
+// This is the recycling torture test — a node handed back to the pool with a
+// stale field, or a child/tail chunk released to the wrong size class, shows
+// up here as a corrupted tree long before it would crash.
+TEST(SegTreeChurnTest, TenThousandInsertRemoveCyclesKeepInvariants) {
+  Rng rng(314159);
+  SegTree tree;  // default options: arena pool + graft-on-delete
+  SegmentId next_id = 0;
+  Timestamp now = 0;
+  std::vector<SegmentId> live;
+
+  for (int step = 0; step < 10000; ++step) {
+    now += static_cast<Timestamp>(rng.Below(8));
+    const bool insert = live.size() < 4 ||
+                        (live.size() < 24 && rng.Chance(0.55));
+    if (insert) {
+      const Segment segment = RandomSegment(next_id++, rng, now);
+      tree.Insert(segment);
+      live.push_back(segment.id());
+    } else if (rng.Chance(0.9)) {
+      const size_t pick = rng.Below(live.size());
+      tree.Remove(live[pick]);
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    } else {
+      tree.RemoveExpired(now, kTau);
+      std::erase_if(live, [&](SegmentId id) {
+        return tree.registry().Find(id) == nullptr;
+      });
+    }
+    tree.CheckInvariants();
+    ASSERT_EQ(tree.num_segments(), live.size()) << "step=" << step;
+  }
+  // The pool must actually have recycled nodes (otherwise this test ran
+  // against a plain allocator and proved nothing about the arena).
+  EXPECT_GT(tree.stats().nodes_recycled, 0u);
+  EXPECT_GT(tree.stats().nodes_deleted, 1000u);
+}
+
 TEST(SegTreeCompressionTest, DisjointSegmentsDoNotCompress) {
   // The Twitter regime: segments share nothing.
   SegTree tree;

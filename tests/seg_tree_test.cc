@@ -341,14 +341,23 @@ TEST(SegTreeTest, RootAttachModeKeepsCorrectness) {
             (std::vector<SegmentId>{2, 3}));
 }
 
-TEST(SegTreeTest, MemoryUsageGrowsAndShrinks) {
+TEST(SegTreeTest, MemoryUsageGrowsAndIsRetainedForReuse) {
   SegTree tree;
   const size_t empty = tree.MemoryUsage();
   for (const Segment& g : PaperS1Segments()) tree.Insert(g);
   const size_t full = tree.MemoryUsage();
   EXPECT_GT(full, empty);
+  // Removal recycles nodes into the arena free list instead of freeing:
+  // the footprint is retained (full accounting, no undercount), and the
+  // only growth allowed is the free-list bookkeeping itself.
   for (const Segment& g : PaperS1Segments()) tree.Remove(g.id());
-  EXPECT_LT(tree.MemoryUsage(), full);
+  const size_t drained = tree.MemoryUsage();
+  EXPECT_LE(drained, full + 1024);
+  EXPECT_GT(tree.stats().nodes_deleted, 0u);
+  // Refilling reuses the recycled nodes: no new slabs, footprint stable.
+  for (const Segment& g : PaperS1Segments()) tree.Insert(g);
+  EXPECT_LE(tree.MemoryUsage(), drained + 1024);
+  EXPECT_GT(tree.stats().nodes_recycled, 0u);
 }
 
 
