@@ -66,35 +66,6 @@ OpCost MeasureAddSegment(MinerKind kind, const MiningParams& params,
   return cost;
 }
 
-// Builds `cycles` repetitions of the first `pool_size` segments, each cycle
-// shifted far enough in time that the previous cycle expires, with globally
-// fresh segment ids. The object universe is closed after cycle one, so a
-// warm miner sees no structural novelty — only churn.
-std::vector<Segment> BuildCyclicTrace(const std::vector<Segment>& segments,
-                                      size_t pool_size, int cycles,
-                                      const MiningParams& params) {
-  const size_t n = std::min(pool_size, segments.size());
-  Timestamp t_min = kMaxTimestamp;
-  Timestamp t_max = kMinTimestamp;
-  for (size_t i = 0; i < n; ++i) {
-    t_min = std::min(t_min, segments[i].start_time());
-    t_max = std::max(t_max, segments[i].end_time());
-  }
-  const Timestamp period = (t_max - t_min) + params.tau + params.xi;
-  std::vector<Segment> out;
-  out.reserve(n * static_cast<size_t>(cycles));
-  SegmentId next_id = 1;
-  for (int c = 0; c < cycles; ++c) {
-    const Timestamp shift = period * c;
-    for (size_t i = 0; i < n; ++i) {
-      std::vector<SegmentEntry> entries = segments[i].entries();
-      for (SegmentEntry& e : entries) e.time += shift;
-      out.emplace_back(next_id++, segments[i].stream(), std::move(entries));
-    }
-  }
-  return out;
-}
-
 int Run(int argc, char** argv) {
   const Flags flags(argc, argv);
   const BenchScale scale(flags);

@@ -1,0 +1,268 @@
+// Shard-parallel scaling bench: trigger throughput of S object-partitioned
+// miner replicas (the ParallelEngine's `num_miner_shards` path) at
+// S ∈ {1, 2, 4, 8}, for the three miners on two workloads:
+//
+//  - "zipf":  the skewed Twitter word stream (paper defaults), segments from
+//             a growing open vocabulary;
+//  - "cycle": closed-universe replay of a fixed segment pool — the converged
+//             steady state where per-shard structures stop growing.
+//
+// The host is single-core, so the S shards are replayed *sequentially*, each
+// against exactly the deliveries the ShardRouter would multicast to it
+// (every segment goes to each shard owning >= 1 of its objects, carrying the
+// global watermark). Pipeline wall-clock is then modeled as the critical
+// path: the slowest shard bounds throughput, so
+//
+//     ns/trigger = max_s(elapsed_s) / num_segments
+//
+// which is what S free cores would achieve (minus routing overhead, which is
+// a few percent of mining cost). The sum over shards is reported too, so the
+// multicast duplication factor is visible rather than hidden.
+//
+// Correctness is asserted, not assumed: for every (miner, workload, S) the
+// sorted multiset of discoveries (trigger, pattern, streams, window) must be
+// byte-identical to the S=1 run, or the bench aborts with exit code 1.
+//
+// Skew bound. Object-hash partitioning balances work only as well as the
+// object popularity distribution allows: the shard owning word w pays
+// O(f_w^2) of the pairwise probe-vs-chain work, so with Zipf exponent
+// s = 1.0 the single hottest word is ~half of all mining work and NO
+// object-partitioned scheme — this one included — can exceed ~1.6x. The
+// default workload therefore uses s = 0.55 (`--zipf_s=<s>` to override),
+// where the head word is ~10% of the pairwise work and sharding pays off;
+// run with --zipf_s=1.0 to see the ceiling itself. The other workload knobs
+// (`--vocab`, `--gap_minutes`, `--theta`, `--events`, `--reps`) default to a
+// dense, mining-heavy stream: ~21k tweets live per tau window, so per-probe
+// row work (which partitions across shards) dominates the per-delivery
+// fixed costs (which are multicast-duplicated).
+//
+// `--json=<path>` appends the records to BENCH_scaling.json;
+// `--label=<tag>` names the run.
+
+#include "util/alloc_counter.h"  // must be first: defines operator new/delete
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/shard.h"
+#include "core/miner.h"
+#include "datagen/twitter_gen.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+namespace fcp::bench {
+namespace {
+
+// One discovery, order-insensitively comparable: two runs with equal sorted
+// signature vectors found exactly the same FCPs.
+using Signature = std::tuple<SegmentId, Pattern, std::vector<StreamId>,
+                             Timestamp, Timestamp>;
+
+std::vector<Signature> Signatures(const std::vector<Fcp>& fcps) {
+  std::vector<Signature> out;
+  out.reserve(fcps.size());
+  for (const Fcp& fcp : fcps) {
+    out.emplace_back(fcp.trigger, fcp.objects, fcp.streams, fcp.window_start,
+                     fcp.window_end);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// The router's delivery plan, precomputed so routing cost stays out of the
+// timed region: for each shard, the indices of the segments it receives, and
+// for each segment the global watermark in force when it is routed.
+struct DeliveryPlan {
+  std::vector<std::vector<uint32_t>> per_shard;
+  std::vector<Timestamp> watermark;
+  uint64_t deliveries = 0;
+};
+
+DeliveryPlan PlanDeliveries(const std::vector<Segment>& segments,
+                            uint32_t num_shards) {
+  DeliveryPlan plan;
+  plan.per_shard.resize(num_shards);
+  plan.watermark.resize(segments.size());
+  Timestamp watermark = kMinTimestamp;
+  std::vector<bool> hit(num_shards);
+  for (uint32_t i = 0; i < segments.size(); ++i) {
+    watermark = std::max(watermark, segments[i].end_time());
+    plan.watermark[i] = watermark;
+    std::fill(hit.begin(), hit.end(), false);
+    for (const SegmentEntry& entry : segments[i].entries()) {
+      hit[ShardOf(entry.object, num_shards)] = true;
+    }
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      if (!hit[s]) continue;
+      plan.per_shard[s].push_back(i);
+      ++plan.deliveries;
+    }
+  }
+  return plan;
+}
+
+struct ShardedCost {
+  double max_shard_ms = 0;  ///< critical path — bounds pipeline throughput
+  double sum_shard_ms = 0;  ///< total work across shards (duplication cost)
+  uint64_t deliveries = 0;
+  uint64_t allocs = 0;
+  MinerStats stats;         ///< summed across shards
+  std::vector<Fcp> output;  ///< union of all shard discoveries
+};
+
+void AccumulateStats(const MinerStats& shard, MinerStats* total) {
+  total->segments_processed += shard.segments_processed;
+  total->fcps_emitted += shard.fcps_emitted;
+  total->candidates_checked += shard.candidates_checked;
+  total->lcp_rows += shard.lcp_rows;
+  total->maintenance_runs += shard.maintenance_runs;
+  total->segments_expired += shard.segments_expired;
+  total->mining_ns += shard.mining_ns;
+  total->maintenance_ns += shard.maintenance_ns;
+}
+
+ShardedCost RunSharded(MinerKind kind, const MiningParams& params,
+                       uint32_t num_shards,
+                       const std::vector<Segment>& segments, int reps) {
+  const DeliveryPlan plan = PlanDeliveries(segments, num_shards);
+  ShardedCost cost;
+  cost.deliveries = plan.deliveries;
+  std::vector<Fcp> batch;
+  batch.reserve(1024);
+  // Replays are deterministic, so repeated runs differ only by scheduling
+  // noise (this is a shared single-core host); the per-shard minimum over
+  // `reps` fresh replays is the best estimate of the true cost.
+  std::vector<double> best_ms(num_shards,
+                              std::numeric_limits<double>::infinity());
+  for (int rep = 0; rep < reps; ++rep) {
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      const auto miner = MakeMiner(kind, params, ShardSpec{s, num_shards});
+      const uint64_t allocs_before = alloc_counter::allocations();
+      Stopwatch timer;
+      for (const uint32_t i : plan.per_shard[s]) {
+        miner->AdvanceWatermark(plan.watermark[i]);
+        batch.clear();
+        miner->AddSegment(segments[i], &batch);
+        if (rep == 0) {
+          for (Fcp& fcp : batch) cost.output.push_back(std::move(fcp));
+        }
+      }
+      const double ms = static_cast<double>(timer.ElapsedNanos()) / 1e6;
+      best_ms[s] = std::min(best_ms[s], ms);
+      if (rep == 0) {
+        cost.allocs += alloc_counter::allocations() - allocs_before;
+        AccumulateStats(miner->stats(), &cost.stats);
+      }
+    }
+  }
+  for (const double ms : best_ms) {
+    cost.max_shard_ms = std::max(cost.max_shard_ms, ms);
+    cost.sum_shard_ms += ms;
+  }
+  return cost;
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const BenchScale scale(flags);
+  const uint64_t events = scale.Events(
+      static_cast<uint64_t>(flags.GetInt("events", 200000)));
+  const std::string label = flags.GetString("label", "run");
+  const double zipf_s = flags.GetDouble("zipf_s", 0.55);
+
+  PrintHeader("shard scaling",
+              "trigger throughput of S object-partitioned miner shards; "
+              "shards replayed sequentially (single-core host), pipeline "
+              "time modeled as the slowest shard (critical path); shard "
+              "union asserted byte-identical to the S=1 output");
+
+  // The Twitter workload of bench_util, with the word skew exposed (see the
+  // file comment: s = 1.0 makes one word's owner the bottleneck).
+  TwitterConfig twitter;
+  twitter.num_users = 5000;
+  twitter.vocab_size =
+      static_cast<uint32_t>(flags.GetInt("vocab", 10000));
+  twitter.zipf_s = zipf_s;
+  twitter.mean_tweet_gap = Minutes(flags.GetInt("gap_minutes", 7));
+  twitter.total_tweets = events / 5;
+  twitter.num_events = static_cast<uint32_t>(events / 50000 + 2);
+  twitter.seed = 42;
+  const std::vector<ObjectEvent> trace = GenerateTwitter(twitter).events;
+  MiningParams params = DefaultParams(Dataset::kTwitter);
+  params.theta = static_cast<uint32_t>(flags.GetInt("theta", 7));
+  const std::vector<Segment> zipf = SegmentTrace(trace, params.xi);
+  const std::vector<Segment> cycle =
+      BuildCyclicTrace(zipf, /*pool_size=*/4000, /*cycles=*/4, params);
+  std::printf("events=%" PRIu64 " zipf_s=%.2f zipf_segments=%zu "
+              "cycle_segments=%zu\n\n",
+              events, zipf_s, zipf.size(), cycle.size());
+
+  const MinerKind kinds[] = {MinerKind::kCooMine, MinerKind::kDiMine,
+                             MinerKind::kMatrixMine};
+  const uint32_t shard_counts[] = {1, 2, 4, 8};
+  const std::pair<const char*, const std::vector<Segment>*> workloads[] = {
+      {"zipf", &zipf}, {"cycle", &cycle}};
+
+  std::vector<JsonRecord> records;
+  bool outputs_match = true;
+  std::printf("%-24s %10s %10s %9s %12s %8s %8s\n", "case", "crit(ms)",
+              "sum(ms)", "deliver/s", "ns/trigger", "speedup", "fcps");
+  for (MinerKind kind : kinds) {
+    for (const auto& [workload, segments] : workloads) {
+      double baseline_ns = 0;
+      std::vector<Signature> baseline;
+      for (uint32_t num_shards : shard_counts) {
+        const ShardedCost cost = RunSharded(
+            kind, params, num_shards, *segments,
+            std::max(1, static_cast<int>(flags.GetInt("reps", 3))));
+        const double triggers = static_cast<double>(segments->size());
+        const double ns_per_trigger = cost.max_shard_ms * 1e6 / triggers;
+        if (num_shards == 1) {
+          baseline_ns = ns_per_trigger;
+          baseline = Signatures(cost.output);
+        } else if (Signatures(cost.output) != baseline) {
+          std::fprintf(stderr,
+                       "FATAL: %s/%s S=%u output differs from serial\n",
+                       std::string(MinerKindToString(kind)).c_str(), workload,
+                       num_shards);
+          outputs_match = false;
+        }
+        JsonRecord record;
+        record.name = std::string(MinerKindToString(kind)) + "/" + workload +
+                      "/S" + std::to_string(num_shards);
+        record.ns_per_op = ns_per_trigger;
+        record.allocs_per_op =
+            static_cast<double>(cost.allocs) / triggers;
+        record.rss_bytes = CurrentRssBytes();
+        std::printf("%-24s %10.1f %10.1f %9.2f %12.1f %7.2fx %8zu\n",
+                    record.name.c_str(), cost.max_shard_ms, cost.sum_shard_ms,
+                    static_cast<double>(cost.deliveries) / triggers,
+                    ns_per_trigger, baseline_ns / ns_per_trigger,
+                    cost.output.size());
+        if (flags.GetInt("stats", 0) != 0) {
+          std::printf("  mine=%.1fms maint=%.1fms lcp_rows=%" PRIu64
+                      " cand=%" PRIu64 " sweeps=%" PRIu64 "\n",
+                      static_cast<double>(cost.stats.mining_ns) / 1e6,
+                      static_cast<double>(cost.stats.maintenance_ns) / 1e6,
+                      cost.stats.lcp_rows, cost.stats.candidates_checked,
+                      cost.stats.maintenance_runs);
+        }
+        records.push_back(record);
+      }
+    }
+  }
+  MaybeAppendBenchJson(flags, "bench_scaling", label, records);
+  if (!outputs_match) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace fcp::bench
+
+int main(int argc, char** argv) { return fcp::bench::Run(argc, argv); }

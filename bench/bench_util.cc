@@ -42,6 +42,31 @@ CostSample MinerDriver::Measure(const std::vector<ObjectEvent>& events,
   return sample;
 }
 
+std::vector<Segment> BuildCyclicTrace(const std::vector<Segment>& segments,
+                                      size_t pool_size, int cycles,
+                                      const MiningParams& params) {
+  const size_t n = std::min(pool_size, segments.size());
+  Timestamp t_min = kMaxTimestamp;
+  Timestamp t_max = kMinTimestamp;
+  for (size_t i = 0; i < n; ++i) {
+    t_min = std::min(t_min, segments[i].start_time());
+    t_max = std::max(t_max, segments[i].end_time());
+  }
+  const Timestamp period = (t_max - t_min) + params.tau + params.xi;
+  std::vector<Segment> out;
+  out.reserve(n * static_cast<size_t>(cycles));
+  SegmentId next_id = 1;
+  for (int c = 0; c < cycles; ++c) {
+    const Timestamp shift = period * c;
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<SegmentEntry> entries = segments[i].entries();
+      for (SegmentEntry& e : entries) e.time += shift;
+      out.emplace_back(next_id++, segments[i].stream(), std::move(entries));
+    }
+  }
+  return out;
+}
+
 CostSample MinerDriver::MeasureRate(const std::vector<ObjectEvent>& events,
                                     size_t* cursor, uint64_t rate) {
   const uint64_t window = std::max<uint64_t>(5 * rate, 25000);

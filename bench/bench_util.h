@@ -46,6 +46,15 @@ std::vector<ObjectEvent> GenerateEvents(Dataset dataset, uint64_t total_events,
 std::vector<Segment> SegmentTrace(const std::vector<ObjectEvent>& events,
                                   DurationMs xi);
 
+/// Builds `cycles` repetitions of the first `pool_size` segments, each cycle
+/// shifted far enough in time that the previous cycle expires, with globally
+/// fresh segment ids. The object universe is closed after cycle one, so a
+/// warm miner sees no structural novelty — only churn. This is the
+/// steady-state regime for allocation and scaling measurements.
+std::vector<Segment> BuildCyclicTrace(const std::vector<Segment>& segments,
+                                      size_t pool_size, int cycles,
+                                      const MiningParams& params);
+
 /// Cost split of processing a batch of segments with a miner.
 struct CostSample {
   double mining_ms = 0;

@@ -94,6 +94,8 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(flags.GetInt("checkins", 60000));
   const uint32_t workers =
       static_cast<uint32_t>(flags.GetInt("workers", 2));
+  const uint32_t shards =
+      static_cast<uint32_t>(flags.GetInt("shards", 1));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 5));
 
   std::printf("Generating %u check-ins from %u users...\n", checkins, users);
@@ -108,6 +110,7 @@ int main(int argc, char** argv) {
 
   fcp::ParallelEngineOptions options;
   options.num_workers = workers;
+  options.num_miner_shards = shards;
   fcp::ParallelEngine engine(fcp::MinerKind::kCooMine, params, options);
 
   fcp::Stopwatch clock;
@@ -118,9 +121,11 @@ int main(int argc, char** argv) {
   fcp::PatternSupportIndex report;
   report.AddAll(engine.results());
 
-  std::printf("\n%zu events in %.2fs (%.0f/s, %u segmenter workers)\n",
+  std::printf("\n%zu events in %.2fs (%.0f/s, %u segmenter workers, "
+              "%u miner shards)\n",
               trace.events.size(), elapsed,
-              static_cast<double>(trace.events.size()) / elapsed, workers);
+              static_cast<double>(trace.events.size()) / elapsed, workers,
+              shards);
   std::printf("%zu distinct venue patterns; maximal ones:\n", report.size());
   for (const auto& entry : report.MaximalPatterns()) {
     if (entry.pattern.size() < 2) continue;

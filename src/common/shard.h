@@ -1,0 +1,53 @@
+// Object-space sharding for shard-parallel mining.
+//
+// The mining stage scales across cores by running S independent miner
+// replicas, each owning a disjoint slice of the object universe:
+//
+//   shard(o) = Mix64(o) % S
+//
+// A pattern P (a sorted object set) is *owned* by the shard of its minimum
+// object. Every occurrence segment of P contains all of P's objects —
+// including min(P) — so the shard that receives every segment containing one
+// of its owned objects sees every occurrence of every pattern it owns. The
+// union of the shard outputs therefore equals the serial result exactly: no
+// occurrence is lost (recall) and no pattern is owned by two shards (no
+// duplicates). See DESIGN.md "Shard ownership semantics".
+
+#ifndef FCP_COMMON_SHARD_H_
+#define FCP_COMMON_SHARD_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace fcp {
+
+/// The shard responsible for `object` among `num_shards` shards. Mix64
+/// spreads adjacent ids (data generators hand them out densely, often in
+/// popularity order) so hot objects do not pile onto one shard.
+inline uint32_t ShardOf(ObjectId object, uint32_t num_shards) {
+  return static_cast<uint32_t>(Mix64(object) % num_shards);
+}
+
+/// Identity of one miner shard inside a group of `count` shards. The default
+/// (shard 0 of 1) owns everything, so unsharded code paths are the S=1
+/// special case of the sharded ones.
+struct ShardSpec {
+  uint32_t index = 0;
+  uint32_t count = 1;
+
+  /// True iff this shard owns `object` (always true for count <= 1).
+  bool Owns(ObjectId object) const {
+    return count <= 1 || ShardOf(object, count) == index;
+  }
+
+  /// True iff this shard is the whole universe (the serial special case).
+  bool IsSingleton() const { return count <= 1; }
+
+  friend bool operator==(const ShardSpec&, const ShardSpec&) = default;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_COMMON_SHARD_H_

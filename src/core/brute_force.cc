@@ -6,9 +6,11 @@
 
 namespace fcp {
 
-BruteForceMiner::BruteForceMiner(const MiningParams& params)
-    : params_(params) {
+BruteForceMiner::BruteForceMiner(const MiningParams& params,
+                                 const ShardSpec& shard)
+    : params_(params), shard_(shard) {
   FCP_CHECK(params.Validate().ok());
+  FCP_CHECK(shard.count >= 1 && shard.index < shard.count);
 }
 
 void BruteForceMiner::AddSegment(const Segment& segment,
@@ -38,6 +40,9 @@ void BruteForceMiner::AddSegment(const Segment& segment,
     for (uint32_t b = 0; b < n; ++b) {
       if (mask & (1u << b)) pattern.push_back(objects[b]);
     }
+    // Sharded oracle: only the owner of the pattern's minimum object mines
+    // it (objects are sorted, so pattern[0] is the minimum).
+    if (!shard_.Owns(pattern[0])) continue;
     ++stats_.candidates_checked;
 
     std::vector<Occurrence> occurrences;

@@ -17,11 +17,17 @@ namespace fcp {
 
 class BruteForceMiner : public FcpMiner {
  public:
-  explicit BruteForceMiner(const MiningParams& params);
+  /// `shard` restricts emission to patterns whose minimum object the shard
+  /// owns, so the oracle can also check sharded runs shard-by-shard.
+  explicit BruteForceMiner(const MiningParams& params,
+                           const ShardSpec& shard = {});
 
   /// Aborts if the segment has more than 20 distinct objects after the
   /// max_segment_objects cap (2^20 subsets is the oracle's practical limit).
   void AddSegment(const Segment& segment, std::vector<Fcp>* out) override;
+  void AdvanceWatermark(Timestamp now) override {
+    watermark_ = now > watermark_ ? now : watermark_;
+  }
   void ForceMaintenance(Timestamp now) override;
   size_t MemoryUsage() const override;
   const MinerStats& stats() const override { return stats_; }
@@ -36,6 +42,7 @@ class BruteForceMiner : public FcpMiner {
   };
 
   MiningParams params_;
+  ShardSpec shard_;
   std::deque<Stored> segments_;
   MinerStats stats_;
   Timestamp watermark_ = kMinTimestamp;

@@ -8,9 +8,11 @@
 
 namespace fcp {
 
-CooMine::CooMine(const MiningParams& params, CooMineOptions options)
-    : params_(params), options_(options), tree_(options.seg_tree) {
+CooMine::CooMine(const MiningParams& params, CooMineOptions options,
+                 const ShardSpec& shard)
+    : params_(params), options_(options), shard_(shard), tree_(options.seg_tree) {
   FCP_CHECK(params.Validate().ok());
+  FCP_CHECK(shard.count >= 1 && shard.index < shard.count);
 }
 
 void CooMine::AddSegment(const Segment& segment, std::vector<Fcp>* out) {
@@ -23,7 +25,8 @@ void CooMine::AddSegment(const Segment& segment, std::vector<Fcp>* out) {
   // --- Mining phase: SLCP + Apriori over the LCP table. -------------------
   Stopwatch mine_timer;
   scratch_.expired.clear();
-  tree_.SlcpInto(segment, now, params_.tau, &scratch_.expired, &scratch_.lcp);
+  tree_.SlcpInto(segment, now, params_.tau, &scratch_.expired, &scratch_.lcp,
+                 shard_);
   stats_.lcp_rows += scratch_.lcp.rows.size();
   MineFromLcps(segment, scratch_.lcp, out);
   stats_.mining_ns += mine_timer.ElapsedNanos();
@@ -75,21 +78,38 @@ void CooMine::MineFromLcps(const Segment& segment, const LcpTable& lcp,
   if (s.objects.empty()) return;
 
   const size_t num_objects = s.objects.size();
-  const size_t num_rows = lcp.rows.size();
-  const size_t words = (num_rows + 63) / 64;  // bitset words per tidset
 
-  // Per-object tidsets: bit r of object_bits[oi] is set iff LCP row r's
-  // common set contains objects[oi]. Both sides are sorted, so one linear
-  // merge per row replaces a binary search per (row, object) pair. Objects
-  // in a row's common set beyond the max_segment_objects cap simply find no
-  // merge partner and are skipped, as before.
-  s.object_bits.assign(num_objects * words, 0);
-  for (size_t r = 0; r < num_rows; ++r) {
+  // Shard ownership of each probe object (all true for the serial shard).
+  s.owned.resize(num_objects);
+  bool any_owned = false;
+  for (size_t oi = 0; oi < num_objects; ++oi) {
+    s.owned[oi] = shard_.Owns(s.objects[oi]) ? 1 : 0;
+    any_owned |= s.owned[oi] != 0;
+  }
+  // No owned probe object means no owned pattern can trigger here (every
+  // pattern is a subset of the probe's objects).
+  if (!any_owned) return;
+
+  // Compact the LCP table to its *live* rows — rows sharing >= 1 owned probe
+  // object — and build the per-object tidsets over live-row bit positions:
+  // bit b of object_bits[oi] is set iff live row b's common set contains
+  // objects[oi]. Every supporting row of an owned pattern contains the
+  // pattern's (owned) minimum object, so dropping the other rows loses no
+  // support; it shrinks the bitset width each shard pays for. Both sides of
+  // the per-row merge are sorted, so one linear merge per row replaces a
+  // binary search per (row, object) pair. Objects in a row's common set
+  // beyond the max_segment_objects cap simply find no merge partner and are
+  // skipped, as before.
+  const size_t max_rows = lcp.rows.size();
+  const size_t max_words = (max_rows + 63) / 64;
+  s.object_bits.assign(num_objects * max_words, 0);
+  s.live_rows.clear();
+  for (size_t r = 0; r < max_rows; ++r) {
     const LcpTable::Row& row = lcp.rows[r];
     const ObjectId* c = lcp.CommonBegin(row);
     const ObjectId* ce = lcp.CommonEnd(row);
-    const uint64_t bit_word = uint64_t{1} << (r % 64);
-    const size_t word = r / 64;
+    s.row_match.clear();
+    bool row_owned = false;
     size_t oi = 0;
     while (c != ce && oi < num_objects) {
       if (*c < s.objects[oi]) {
@@ -97,11 +117,32 @@ void CooMine::MineFromLcps(const Segment& segment, const LcpTable& lcp,
       } else if (s.objects[oi] < *c) {
         ++oi;
       } else {
-        s.object_bits[oi * words + word] |= bit_word;
+        s.row_match.push_back(static_cast<uint32_t>(oi));
+        row_owned |= s.owned[oi] != 0;
         ++c;
         ++oi;
       }
     }
+    if (!row_owned) continue;  // cannot support any owned pattern
+    const size_t b = s.live_rows.size();
+    s.live_rows.push_back(static_cast<uint32_t>(r));
+    const uint64_t bit_word = uint64_t{1} << (b % 64);
+    const size_t word = b / 64;
+    for (uint32_t match : s.row_match) {
+      s.object_bits[match * max_words + word] |= bit_word;
+    }
+  }
+  const size_t num_rows = s.live_rows.size();
+  const size_t words = (num_rows + 63) / 64;  // bitset words per tidset
+  // Repack the per-object bitsets to the live width (max_words >= words;
+  // rows beyond num_rows never got a bit, so this is a pure shift-down).
+  if (words != max_words) {
+    for (size_t oi = 1; oi < num_objects; ++oi) {
+      for (size_t w = 0; w < words; ++w) {
+        s.object_bits[oi * words + w] = s.object_bits[oi * max_words + w];
+      }
+    }
+    s.object_bits.resize(num_objects * words);
   }
 
   const Occurrence probe_occurrence{segment.stream(), segment.start_time(),
@@ -125,9 +166,9 @@ void CooMine::MineFromLcps(const Segment& segment, const LcpTable& lcp,
     for (size_t w = 0; w < words; ++w) {
       uint64_t word = bits[w];
       while (word != 0) {
-        const size_t r = w * 64 + static_cast<size_t>(std::countr_zero(word));
+        const size_t b = w * 64 + static_cast<size_t>(std::countr_zero(word));
         word &= word - 1;
-        const LcpTable::Row& row = lcp.rows[r];
+        const LcpTable::Row& row = lcp.rows[s.live_rows[b]];
         s.occurrences.push_back(Occurrence{row.stream, row.start, row.end});
       }
     }
@@ -157,7 +198,29 @@ void CooMine::MineFromLcps(const Segment& segment, const LcpTable& lcp,
     ++stats_.fcps_emitted;
   };
 
-  // Level 1 (FCP_1): each object's tidset is its support.
+  // A pattern owned by this shard has an owned minimum object, and that
+  // object must itself be a frequent singleton (supports only shrink as
+  // patterns grow). So when every owned probe object is infrequent, the
+  // delivery cannot emit anything — skip the level build outright. Most
+  // deliveries of a sharded run are owned only via unpopular objects, which
+  // fail the popcount prefilter immediately, so the gate is cheap; the
+  // serial shard skips it (owned == everything, the level-1 loop below
+  // does the same work once).
+  if (!shard_.IsSingleton()) {
+    bool any_owned_frequent = false;
+    for (uint32_t oi = 0; oi < num_objects && !any_owned_frequent; ++oi) {
+      if (!s.owned[oi]) continue;
+      any_owned_frequent = evaluate(s.object_bits.data() + oi * words);
+    }
+    if (!any_owned_frequent) return;
+  }
+
+  // Level 1 (FCP_1): each object's tidset is its support. Non-owned
+  // singletons stay in the level store — they are join partners for owned
+  // size-2 candidates — but only owned ones are emitted. (Their tidsets only
+  // cover live rows, an undercount that can never drop a singleton whose
+  // owned superset is frequent: that superset's supporting rows are all
+  // live.)
   s.level_idx.clear();
   s.level_bits.clear();
   for (uint32_t oi = 0; oi < num_objects; ++oi) {
@@ -166,7 +229,7 @@ void CooMine::MineFromLcps(const Segment& segment, const LcpTable& lcp,
     if (!evaluate(bits)) continue;
     s.level_idx.push_back(oi);
     s.level_bits.insert(s.level_bits.end(), bits, bits + words);
-    if (params_.min_pattern_size <= 1) emit(&oi, 1);
+    if (params_.min_pattern_size <= 1 && s.owned[oi]) emit(&oi, 1);
   }
 
   // Level-wise Apriori: F_k x F_k join on a shared (k-1)-prefix, subset
@@ -186,10 +249,15 @@ void CooMine::MineFromLcps(const Segment& segment, const LcpTable& lcp,
 
     // True iff every size-k subset of (prefix[0..k-1], last) obtained by
     // dropping a non-parent position is in the (lexicographically sorted)
-    // level store. Binary search over the flat stride-k rows.
+    // level store. Binary search over the flat stride-k rows. Dropping
+    // position 0 yields a subset whose minimum is prefix[1]; if this shard
+    // does not own that minimum the subset belongs to another shard's store
+    // and is skipped (conservative: pruning is an optimization, the tidset
+    // intersection still rejects infrequent candidates exactly).
     auto all_subsets_frequent = [&](const uint32_t* prefix, uint32_t last) {
       s.subset.resize(k);
       for (size_t drop = 0; drop + 2 < k + 1; ++drop) {
+        if (drop == 0 && k >= 2 && !s.owned[prefix[1]]) continue;
         size_t w = 0;
         for (size_t i = 0; i < k; ++i) {
           if (i != drop) s.subset[w++] = prefix[i];
@@ -218,6 +286,9 @@ void CooMine::MineFromLcps(const Segment& segment, const LcpTable& lcp,
 
     for (size_t i = 0; i < level_count; ++i) {
       const uint32_t* pi = s.level_idx.data() + i * k;
+      // Size-2 candidates fix the pattern's minimum object: only extend
+      // owned minima, so every pattern at level >= 2 has an owned minimum.
+      if (k == 1 && !s.owned[pi[0]]) continue;
       const uint64_t* bi = s.level_bits.data() + i * words;
       for (size_t j = i + 1; j < level_count; ++j) {
         const uint32_t* pj = s.level_idx.data() + j * k;

@@ -12,6 +12,14 @@
 // level), and a popcount prefilter rejects infrequent candidates before any
 // occurrence list is materialized. All per-trigger state lives in a reusable
 // MiningScratch, so steady-state AddSegment performs no heap allocations.
+//
+// When constructed as one shard of a sharded group (ShardSpec), the Apriori
+// pass is restricted to the patterns the shard owns: only LCP rows sharing
+// >= 1 owned probe object get a tidset bit (every supporting row of an owned
+// pattern contains its owned minimum object, so this drops nothing), the
+// size-2 join only extends owned first objects, and subset pruning skips
+// subsets whose minimum the shard cannot verify locally. With the default
+// ShardSpec the filter is the identity.
 
 #ifndef FCP_CORE_COOMINE_H_
 #define FCP_CORE_COOMINE_H_
@@ -37,9 +45,15 @@ struct CooMineOptions {
 
 class CooMine : public FcpMiner {
  public:
-  explicit CooMine(const MiningParams& params, CooMineOptions options = {});
+  /// `shard` restricts mining to patterns whose minimum object the shard
+  /// owns (see MakeMiner's sharded overload); the default owns everything.
+  explicit CooMine(const MiningParams& params, CooMineOptions options = {},
+                   const ShardSpec& shard = {});
 
   void AddSegment(const Segment& segment, std::vector<Fcp>* out) override;
+  void AdvanceWatermark(Timestamp now) override {
+    watermark_ = std::max(watermark_, now);
+  }
   void ForceMaintenance(Timestamp now) override;
   size_t MemoryUsage() const override;
   const MinerStats& stats() const override { return stats_; }
@@ -60,6 +74,9 @@ class CooMine : public FcpMiner {
     LcpTable lcp;                       ///< SLCP output table
     std::vector<SegmentId> expired;     ///< lazily deleted segments
     std::vector<ObjectId> objects;      ///< distinct probe objects (capped)
+    std::vector<uint8_t> owned;         ///< per-object shard ownership flag
+    std::vector<uint32_t> live_rows;    ///< LCP rows given a bit position
+    std::vector<uint32_t> row_match;    ///< one row's matched object indexes
     std::vector<uint64_t> object_bits;  ///< per-object row bitsets
     std::vector<uint32_t> level_idx;    ///< frequent patterns, stride k
     std::vector<uint64_t> level_bits;   ///< their bitsets, stride words
@@ -77,6 +94,7 @@ class CooMine : public FcpMiner {
 
   MiningParams params_;
   CooMineOptions options_;
+  ShardSpec shard_;
   SegTree tree_;
   MinerStats stats_;
   MiningScratch scratch_;

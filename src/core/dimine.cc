@@ -1,18 +1,17 @@
 #include "core/dimine.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/check.h"
-#include "common/hash.h"
-#include "core/apriori.h"
 #include "util/intersect.h"
 #include "util/stopwatch.h"
 
 namespace fcp {
 
-DiMine::DiMine(const MiningParams& params) : params_(params) {
+DiMine::DiMine(const MiningParams& params, const ShardSpec& shard)
+    : params_(params), shard_(shard) {
   FCP_CHECK(params.Validate().ok());
+  FCP_CHECK(shard.count >= 1 && shard.index < shard.count);
 }
 
 void DiMine::AddSegment(const Segment& segment, std::vector<Fcp>* out) {
@@ -53,80 +52,169 @@ size_t DiMine::MemoryUsage() const { return index_.MemoryUsage(); }
 
 void DiMine::Mine(const Segment& segment, std::vector<Fcp>* out) {
   const Timestamp now = watermark_;
-  const std::vector<ObjectId> objects =
-      DistinctObjectsCapped(segment, params_.max_segment_objects);
-  if (objects.empty()) return;
+  MiningScratch& s = scratch_;
 
-  // Valid supporters per object (ascending id; includes the new segment).
-  std::unordered_map<ObjectId, std::vector<SegmentId>> valid;
-  for (ObjectId o : objects) {
-    valid.emplace(o, index_.ValidSegments(o, now, params_.tau));
+  // Distinct probe objects, capped — the same result as
+  // DistinctObjectsCapped, built in scratch.
+  s.objects.clear();
+  for (const SegmentEntry& e : segment.entries()) s.objects.push_back(e.object);
+  std::sort(s.objects.begin(), s.objects.end());
+  s.objects.erase(std::unique(s.objects.begin(), s.objects.end()),
+                  s.objects.end());
+  if (params_.max_segment_objects > 0 &&
+      s.objects.size() > params_.max_segment_objects) {
+    s.objects.resize(params_.max_segment_objects);
+  }
+  if (s.objects.empty()) return;
+  const size_t num_objects = s.objects.size();
+
+  // Shard ownership of each probe object (all true for the serial shard).
+  s.owned.resize(num_objects);
+  bool any_owned = false;
+  for (size_t oi = 0; oi < num_objects; ++oi) {
+    s.owned[oi] = shard_.Owns(s.objects[oi]) ? 1 : 0;
+    any_owned |= s.owned[oi] != 0;
+  }
+  if (!any_owned) return;  // no owned pattern can trigger here
+
+  // Valid supporters per probe object (ascending id; includes the probe
+  // segment, which was indexed just before mining).
+  if (s.valid.size() < num_objects) s.valid.resize(num_objects);
+  for (size_t oi = 0; oi < num_objects; ++oi) {
+    index_.ValidSegmentsInto(s.objects[oi], now, params_.tau, &s.valid[oi]);
   }
 
-  auto occurrences_of = [&](const std::vector<SegmentId>& supporters) {
-    std::vector<Occurrence> occurrences;
-    occurrences.reserve(supporters.size());
-    for (SegmentId id : supporters) {
-      const SegmentInfo* info = index_.registry().Find(id);
+  // Evaluates one candidate from its supporter list. The length prefilter is
+  // exact: distinct streams can never exceed the supporter count. On
+  // success, s.occurrences holds the supporting occurrences and s.streams
+  // the sorted distinct stream ids.
+  auto evaluate = [&](const SegmentId* supp, size_t n) -> bool {
+    if (n < params_.theta) return false;
+    s.occurrences.clear();
+    s.streams.clear();
+    for (size_t i = 0; i < n; ++i) {
+      const SegmentInfo* info = index_.registry().Find(supp[i]);
       FCP_DCHECK(info != nullptr);
-      occurrences.push_back(Occurrence{info->stream, info->start, info->end});
+      s.occurrences.push_back(Occurrence{info->stream, info->start, info->end});
+      s.streams.push_back(info->stream);
     }
-    return occurrences;
+    std::sort(s.streams.begin(), s.streams.end());
+    s.streams.erase(std::unique(s.streams.begin(), s.streams.end()),
+                    s.streams.end());
+    return s.streams.size() >= params_.theta;
   };
 
-  // Supporter id lists of the current frequent level, keyed by pattern, so
-  // the next level intersects one parent list with one posting list instead
-  // of k lists.
-  using SupportMap =
-      std::unordered_map<Pattern, std::vector<SegmentId>, IdVectorHash>;
-  SupportMap supports;
-
-  std::vector<Pattern> frequent;
-  Pattern singleton(1);
-  for (ObjectId o : objects) {
-    singleton[0] = o;
-    ++stats_.candidates_checked;
-    const std::vector<SegmentId>& supporters = valid.at(o);
-    auto fcp = MakeFcpIfFrequent(singleton, occurrences_of(supporters),
-                                 params_.theta, segment.id());
-    if (!fcp.has_value()) continue;
-    frequent.push_back(singleton);
-    supports.emplace(singleton, supporters);
-    if (1 >= params_.min_pattern_size) {
-      out->push_back(*std::move(fcp));
-      ++stats_.fcps_emitted;
+  // Emits the Fcp for the pattern at `idx` (object indices, `size` of them)
+  // from the evaluate() scratch. Allocation here is output, not overhead.
+  auto emit = [&](const uint32_t* idx, size_t size) {
+    Fcp fcp;
+    fcp.objects.reserve(size);
+    for (size_t i = 0; i < size; ++i) fcp.objects.push_back(s.objects[idx[i]]);
+    fcp.streams.assign(s.streams.begin(), s.streams.end());
+    fcp.trigger = segment.id();
+    fcp.window_start = kMaxTimestamp;
+    fcp.window_end = kMinTimestamp;
+    for (const Occurrence& occ : s.occurrences) {
+      fcp.window_start = std::min(fcp.window_start, occ.start);
+      fcp.window_end = std::max(fcp.window_end, occ.end);
     }
+    out->push_back(std::move(fcp));
+    ++stats_.fcps_emitted;
+  };
+
+  // Level 1 (FCP_1): each object's posting list is its support. Non-owned
+  // singletons stay in the level store — they are join partners for owned
+  // size-2 candidates — but only owned ones are emitted.
+  s.level_idx.clear();
+  s.level_supp.clear();
+  s.level_off.assign(1, 0);
+  for (uint32_t oi = 0; oi < num_objects; ++oi) {
+    ++stats_.candidates_checked;
+    if (!evaluate(s.valid[oi].data(), s.valid[oi].size())) continue;
+    s.level_idx.push_back(oi);
+    s.level_supp.insert(s.level_supp.end(), s.valid[oi].begin(),
+                        s.valid[oi].end());
+    s.level_off.push_back(s.level_supp.size());
+    if (params_.min_pattern_size <= 1 && s.owned[oi]) emit(&oi, 1);
   }
 
+  // Level-wise Apriori: F_k x F_k join on a shared (k-1)-prefix, subset
+  // prune, then supporter intersection with the joined-in object's posting
+  // list — the candidate's supporters are carried to the next level so no
+  // support is ever recomputed. Zipf-skewed posting lists make the
+  // parent/posting size ratio large; galloping turns the intersection into
+  // O(small * log(large)).
+  s.subset.clear();
   uint32_t level = 1;
-  while (!frequent.empty() &&
+  while (!s.level_idx.empty() &&
          (params_.max_pattern_size == 0 || level < params_.max_pattern_size)) {
-    const std::vector<Pattern> candidates = GenerateCandidates(frequent);
+    const size_t k = level;  // current pattern size
+    const size_t level_count = s.level_idx.size() / k;
     ++level;
-    std::vector<Pattern> next;
-    SupportMap next_supports;
-    for (const Pattern& candidate : candidates) {
-      ++stats_.candidates_checked;
-      Pattern parent(candidate.begin(), candidate.end() - 1);
-      auto parent_it = supports.find(parent);
-      FCP_DCHECK(parent_it != supports.end());
-      const std::vector<SegmentId>& last_posting = valid.at(candidate.back());
-      // Zipf-skewed posting lists make the parent/posting size ratio large;
-      // galloping turns the intersection into O(small * log(large)).
-      std::vector<SegmentId> supporters;
-      IntersectSorted(parent_it->second, last_posting, &supporters);
-      auto fcp = MakeFcpIfFrequent(candidate, occurrences_of(supporters),
-                                   params_.theta, segment.id());
-      if (!fcp.has_value()) continue;
-      next.push_back(candidate);
-      next_supports.emplace(candidate, std::move(supporters));
-      if (level >= params_.min_pattern_size) {
-        out->push_back(*std::move(fcp));
-        ++stats_.fcps_emitted;
+    s.next_idx.clear();
+    s.next_supp.clear();
+    s.next_off.assign(1, 0);
+
+    // See CooMine::MineFromLcps for the sharded drop == 0 skip rationale.
+    auto all_subsets_frequent = [&](const uint32_t* prefix, uint32_t last) {
+      s.subset.resize(k);
+      for (size_t drop = 0; drop + 2 < k + 1; ++drop) {
+        if (drop == 0 && k >= 2 && !s.owned[prefix[1]]) continue;
+        size_t w = 0;
+        for (size_t i = 0; i < k; ++i) {
+          if (i != drop) s.subset[w++] = prefix[i];
+        }
+        s.subset[w] = last;
+        size_t lo = 0, hi = level_count;
+        bool found = false;
+        while (lo < hi) {
+          const size_t mid = (lo + hi) / 2;
+          const uint32_t* row = s.level_idx.data() + mid * k;
+          if (std::lexicographical_compare(row, row + k, s.subset.data(),
+                                           s.subset.data() + k)) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        if (lo < level_count) {
+          const uint32_t* row = s.level_idx.data() + lo * k;
+          found = std::equal(row, row + k, s.subset.data());
+        }
+        if (!found) return false;
+      }
+      return true;
+    };
+
+    for (size_t i = 0; i < level_count; ++i) {
+      const uint32_t* pi = s.level_idx.data() + i * k;
+      // Size-2 candidates fix the pattern's minimum object: only extend
+      // owned minima, so every pattern at level >= 2 has an owned minimum.
+      if (k == 1 && !s.owned[pi[0]]) continue;
+      const SegmentId* parent = s.level_supp.data() + s.level_off[i];
+      const size_t parent_n = s.level_off[i + 1] - s.level_off[i];
+      for (size_t j = i + 1; j < level_count; ++j) {
+        const uint32_t* pj = s.level_idx.data() + j * k;
+        if (!std::equal(pi, pi + k - 1, pj)) break;
+        const uint32_t last = pj[k - 1];
+        if (!all_subsets_frequent(pi, last)) continue;
+        ++stats_.candidates_checked;
+        IntersectSorted(parent, parent_n, s.valid[last].data(),
+                        s.valid[last].size(), &s.cand_supp);
+        if (!evaluate(s.cand_supp.data(), s.cand_supp.size())) continue;
+        s.next_idx.insert(s.next_idx.end(), pi, pi + k);
+        s.next_idx.push_back(last);
+        s.next_supp.insert(s.next_supp.end(), s.cand_supp.begin(),
+                           s.cand_supp.end());
+        s.next_off.push_back(s.next_supp.size());
+        if (level >= params_.min_pattern_size) {
+          emit(s.next_idx.data() + s.next_idx.size() - (k + 1), k + 1);
+        }
       }
     }
-    frequent = std::move(next);
-    supports = std::move(next_supports);
+    std::swap(s.level_idx, s.next_idx);
+    std::swap(s.level_supp, s.next_supp);
+    std::swap(s.level_off, s.next_off);
   }
 }
 

@@ -1,9 +1,22 @@
 // DIMine (Section 3.2 of the paper): Apriori-style FCP mining over the
 // DI-Index inverted index.
+//
+// Support counting intersects the parent pattern's supporter list with the
+// joined-in object's posting list, level to level, so no support is ever
+// recomputed from scratch. All per-trigger state lives in a reusable
+// MiningScratch (frequent patterns stored flat, stride k, exactly like
+// CooMine's level store), so steady-state AddSegment allocates only for
+// emitted FCPs and occasional posting-list growth.
+//
+// When constructed as one shard of a sharded group (ShardSpec), emission is
+// restricted to patterns whose minimum object the shard owns; non-owned
+// singletons remain join partners so owned supersets are still found. With
+// the default ShardSpec the filter is the identity.
 
 #ifndef FCP_CORE_DIMINE_H_
 #define FCP_CORE_DIMINE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/params.h"
@@ -15,9 +28,14 @@ namespace fcp {
 
 class DiMine : public FcpMiner {
  public:
-  explicit DiMine(const MiningParams& params);
+  /// `shard` restricts mining to patterns whose minimum object the shard
+  /// owns (see MakeMiner's sharded overload); the default owns everything.
+  explicit DiMine(const MiningParams& params, const ShardSpec& shard = {});
 
   void AddSegment(const Segment& segment, std::vector<Fcp>* out) override;
+  void AdvanceWatermark(Timestamp now) override {
+    watermark_ = std::max(watermark_, now);
+  }
   void ForceMaintenance(Timestamp now) override;
   size_t MemoryUsage() const override;
   const MinerStats& stats() const override { return stats_; }
@@ -27,11 +45,34 @@ class DiMine : public FcpMiner {
   const DiIndex& index() const { return index_; }
 
  private:
+  /// Reusable per-trigger buffers; every container is cleared (capacity
+  /// kept) at the start of a trigger. Frequent patterns of the current level
+  /// are stored flat: `level_idx` holds level-many uint32 indices into
+  /// `objects` per pattern and `level_supp`/`level_off` hold the matching
+  /// supporter id lists back to back with offsets.
+  struct MiningScratch {
+    std::vector<ObjectId> objects;   ///< distinct probe objects (capped)
+    std::vector<uint8_t> owned;      ///< per-object shard ownership flag
+    std::vector<std::vector<SegmentId>> valid;  ///< per-object valid lists
+    std::vector<uint32_t> level_idx;   ///< frequent patterns, stride k
+    std::vector<SegmentId> level_supp; ///< their supporters, concatenated
+    std::vector<size_t> level_off;     ///< offsets into level_supp
+    std::vector<uint32_t> next_idx;
+    std::vector<SegmentId> next_supp;
+    std::vector<size_t> next_off;
+    std::vector<SegmentId> cand_supp;  ///< one candidate's supporters
+    std::vector<uint32_t> subset;      ///< Apriori prune scratch
+    std::vector<Occurrence> occurrences;
+    std::vector<StreamId> streams;
+  };
+
   void Mine(const Segment& segment, std::vector<Fcp>* out);
 
   MiningParams params_;
+  ShardSpec shard_;
   DiIndex index_;
   MinerStats stats_;
+  MiningScratch scratch_;
   Timestamp last_sweep_ = kMinTimestamp;
   Timestamp watermark_ = kMinTimestamp;
 };

@@ -1,9 +1,16 @@
 // MatrixMine (Section 6.2 of the paper): the baseline miner over the pairwise
 // co-occurrence Matrix.
+//
+// Per-trigger state lives in a reusable MiningScratch (flat level store, the
+// same shape as CooMine/DIMine), so steady-state AddSegment allocates only
+// for emitted FCPs and occasional cell growth. When constructed as one shard
+// of a sharded group (ShardSpec), emission is restricted to patterns whose
+// minimum object the shard owns (see dimine.h).
 
 #ifndef FCP_CORE_MATRIXMINE_H_
 #define FCP_CORE_MATRIXMINE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/params.h"
@@ -15,9 +22,14 @@ namespace fcp {
 
 class MatrixMine : public FcpMiner {
  public:
-  explicit MatrixMine(const MiningParams& params);
+  /// `shard` restricts mining to patterns whose minimum object the shard
+  /// owns (see MakeMiner's sharded overload); the default owns everything.
+  explicit MatrixMine(const MiningParams& params, const ShardSpec& shard = {});
 
   void AddSegment(const Segment& segment, std::vector<Fcp>* out) override;
+  void AdvanceWatermark(Timestamp now) override {
+    watermark_ = std::max(watermark_, now);
+  }
   void ForceMaintenance(Timestamp now) override;
   size_t MemoryUsage() const override;
   const MinerStats& stats() const override { return stats_; }
@@ -27,11 +39,32 @@ class MatrixMine : public FcpMiner {
   const MatrixIndex& index() const { return index_; }
 
  private:
+  /// Reusable per-trigger buffers; see DiMine::MiningScratch — identical
+  /// layout plus `pair_supp` for the (first, last) pair-cell lookup.
+  struct MiningScratch {
+    std::vector<ObjectId> objects;
+    std::vector<uint8_t> owned;
+    std::vector<std::vector<SegmentId>> valid;  ///< diagonal-cell lists
+    std::vector<uint32_t> level_idx;
+    std::vector<SegmentId> level_supp;
+    std::vector<size_t> level_off;
+    std::vector<uint32_t> next_idx;
+    std::vector<SegmentId> next_supp;
+    std::vector<size_t> next_off;
+    std::vector<SegmentId> cand_supp;
+    std::vector<SegmentId> pair_supp;  ///< one (first, last) pair cell
+    std::vector<uint32_t> subset;
+    std::vector<Occurrence> occurrences;
+    std::vector<StreamId> streams;
+  };
+
   void Mine(const Segment& segment, std::vector<Fcp>* out);
 
   MiningParams params_;
+  ShardSpec shard_;
   MatrixIndex index_;
   MinerStats stats_;
+  MiningScratch scratch_;
   Timestamp last_sweep_ = kMinTimestamp;
   Timestamp watermark_ = kMinTimestamp;
 };

@@ -56,16 +56,22 @@ std::string_view MinerKindToString(MinerKind kind) {
 
 std::unique_ptr<FcpMiner> MakeMiner(MinerKind kind,
                                     const MiningParams& params) {
+  return MakeMiner(kind, params, ShardSpec{});
+}
+
+std::unique_ptr<FcpMiner> MakeMiner(MinerKind kind, const MiningParams& params,
+                                    const ShardSpec& shard) {
   FCP_CHECK(params.Validate().ok());
+  FCP_CHECK(shard.count >= 1 && shard.index < shard.count);
   switch (kind) {
     case MinerKind::kCooMine:
-      return std::make_unique<CooMine>(params);
+      return std::make_unique<CooMine>(params, CooMineOptions{}, shard);
     case MinerKind::kDiMine:
-      return std::make_unique<DiMine>(params);
+      return std::make_unique<DiMine>(params, shard);
     case MinerKind::kMatrixMine:
-      return std::make_unique<MatrixMine>(params);
+      return std::make_unique<MatrixMine>(params, shard);
     case MinerKind::kBruteForce:
-      return std::make_unique<BruteForceMiner>(params);
+      return std::make_unique<BruteForceMiner>(params, shard);
   }
   return nullptr;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/params.h"
+#include "common/shard.h"
 #include "common/types.h"
 #include "core/fcp.h"
 #include "stream/segment.h"
@@ -70,6 +71,14 @@ class FcpMiner {
   /// miners make identical expiry decisions regardless of interleaving.
   virtual void AddSegment(const Segment& segment, std::vector<Fcp>* out) = 0;
 
+  /// Advances the miner's stream-time watermark to at least `now` without
+  /// processing a segment. A sharded miner sees only a subset of the global
+  /// segment stream, so its own max-end-time anchor would lag the pipeline's
+  /// and expire supporters later than a serial run; the ShardRouter ships
+  /// the global watermark with every delivery and the shard calls this
+  /// before AddSegment to keep expiry decisions byte-identical to serial.
+  virtual void AdvanceWatermark(Timestamp now) = 0;
+
   /// Forces a full expiry sweep with `now` as the current time. Miners also
   /// self-trigger sweeps every MiningParams::maintenance_interval.
   virtual void ForceMaintenance(Timestamp now) = 0;
@@ -90,6 +99,15 @@ std::string_view MinerKindToString(MinerKind kind);
 
 /// Creates a miner. `params` must validate OK (checked).
 std::unique_ptr<FcpMiner> MakeMiner(MinerKind kind, const MiningParams& params);
+
+/// Creates one miner *shard*: a replica that mines only the patterns whose
+/// minimum object it owns (`shard.Owns(min_obj(P))`). Feed it every segment
+/// containing >= 1 owned object (the ShardRouter's multicast rule) and the
+/// union of the shard outputs over shard.index in [0, shard.count) equals
+/// the serial miner's output exactly. The default ShardSpec (0 of 1) yields
+/// a serial miner.
+std::unique_ptr<FcpMiner> MakeMiner(MinerKind kind, const MiningParams& params,
+                                    const ShardSpec& shard);
 
 }  // namespace fcp
 

@@ -1,6 +1,6 @@
 #include "core/parallel_engine.h"
 
-#include <chrono>
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -11,10 +11,17 @@ ParallelEngine::ParallelEngine(MinerKind kind, const MiningParams& params,
                                ParallelEngineOptions options)
     : params_(params),
       options_(options),
-      miner_(MakeMiner(kind, params)),
       collector_(options.suppression_window) {
   FCP_CHECK(params.Validate().ok());
   FCP_CHECK(options.num_workers >= 1);
+  FCP_CHECK(options.num_miner_shards >= 1);
+  const uint32_t num_shards = options_.num_miner_shards;
+  router_ = std::make_unique<ShardRouter>(num_shards,
+                                          options_.shard_queue_capacity);
+  shard_mined_.resize(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shard_miners_.push_back(MakeMiner(kind, params, router_->spec(s)));
+  }
   workers_.resize(options_.num_workers);
   for (uint32_t w = 0; w < options_.num_workers; ++w) {
     workers_[w].events =
@@ -23,9 +30,13 @@ ParallelEngine::ParallelEngine(MinerKind kind, const MiningParams& params,
     segments_.push_back(std::make_unique<BoundedQueue<Segment>>(
         options_.segment_queue_capacity));
   }
-  // Start the miner first so segment production never deadlocks on a full
-  // segment queue with nobody draining it.
-  miner_thread_ = std::thread([this] { MinerLoop(); });
+  // Start consumers before producers so segment production never deadlocks
+  // on a full queue with nobody draining it: shards first, then the merge,
+  // then the workers.
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shard_threads_.emplace_back([this, s] { ShardLoop(s); });
+  }
+  merge_thread_ = std::thread([this] { MergeLoop(); });
   for (uint32_t w = 0; w < options_.num_workers; ++w) {
     workers_[w].thread = std::thread([this, w] { WorkerLoop(w); });
   }
@@ -36,10 +47,8 @@ ParallelEngine::~ParallelEngine() { Finish(); }
 void ParallelEngine::Push(const ObjectEvent& event) {
   FCP_CHECK(!finished_);
   const uint32_t w = event.stream % options_.num_workers;
-  // Lossless ingestion: spin-yield until the worker accepts the event.
-  while (!workers_[w].events->TryPush(event)) {
-    std::this_thread::yield();
-  }
+  // Lossless ingestion: block until the worker accepts the event.
+  workers_[w].events->Push(event);
   ++events_pushed_;
 }
 
@@ -51,14 +60,49 @@ void ParallelEngine::Finish() {
     if (worker.thread.joinable()) worker.thread.join();
   }
   // All workers flushed their trailing windows before exiting; now the
-  // segment queues can be closed and drained by the miner thread.
+  // segment queues can be closed and drained by the merge thread.
   for (auto& queue : segments_) queue->Close();
-  if (miner_thread_.joinable()) miner_thread_.join();
+  if (merge_thread_.joinable()) merge_thread_.join();
+  // The merge routed everything; close the shard queues and let the miners
+  // drain them.
+  router_->Close();
+  for (std::thread& thread : shard_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+
+  // Merge the per-shard outputs into the collector. Each (trigger, pattern)
+  // pair is emitted by exactly one shard (the owner of the pattern's
+  // minimum object), and the Apriori miners emit a trigger's patterns in
+  // (size, lexicographic) order, so sorting the union by (trigger, size,
+  // pattern) reproduces the serial offer order — suppression-window
+  // decisions match a serial run. With one shard the buffer already is the
+  // serial order (whatever the miner emitted), so it is offered verbatim.
+  if (options_.num_miner_shards == 1) {
+    collector_.OfferAll(shard_mined_[0]);
+    shard_mined_[0].clear();
+    return;
+  }
+  std::vector<Fcp> merged;
+  size_t total = 0;
+  for (const std::vector<Fcp>& buffer : shard_mined_) total += buffer.size();
+  merged.reserve(total);
+  for (std::vector<Fcp>& buffer : shard_mined_) {
+    for (Fcp& fcp : buffer) merged.push_back(std::move(fcp));
+    buffer.clear();
+  }
+  std::sort(merged.begin(), merged.end(), [](const Fcp& a, const Fcp& b) {
+    if (a.trigger != b.trigger) return a.trigger < b.trigger;
+    if (a.objects.size() != b.objects.size()) {
+      return a.objects.size() < b.objects.size();
+    }
+    return a.objects < b.objects;
+  });
+  collector_.OfferAll(merged);
 }
 
 void ParallelEngine::WorkerLoop(uint32_t worker_index) {
   std::unordered_map<StreamId, std::unique_ptr<Segmenter>> segmenters;
-  // Worker-local scratch ids; the miner thread assigns the final, globally
+  // Worker-local scratch ids; the merge thread assigns the final, globally
   // monotone ids in consumption order (index posting lists rely on segment
   // ids increasing in insertion order).
   SegmentIdGen scratch_ids;
@@ -67,10 +111,8 @@ void ParallelEngine::WorkerLoop(uint32_t worker_index) {
   BoundedQueue<Segment>& out = *segments_[worker_index];
   auto emit = [&](std::vector<Segment>& batch) {
     for (Segment& segment : batch) {
-      while (!out.TryPush(segment)) {
-        if (out.closed()) return;  // shutting down
-        std::this_thread::yield();
-      }
+      // Blocking push: backpressure without spinning. False = shutdown.
+      if (!out.Push(std::move(segment))) return;
     }
     batch.clear();
   };
@@ -94,17 +136,16 @@ void ParallelEngine::WorkerLoop(uint32_t worker_index) {
   emit(completed);
 }
 
-void ParallelEngine::MinerLoop() {
+void ParallelEngine::MergeLoop() {
   // Merge the per-worker segment streams by end time: processing the
-  // smallest available end time keeps the miner\'s watermark aligned with a
-  // serial run, so no worker\'s supporters expire early just because another
+  // smallest available end time keeps the mining watermark aligned with a
+  // serial run, so no worker's supporters expire early just because another
   // worker raced ahead. A worker that stays quiet for merge_idle_timeout_us
   // while others have segments waiting is skipped until it produces again.
   const uint32_t n = options_.num_workers;
   std::vector<std::optional<Segment>> heads(n);
   std::vector<bool> exhausted(n, false);
   SegmentIdGen final_ids;
-  std::vector<Fcp> mined;
 
   while (true) {
     // Refill empty head slots without blocking.
@@ -135,33 +176,42 @@ void ParallelEngine::MinerLoop() {
       bool all_exhausted = true;
       for (uint32_t w = 0; w < n; ++w) all_exhausted &= exhausted[w];
       if (all_exhausted) break;
-      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      // Nothing to merge: block on the first still-active queue until it
+      // produces, closes, or the timeout passes (then re-poll the others).
+      for (uint32_t w = 0; w < n; ++w) {
+        if (exhausted[w]) continue;
+        if (auto segment =
+                segments_[w]->PopFor(options_.merge_idle_timeout_us)) {
+          heads[w] = std::move(*segment);
+        }
+        break;
+      }
       continue;
     }
 
     if (missing_active_head) {
       // Give quiet workers a bounded chance to contribute the next-smallest
-      // end time before we commit to the current minimum.
+      // end time before we commit to the current minimum. Each round blocks
+      // on the quiet queues' condition variables instead of busy-sleeping.
       int64_t waited_us = 0;
       while (missing_active_head &&
              waited_us < options_.merge_idle_timeout_us) {
-        std::this_thread::sleep_for(std::chrono::microseconds(100));
-        waited_us += 100;
         missing_active_head = false;
         for (uint32_t w = 0; w < n; ++w) {
           if (exhausted[w] || heads[w].has_value()) continue;
-          if (auto segment = segments_[w]->TryPop()) {
+          if (auto segment = segments_[w]->PopFor(100)) {
             heads[w] = std::move(*segment);
           } else if (segments_[w]->closed()) {
             exhausted[w] = true;
           } else {
             missing_active_head = true;
           }
+          waited_us += 100;
         }
       }
     }
 
-    // Process the head with the smallest end time.
+    // Route the head with the smallest end time.
     uint32_t best = n;
     for (uint32_t w = 0; w < n; ++w) {
       if (!heads[w].has_value()) continue;
@@ -170,13 +220,28 @@ void ParallelEngine::MinerLoop() {
       }
     }
     FCP_DCHECK(best < n);
-    const Segment relabeled(final_ids.Next(), heads[best]->stream(),
-                            std::vector<SegmentEntry>(heads[best]->entries()));
+    Segment relabeled(final_ids.Next(), heads[best]->stream(),
+                      std::vector<SegmentEntry>(heads[best]->entries()));
     heads[best].reset();
-    mined.clear();
-    miner_->AddSegment(relabeled, &mined);
+    router_->Route(relabeled);
     ++segments_completed_;
-    collector_.OfferAll(mined);
+  }
+}
+
+void ParallelEngine::ShardLoop(uint32_t shard_index) {
+  FcpMiner& miner = *shard_miners_[shard_index];
+  std::vector<Fcp>& buffer = shard_mined_[shard_index];
+  std::vector<Fcp> mined;
+  BoundedQueue<ShardDelivery>& queue = router_->queue(shard_index);
+  while (auto delivery = queue.Pop()) {
+    // Adopt the router's global watermark before mining: a shard only sees
+    // the segments containing its objects, so its own max-end-time anchor
+    // can lag the merge's and would expire supporters later than a serial
+    // run (breaking shard-count invariance of the output).
+    miner.AdvanceWatermark(delivery->watermark);
+    mined.clear();
+    miner.AddSegment(delivery->segment, &mined);
+    for (Fcp& fcp : mined) buffer.push_back(std::move(fcp));
   }
 }
 

@@ -1,23 +1,30 @@
-// Parallel ingestion front end: the paper's future-work direction ("extend
+// Parallel ingestion + mining: the paper's future-work direction ("extend
 // the proposed approaches ... to handle greater scales of data streams").
 //
 // Segmentation is embarrassingly parallel (each stream's windows depend only
-// on that stream), while FCP mining is a cross-stream operation and stays on
-// one thread. The ParallelEngine shards streams across W segmenter workers,
-// each feeding completed segments through a bounded queue into the single
-// miner thread:
+// on that stream). Mining is a cross-stream operation, but it *object*-
+// partitions cleanly: S miner shards each own the patterns whose minimum
+// object hashes to them (see common/shard.h), and a ShardRouter multicasts
+// every completed segment to the shards owning >= 1 of its objects. Each
+// shard runs a full miner instance restricted to its owned patterns, so the
+// union of shard outputs equals the serial output exactly (every occurrence
+// of an owned pattern contains the owned minimum object, hence reaches the
+// owner).
 //
-//   Push(event) -> worker[hash(stream) % W] -> Segmenter -> segment queue
-//                                                          -> miner thread
+//   Push(event) -> worker[stream % W] -> Segmenter -> segment queue
+//     -> merge thread (end-time order, global ids, watermark)
+//       -> ShardRouter -> shard[0..S-1] miner threads -> merged results
 //
-// Semantics: the miner sees segments in a valid completion order of some
-// interleaving of the input streams (workers run at their own pace), so
+// Semantics: the merge thread sees segments in a valid completion order of
+// some interleaving of the input streams (workers run at their own pace), so
 // results match a serial MiningEngine run up to the watermark skew between
-// workers. Every emitted FCP is sound (its supporters really co-occurred
-// within tau); a pattern straddling the instant of a worker stall may be
-// reported with a later trigger than the serial run would use. Tests verify
-// soundness against the Definition-3 checker and full recall of planted
-// ground truth.
+// workers; with one worker they match exactly, for any shard count. Every
+// emitted FCP is sound (its supporters really co-occurred within tau).
+// Tests verify soundness against the Definition-3 checker, full recall of
+// planted ground truth, and shard-count invariance of the result multiset.
+//
+// All backpressure blocks on condition variables (BoundedQueue::Push /
+// PopFor) — no spin loops anywhere in the pipeline.
 
 #ifndef FCP_CORE_PARALLEL_ENGINE_H_
 #define FCP_CORE_PARALLEL_ENGINE_H_
@@ -34,16 +41,21 @@
 #include "stream/bounded_queue.h"
 #include "stream/segment.h"
 #include "stream/segmenter.h"
+#include "stream/shard_router.h"
 
 namespace fcp {
 
 /// Configuration of the parallel front end.
 struct ParallelEngineOptions {
   uint32_t num_workers = 2;
+  /// Miner shards: independent miner replicas partitioning the pattern
+  /// space by min-object ownership. 1 = classic single miner thread.
+  uint32_t num_miner_shards = 1;
   size_t event_queue_capacity = 8192;    ///< per worker
   size_t segment_queue_capacity = 1024;  ///< per worker, feeds the merge
+  size_t shard_queue_capacity = 1024;    ///< per shard, feeds the miners
   DurationMs suppression_window = 0;     ///< ResultCollector dedup
-  /// The miner merges per-worker segment streams by end time. When some
+  /// The merge orders per-worker segment streams by end time. When some
   /// worker has produced nothing for this long while others have segments
   /// waiting, the merge stops waiting for it (bounds stalls on quiet
   /// stream partitions at the cost of a little ordering skew).
@@ -52,7 +64,8 @@ struct ParallelEngineOptions {
 
 class ParallelEngine {
  public:
-  /// Starts the worker and miner threads. `params` must validate OK.
+  /// Starts the worker, merge and shard miner threads. `params` must
+  /// validate OK.
   ParallelEngine(MinerKind kind, const MiningParams& params,
                  ParallelEngineOptions options = {});
 
@@ -62,13 +75,14 @@ class ParallelEngine {
   ParallelEngine(const ParallelEngine&) = delete;
   ParallelEngine& operator=(const ParallelEngine&) = delete;
 
-  /// Routes one event to its stream's worker. Blocks (spins briefly) when
-  /// that worker's queue is full — ingestion is lossless, unlike the Fig. 8
-  /// saturation harness. Must not be called after Finish().
+  /// Routes one event to its stream's worker. Blocks (condition variable)
+  /// while that worker's queue is full — ingestion is lossless, unlike the
+  /// Fig. 8 saturation harness. Must not be called after Finish().
   void Push(const ObjectEvent& event);
 
-  /// Flushes every open window, drains the pipeline and joins all threads.
-  /// Idempotent. After Finish(), results() is complete and stable.
+  /// Flushes every open window, drains the pipeline, joins all threads and
+  /// merges the per-shard outputs into the collector. Idempotent. After
+  /// Finish(), results() is complete and stable.
   void Finish();
 
   /// All accepted discoveries so far. Only safe to read after Finish().
@@ -77,12 +91,20 @@ class ParallelEngine {
   /// Collector access after Finish() (distinct pattern counts, etc.).
   const ResultCollector& collector() const { return collector_; }
 
+  /// Shard miner access after Finish() (stats, memory accounting).
+  uint32_t num_miner_shards() const { return options_.num_miner_shards; }
+  const FcpMiner& shard_miner(uint32_t shard) const {
+    return *shard_miners_[shard];
+  }
+  const ShardRouterStats& router_stats() const { return router_->stats(); }
+
   uint64_t segments_completed() const { return segments_completed_; }
   uint64_t events_pushed() const { return events_pushed_; }
 
  private:
   void WorkerLoop(uint32_t worker_index);
-  void MinerLoop();
+  void MergeLoop();
+  void ShardLoop(uint32_t shard_index);
 
   MiningParams params_;
   ParallelEngineOptions options_;
@@ -94,12 +116,19 @@ class ParallelEngine {
   };
   std::vector<Worker> workers_;
 
-  // Per-worker segment queues; MinerLoop merges them by segment end time
-  // (aligned watermark) and relabels with globally monotone ids.
+  // Per-worker segment queues; MergeLoop merges them by segment end time
+  // (aligned watermark), relabels with globally monotone ids, and routes
+  // through the ShardRouter to the shard miner threads.
   std::vector<std::unique_ptr<BoundedQueue<Segment>>> segments_;
-  std::thread miner_thread_;
+  std::thread merge_thread_;
 
-  std::unique_ptr<FcpMiner> miner_;
+  std::unique_ptr<ShardRouter> router_;
+  std::vector<std::unique_ptr<FcpMiner>> shard_miners_;
+  std::vector<std::thread> shard_threads_;
+  // Per-shard output buffers, written only by the owning shard thread while
+  // it runs; merged into collector_ by Finish() after the joins.
+  std::vector<std::vector<Fcp>> shard_mined_;
+
   ResultCollector collector_;
   uint64_t segments_completed_ = 0;
   uint64_t events_pushed_ = 0;

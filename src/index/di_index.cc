@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/check.h"
-#include "util/memory.h"
 
 namespace fcp {
 
@@ -13,19 +12,29 @@ void DiIndex::Insert(const Segment& segment) {
                 SegmentInfo{segment.stream(), segment.start_time(),
                             segment.end_time(),
                             static_cast<uint32_t>(segment.length())});
-  for (ObjectId object : segment.DistinctObjects()) {
-    postings_[object].push_back(segment.id());
+  distinct_scratch_.clear();
+  for (const SegmentEntry& e : segment.entries()) {
+    distinct_scratch_.push_back(e.object);
+  }
+  std::sort(distinct_scratch_.begin(), distinct_scratch_.end());
+  distinct_scratch_.erase(
+      std::unique(distinct_scratch_.begin(), distinct_scratch_.end()),
+      distinct_scratch_.end());
+  for (ObjectId object : distinct_scratch_) {
+    std::vector<SegmentId>& posting = postings_[object];
+    if (posting.empty()) ++nonempty_postings_;
+    posting.push_back(segment.id());
     ++total_entries_;
   }
   ++stats_.segments_inserted;
 }
 
-std::vector<SegmentId> DiIndex::ValidSegments(ObjectId object, Timestamp now,
-                                              DurationMs tau) {
-  std::vector<SegmentId> result;
-  auto it = postings_.find(object);
-  if (it == postings_.end()) return result;
-  std::vector<SegmentId>& posting = it->second;
+void DiIndex::ValidSegmentsInto(ObjectId object, Timestamp now, DurationMs tau,
+                                std::vector<SegmentId>* out) {
+  out->clear();
+  std::vector<SegmentId>* posting_ptr = postings_.Find(object);
+  if (posting_ptr == nullptr || posting_ptr->empty()) return;
+  std::vector<SegmentId>& posting = *posting_ptr;
 
   // One pass: keep valid ids, compact away expired ones. Expired segments
   // stay in the registry until the full sweep retires them everywhere (only
@@ -37,59 +46,60 @@ std::vector<SegmentId> DiIndex::ValidSegments(ObjectId object, Timestamp now,
     const SegmentInfo* info = registry_.Find(id);
     if (info == nullptr || now - info->start > tau) continue;  // drop
     posting[write++] = id;
-    result.push_back(id);
+    out->push_back(id);
   }
   total_entries_ -= posting.size() - write;
   posting.resize(write);
-  if (posting.empty()) postings_.erase(it);
+  if (write == 0) --nonempty_postings_;
+}
+
+std::vector<SegmentId> DiIndex::ValidSegments(ObjectId object, Timestamp now,
+                                              DurationMs tau) {
+  std::vector<SegmentId> result;
+  ValidSegmentsInto(object, now, tau, &result);
   return result;
 }
 
 size_t DiIndex::RemoveExpired(Timestamp now, DurationMs tau) {
   ++stats_.full_sweeps;
   // Pass 1: collect expired segment ids from the registry.
-  std::vector<SegmentId> expired;
+  expired_scratch_.clear();
   for (const auto& [id, info] : registry_) {
-    if (now - info.start > tau) expired.push_back(id);
+    if (now - info.start > tau) expired_scratch_.push_back(id);
   }
-  if (expired.empty()) {
-    // Still must scan all postings for ids of segments already retired
-    // elsewhere? No: ids are only retired by this sweep, so postings can
-    // only contain live or expired ids. Nothing to do.
+  if (expired_scratch_.empty()) {
+    // Ids are only retired by this sweep, so postings can only contain live
+    // or expired ids. Nothing to do.
     return 0;
   }
-  std::sort(expired.begin(), expired.end());
+  std::sort(expired_scratch_.begin(), expired_scratch_.end());
 
   // Pass 2: scrub every posting list (this is the O(n * p) cost the paper
-  // measures in Fig. 5(c)-(e)).
-  for (auto it = postings_.begin(); it != postings_.end();) {
-    std::vector<SegmentId>& posting = it->second;
+  // measures in Fig. 5(c)-(e)). Drained lists keep their capacity.
+  for (auto& [object, posting] : postings_) {
+    (void)object;
+    if (posting.empty()) continue;
     size_t write = 0;
     for (size_t read = 0; read < posting.size(); ++read) {
       ++stats_.posting_entries_scanned;
-      if (!std::binary_search(expired.begin(), expired.end(),
+      if (!std::binary_search(expired_scratch_.begin(), expired_scratch_.end(),
                               posting[read])) {
         posting[write++] = posting[read];
       }
     }
     total_entries_ -= posting.size() - write;
     posting.resize(write);
-    if (posting.empty()) {
-      it = postings_.erase(it);
-    } else {
-      ++it;
-    }
+    if (write == 0) --nonempty_postings_;
   }
 
   // Pass 3: retire from the registry.
-  for (SegmentId id : expired) registry_.Remove(id);
-  stats_.segments_expired += expired.size();
-  return expired.size();
+  for (SegmentId id : expired_scratch_) registry_.Remove(id);
+  stats_.segments_expired += expired_scratch_.size();
+  return expired_scratch_.size();
 }
 
 size_t DiIndex::MemoryUsage() const {
-  size_t bytes =
-      HashMapFootprint<ObjectId, std::vector<SegmentId>>(postings_.size());
+  size_t bytes = postings_.MemoryUsage();
   bytes += total_entries_ * sizeof(SegmentId);
   bytes += registry_.MemoryUsage();
   return bytes;

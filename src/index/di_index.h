@@ -6,17 +6,23 @@
 // removing obsolete segments requires touching every posting list. We
 // implement the paper's scheme: postings touched by mining are compacted
 // opportunistically, and a periodic full sweep scans all entries.
+//
+// Posting lists live in a FlatMap and are *kept* when they drain empty
+// (their capacity is the warm buffer the next occurrence of the object
+// appends into), so a steady-state index performs no heap allocations:
+// erase-on-empty would free the vector and re-pay the allocation on every
+// recurrence of a cyclic object.
 
 #ifndef FCP_INDEX_DI_INDEX_H_
 #define FCP_INDEX_DI_INDEX_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
 #include "index/segment_registry.h"
 #include "stream/segment.h"
+#include "util/flat_map.h"
 
 namespace fcp {
 
@@ -39,9 +45,13 @@ class DiIndex {
   /// of its distinct objects.
   void Insert(const Segment& segment);
 
-  /// Returns the ids of valid segments containing `object` at `now`
-  /// (ascending id order), compacting the posting list in passing: expired
-  /// ids found during the scan are dropped from the index.
+  /// Appends the ids of valid segments containing `object` at `now` to
+  /// `*out` (cleared first; ascending id order), compacting the posting list
+  /// in passing: expired ids found during the scan are dropped.
+  void ValidSegmentsInto(ObjectId object, Timestamp now, DurationMs tau,
+                         std::vector<SegmentId>* out);
+
+  /// Allocating convenience wrapper over ValidSegmentsInto.
   std::vector<SegmentId> ValidSegments(ObjectId object, Timestamp now,
                                        DurationMs tau);
 
@@ -50,7 +60,9 @@ class DiIndex {
   size_t RemoveExpired(Timestamp now, DurationMs tau);
 
   size_t num_segments() const { return registry_.size(); }
-  size_t num_postings() const { return postings_.size(); }
+  /// Number of objects with at least one live posting entry (drained lists
+  /// are retained for their capacity but not counted).
+  size_t num_postings() const { return nonempty_postings_; }
   uint64_t total_entries() const { return total_entries_; }
 
   const SegmentRegistry& registry() const { return registry_; }
@@ -60,10 +72,13 @@ class DiIndex {
   size_t MemoryUsage() const;
 
  private:
-  std::unordered_map<ObjectId, std::vector<SegmentId>> postings_;
+  FlatMap<ObjectId, std::vector<SegmentId>> postings_;
   SegmentRegistry registry_;
   uint64_t total_entries_ = 0;
+  size_t nonempty_postings_ = 0;
   DiIndexStats stats_;
+  std::vector<ObjectId> distinct_scratch_;   ///< Insert's distinct objects
+  std::vector<SegmentId> expired_scratch_;   ///< RemoveExpired's worklist
 };
 
 }  // namespace fcp

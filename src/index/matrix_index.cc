@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/check.h"
-#include "util/memory.h"
 
 namespace fcp {
 
@@ -13,23 +12,33 @@ void MatrixIndex::Insert(const Segment& segment) {
                 SegmentInfo{segment.stream(), segment.start_time(),
                             segment.end_time(),
                             static_cast<uint32_t>(segment.length())});
-  const std::vector<ObjectId> objects = segment.DistinctObjects();
-  for (size_t i = 0; i < objects.size(); ++i) {
-    for (size_t j = i; j < objects.size(); ++j) {
-      cells_[MakeKey(objects[i], objects[j])].push_back(segment.id());
+  distinct_scratch_.clear();
+  for (const SegmentEntry& e : segment.entries()) {
+    distinct_scratch_.push_back(e.object);
+  }
+  std::sort(distinct_scratch_.begin(), distinct_scratch_.end());
+  distinct_scratch_.erase(
+      std::unique(distinct_scratch_.begin(), distinct_scratch_.end()),
+      distinct_scratch_.end());
+  for (size_t i = 0; i < distinct_scratch_.size(); ++i) {
+    for (size_t j = i; j < distinct_scratch_.size(); ++j) {
+      std::vector<SegmentId>& cell =
+          cells_[PackKey(distinct_scratch_[i], distinct_scratch_[j])];
+      if (cell.empty()) ++nonempty_cells_;
+      cell.push_back(segment.id());
       ++total_entries_;
     }
   }
   ++stats_.segments_inserted;
 }
 
-std::vector<SegmentId> MatrixIndex::ValidSegments(ObjectId a, ObjectId b,
-                                                  Timestamp now,
-                                                  DurationMs tau) {
-  std::vector<SegmentId> result;
-  auto it = cells_.find(MakeKey(a, b));
-  if (it == cells_.end()) return result;
-  std::vector<SegmentId>& cell = it->second;
+void MatrixIndex::ValidSegmentsInto(ObjectId a, ObjectId b, Timestamp now,
+                                    DurationMs tau,
+                                    std::vector<SegmentId>* out) {
+  out->clear();
+  std::vector<SegmentId>* cell_ptr = cells_.Find(PackKey(a, b));
+  if (cell_ptr == nullptr || cell_ptr->empty()) return;
+  std::vector<SegmentId>& cell = *cell_ptr;
 
   size_t write = 0;
   for (size_t read = 0; read < cell.size(); ++read) {
@@ -38,49 +47,53 @@ std::vector<SegmentId> MatrixIndex::ValidSegments(ObjectId a, ObjectId b,
     const SegmentInfo* info = registry_.Find(id);
     if (info == nullptr || now - info->start > tau) continue;  // drop
     cell[write++] = id;
-    result.push_back(id);
+    out->push_back(id);
   }
   total_entries_ -= cell.size() - write;
   cell.resize(write);
-  if (cell.empty()) cells_.erase(it);
+  if (write == 0) --nonempty_cells_;
+}
+
+std::vector<SegmentId> MatrixIndex::ValidSegments(ObjectId a, ObjectId b,
+                                                  Timestamp now,
+                                                  DurationMs tau) {
+  std::vector<SegmentId> result;
+  ValidSegmentsInto(a, b, now, tau, &result);
   return result;
 }
 
 size_t MatrixIndex::RemoveExpired(Timestamp now, DurationMs tau) {
   ++stats_.full_sweeps;
-  std::vector<SegmentId> expired;
+  expired_scratch_.clear();
   for (const auto& [id, info] : registry_) {
-    if (now - info.start > tau) expired.push_back(id);
+    if (now - info.start > tau) expired_scratch_.push_back(id);
   }
-  if (expired.empty()) return 0;
-  std::sort(expired.begin(), expired.end());
+  if (expired_scratch_.empty()) return 0;
+  std::sort(expired_scratch_.begin(), expired_scratch_.end());
 
-  for (auto it = cells_.begin(); it != cells_.end();) {
-    std::vector<SegmentId>& cell = it->second;
+  for (auto& [key, cell] : cells_) {
+    (void)key;
+    if (cell.empty()) continue;
     size_t write = 0;
     for (size_t read = 0; read < cell.size(); ++read) {
       ++stats_.cell_entries_scanned;
-      if (!std::binary_search(expired.begin(), expired.end(), cell[read])) {
+      if (!std::binary_search(expired_scratch_.begin(), expired_scratch_.end(),
+                              cell[read])) {
         cell[write++] = cell[read];
       }
     }
     total_entries_ -= cell.size() - write;
     cell.resize(write);
-    if (cell.empty()) {
-      it = cells_.erase(it);
-    } else {
-      ++it;
-    }
+    if (write == 0) --nonempty_cells_;
   }
 
-  for (SegmentId id : expired) registry_.Remove(id);
-  stats_.segments_expired += expired.size();
-  return expired.size();
+  for (SegmentId id : expired_scratch_) registry_.Remove(id);
+  stats_.segments_expired += expired_scratch_.size();
+  return expired_scratch_.size();
 }
 
 size_t MatrixIndex::MemoryUsage() const {
-  size_t bytes =
-      HashMapFootprint<Key, std::vector<SegmentId>>(cells_.size());
+  size_t bytes = cells_.MemoryUsage();
   bytes += total_entries_ * sizeof(SegmentId);
   bytes += registry_.MemoryUsage();
   return bytes;

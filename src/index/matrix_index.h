@@ -5,19 +5,23 @@
 // Deliberately faithful to the baseline's weaknesses: inserting a segment
 // with d distinct objects creates O(d^2) pair entries, and expiry has to
 // touch every matrix cell.
+//
+// Cells are keyed by the two 32-bit ObjectIds packed into one uint64 so they
+// fit a FlatMap slot, and drained cells are *kept* for their vector capacity
+// (see di_index.h for the rationale) — a steady-state matrix performs no
+// heap allocations.
 
 #ifndef FCP_INDEX_MATRIX_INDEX_H_
 #define FCP_INDEX_MATRIX_INDEX_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
-#include "common/hash.h"
 #include "common/types.h"
 #include "index/segment_registry.h"
 #include "stream/segment.h"
+#include "util/flat_map.h"
 
 namespace fcp {
 
@@ -29,8 +33,9 @@ struct MatrixIndexStats {
   uint64_t full_sweeps = 0;
 };
 
-/// Sparse upper-triangular co-occurrence matrix (hash map keyed on object
-/// pairs with first <= second; the diagonal indexes single objects).
+/// Sparse upper-triangular co-occurrence matrix (flat hash map keyed on
+/// packed object pairs with first <= second; the diagonal indexes single
+/// objects).
 class MatrixIndex {
  public:
   MatrixIndex() = default;
@@ -41,8 +46,13 @@ class MatrixIndex {
   /// distinct objects (including {oi, oi}) records the segment id.
   void Insert(const Segment& segment);
 
-  /// Valid segments whose object set contains both `a` and `b` (pass a == b
-  /// for single-object lookup), ascending id order, compacting the cell.
+  /// Appends the valid segments whose object set contains both `a` and `b`
+  /// (pass a == b for single-object lookup) to `*out` (cleared first;
+  /// ascending id order), compacting the cell in passing.
+  void ValidSegmentsInto(ObjectId a, ObjectId b, Timestamp now, DurationMs tau,
+                         std::vector<SegmentId>* out);
+
+  /// Allocating convenience wrapper over ValidSegmentsInto.
   std::vector<SegmentId> ValidSegments(ObjectId a, ObjectId b, Timestamp now,
                                        DurationMs tau);
 
@@ -50,7 +60,9 @@ class MatrixIndex {
   size_t RemoveExpired(Timestamp now, DurationMs tau);
 
   size_t num_segments() const { return registry_.size(); }
-  size_t num_cells() const { return cells_.size(); }
+  /// Number of cells with at least one live entry (drained cells are
+  /// retained for their capacity but not counted).
+  size_t num_cells() const { return nonempty_cells_; }
   uint64_t total_entries() const { return total_entries_; }
 
   const SegmentRegistry& registry() const { return registry_; }
@@ -60,16 +72,20 @@ class MatrixIndex {
   size_t MemoryUsage() const;
 
  private:
-  using Key = std::pair<ObjectId, ObjectId>;
-
-  static Key MakeKey(ObjectId a, ObjectId b) {
-    return a <= b ? Key{a, b} : Key{b, a};
+  /// Packs the unordered pair into one 64-bit key, smaller id in the high
+  /// half (ObjectId is 32-bit).
+  static uint64_t PackKey(ObjectId a, ObjectId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
   }
 
-  std::unordered_map<Key, std::vector<SegmentId>, PairHash> cells_;
+  FlatMap<uint64_t, std::vector<SegmentId>> cells_;
   SegmentRegistry registry_;
   uint64_t total_entries_ = 0;
+  size_t nonempty_cells_ = 0;
   MatrixIndexStats stats_;
+  std::vector<ObjectId> distinct_scratch_;   ///< Insert's distinct objects
+  std::vector<SegmentId> expired_scratch_;   ///< RemoveExpired's worklist
 };
 
 }  // namespace fcp

@@ -36,7 +36,8 @@ SegTree::SegTree(SegTreeOptions options)
     : options_(options),
       pool_(options.pool_slab_nodes),
       child_arena_(options.chunk_slab_bytes),
-      tail_arena_(options.chunk_slab_bytes) {
+      tail_arena_(options.chunk_slab_bytes),
+      object_arena_(options.chunk_slab_bytes) {
   root_ = pool_.Acquire();  // freshly constructed: fields are default-init
 }
 
@@ -187,9 +188,20 @@ void SegTree::Insert(const Segment& segment) {
   }
 
   // `cur` is the tail node of this segment.
-  cur->tails.push_back(TailEntry{segment.id(), length, segment.stream(),
-                                 segment.start_time(), segment.end_time()},
-                       tail_arena_);
+  TailEntry tail_entry{segment.id(), length, segment.stream(),
+                       segment.start_time(), segment.end_time(), {}};
+  distinct_scratch_.clear();
+  for (const SegmentEntry& e : entries) {
+    distinct_scratch_.push_back(e.object);
+  }
+  std::sort(distinct_scratch_.begin(), distinct_scratch_.end());
+  distinct_scratch_.erase(
+      std::unique(distinct_scratch_.begin(), distinct_scratch_.end()),
+      distinct_scratch_.end());
+  for (ObjectId object : distinct_scratch_) {
+    tail_entry.objects.push_back(object, object_arena_);
+  }
+  cur->tails.push_back(tail_entry, tail_arena_);
   tail_of_.Insert(segment.id(), cur);
   registry_.Add(segment.id(),
                 SegmentInfo{segment.stream(), segment.start_time(),
@@ -222,6 +234,7 @@ void SegTree::RemoveSegmentPath(SegmentId id) {
   size_t te = 0;
   while (te < tails.size() && tails[te].segment != id) ++te;
   FCP_CHECK(te < tails.size());
+  tails[te].objects.Reset(object_arena_);
   tails.erase_at(te);
 
   // Reconstruct the segment's node path by backtracking length-1 edges.
@@ -446,7 +459,8 @@ std::vector<SegmentId> SegTree::RelevantSegments(ObjectId object,
 }
 
 void SegTree::SlcpInto(const Segment& probe, Timestamp now, DurationMs tau,
-                       std::vector<SegmentId>* expired, LcpTable* out) const {
+                       std::vector<SegmentId>* expired, LcpTable* out,
+                       const ShardSpec& shard) const {
   out->Clear();
   // Gather (segment, probe-object) hit records, then sort and group them
   // into one row per relevant segment. Sorting a flat hit vector is markedly
@@ -470,6 +484,70 @@ void SegTree::SlcpInto(const Segment& probe, Timestamp now, DurationMs tau,
   probe_objects.erase(
       std::unique(probe_objects.begin(), probe_objects.end()),
       probe_objects.end());
+
+  if (!shard.IsSingleton()) {
+    // Two-phase ownership-filtered search (see the header comment).
+    //
+    // Phase 1: the chains of the owned probe objects find every segment
+    // whose common set contains >= 1 owned object — exactly the rows a
+    // shard-owned pattern can draw support from.
+    static thread_local std::vector<const TailEntry*> live;
+    live.clear();
+    for (ObjectId object : probe_objects) {
+      if (!shard.Owns(object)) continue;
+      Node* const* head = hlist_.Find(object);
+      if (head == nullptr) continue;
+      for (const Node* n = *head; n != nullptr; n = n->hnext) {
+        CollectRelevantTails(n, now, tau, &live, expired);
+      }
+    }
+    std::sort(live.begin(), live.end(),
+              [](const TailEntry* a, const TailEntry* b) {
+                return a->segment < b->segment;
+              });
+    live.erase(std::unique(live.begin(), live.end(),
+                           [](const TailEntry* a, const TailEntry* b) {
+                             return a->segment == b->segment;
+                           }),
+               live.end());
+
+    // Phase 2: reconstruct each live row's full common set (owned objects
+    // alone are not enough — patterns extend past the minimum object) as
+    // probe ∩ segment, one linear merge of two small sorted arrays per row
+    // (TailEntry::objects is the segment's sorted distinct object list).
+    for (const TailEntry* t : live) {
+      LcpTable::Row row;
+      row.segment = t->segment;
+      row.stream = t->stream;
+      row.start = t->start;
+      row.end = t->end;
+      row.common_begin = static_cast<uint32_t>(out->common_pool.size());
+      const ObjectId* a = probe_objects.data();
+      const ObjectId* const ae = a + probe_objects.size();
+      const ObjectId* b = t->objects.begin();
+      const ObjectId* const be = t->objects.end();
+      while (a != ae && b != be) {
+        if (*a < *b) {
+          ++a;
+        } else if (*b < *a) {
+          ++b;
+        } else {
+          out->common_pool.push_back(*a);
+          ++a;
+          ++b;
+        }
+      }
+      row.common_end = static_cast<uint32_t>(out->common_pool.size());
+      out->rows.push_back(row);
+    }
+    if (expired != nullptr) {
+      std::sort(expired->begin(), expired->end());
+      expired->erase(std::unique(expired->begin(), expired->end()),
+                     expired->end());
+    }
+    return;
+  }
+
   for (ObjectId object : probe_objects) {
     Node* const* head = hlist_.Find(object);
     if (head == nullptr) continue;
@@ -545,7 +623,8 @@ double SegTree::CompressionRatio() const {
 size_t SegTree::ArenaBytes() const {
   return pool_.SlabBytes() + pool_.FreeListBytes() + child_arena_.SlabBytes() +
          child_arena_.FreeListBytes() + tail_arena_.SlabBytes() +
-         tail_arena_.FreeListBytes();
+         tail_arena_.FreeListBytes() + object_arena_.SlabBytes() +
+         object_arena_.FreeListBytes();
 }
 
 size_t SegTree::MemoryUsage() const {

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/shard.h"
 #include "common/types.h"
 #include "index/segment_registry.h"
 #include "stream/segment.h"
@@ -161,8 +162,22 @@ class SegTree {
   /// `now` anchors validity (callers pass the probe's end time). The probe
   /// itself must not be in the tree yet (mine first, insert after). `out` is
   /// cleared first; with a warm table the call performs no allocations.
+  ///
+  /// `shard` restricts the result to rows that can support a pattern OWNED
+  /// by the shard (min-object ownership, see common/shard.h): a row is
+  /// returned iff its common set contains >= 1 owned object. A non-singleton
+  /// shard switches to a two-phase search that only walks the Hlist chains
+  /// of the *owned* probe objects — an owned pattern's minimum object is an
+  /// owned probe object, so each of its supporters is found there — and then
+  /// reconstructs each hit row's full common set by walking that segment's
+  /// tree path. Skipping the non-owned chains (which include the hottest
+  /// objects for most shards) is what makes the sharded probe cheaper than
+  /// 1/S of the serial one. Expired segments are only discovered on the
+  /// chains actually walked; the periodic RemoveExpired sweep covers the
+  /// rest.
   void SlcpInto(const Segment& probe, Timestamp now, DurationMs tau,
-                std::vector<SegmentId>* expired, LcpTable* out) const;
+                std::vector<SegmentId>* expired, LcpTable* out,
+                const ShardSpec& shard = {}) const;
 
   /// Convenience SLCP shape for tests/benches: same result as SlcpInto, one
   /// owning LcpRow per relevant segment.
@@ -221,6 +236,13 @@ class SegTree {
     StreamId stream;
     Timestamp start;
     Timestamp end;
+    // Sorted distinct objects of the segment (object_arena_-backed). The
+    // ownership-filtered SLCP reconstructs a hit row's common set as
+    // probe ∩ objects with one contiguous merge instead of backtracking the
+    // node path (pointer chases). Owned by exactly one TailEntry; released
+    // in RemoveSegmentPath (graft moves entries by value, transferring the
+    // chunk).
+    PooledVec<ObjectId> objects;
   };
 
   // Tlist element: completion-ordered reference to a segment (via tail_of_).
@@ -259,6 +281,7 @@ class SegTree {
   // property that makes steady-state churn allocation-free.
   ChunkArena<Node*> child_arena_;
   ChunkArena<TailEntry> tail_arena_;
+  ChunkArena<ObjectId> object_arena_;  // TailEntry::objects chunks
   Node* root_;
   FlatMap<ObjectId, Node*> hlist_;
   RingBuffer<TlistEntry> tlist_;
@@ -269,6 +292,7 @@ class SegTree {
   // Reusable hot-path buffers (cleared per call, capacity kept) so the
   // steady-state insert/remove cycle performs no heap allocations.
   std::vector<Node*> path_scratch_;         // RemoveSegmentPath backtrack
+  std::vector<ObjectId> distinct_scratch_;  // Insert: sorted distinct objects
   std::vector<Node*> prefix_path_scratch_;  // prefix-match trial path
   std::vector<Node*> prefix_best_scratch_;  // prefix-match best path
   std::vector<std::pair<Node*, Node*>> graft_work_;  // TryGraft worklist

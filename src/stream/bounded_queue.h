@@ -5,8 +5,10 @@
 #ifndef FCP_STREAM_BOUNDED_QUEUE_H_
 #define FCP_STREAM_BOUNDED_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -20,7 +22,9 @@ namespace fcp {
 /// `TryPush` fails (returns false) when the queue is full — the paper's
 /// harness uses this to detect saturation: once the producer can no longer
 /// enqueue at the offered arrival rate, the workload is unsustainable.
-/// `Close()` wakes consumers; `Pop` returns nullopt once closed and drained.
+/// `Push` blocks on a condition variable until space frees up, so lossless
+/// producers exert backpressure without burning a core. `Close()` wakes
+/// everyone; `Pop` returns nullopt once closed and drained.
 template <typename T>
 class BoundedQueue {
  public:
@@ -42,23 +46,41 @@ class BoundedQueue {
     return true;
   }
 
+  /// Blocking push: waits (condition variable, no spinning) until the queue
+  /// has space or is closed. Returns false iff the queue was closed before
+  /// the item could be enqueued.
+  bool Push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      space_cv_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
   /// Blocking pop. Returns nullopt when the queue is closed and empty.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    return item;
+    return PopLockedOrNull(lock);
+  }
+
+  /// Pop with timeout: waits up to `timeout_us` for an item. Returns nullopt
+  /// on timeout or when closed and empty (check `closed()` to distinguish).
+  std::optional<T> PopFor(int64_t timeout_us) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
+                 [&] { return closed_ || !items_.empty(); });
+    return PopLockedOrNull(lock);
   }
 
   /// Non-blocking pop; nullopt if currently empty (even if not closed).
   std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    return item;
+    std::unique_lock<std::mutex> lock(mu_);
+    return PopLockedOrNull(lock);
   }
 
   /// Marks the queue closed; producers fail, consumers drain then see eof.
@@ -68,6 +90,7 @@ class BoundedQueue {
       closed_ = true;
     }
     cv_.notify_all();
+    space_cv_.notify_all();
   }
 
   /// Current occupancy (racy snapshot; used for Fig. 8 sampling).
@@ -84,9 +107,21 @@ class BoundedQueue {
   }
 
  private:
+  /// Pops the front under `lock` (empty -> nullopt), waking one blocked
+  /// producer when an item was removed.
+  std::optional<T> PopLockedOrNull(std::unique_lock<std::mutex>& lock) {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    space_cv_.notify_one();
+    return item;
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;        ///< "item available or closed"
+  std::condition_variable space_cv_;  ///< "space available or closed"
   std::deque<T> items_;
   bool closed_ = false;
 };

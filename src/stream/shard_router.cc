@@ -1,0 +1,47 @@
+#include "stream/shard_router.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fcp {
+
+ShardRouter::ShardRouter(uint32_t num_shards, size_t queue_capacity)
+    : num_shards_(num_shards) {
+  FCP_CHECK(num_shards >= 1);
+  queues_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    queues_.push_back(
+        std::make_unique<BoundedQueue<ShardDelivery>>(queue_capacity));
+  }
+  target_scratch_.assign(num_shards, 0);
+}
+
+uint32_t ShardRouter::Route(const Segment& segment) {
+  watermark_ = std::max(watermark_, segment.end_time());
+  ++stats_.segments_routed;
+
+  uint32_t delivered = 0;
+  if (num_shards_ == 1) {
+    if (queues_[0]->Push(ShardDelivery{segment, watermark_})) ++delivered;
+  } else {
+    // Mark each shard owning >= 1 entry object. Entries suffice (duplicates
+    // just re-mark); no distinct-object vector is materialized.
+    std::fill(target_scratch_.begin(), target_scratch_.end(), 0);
+    for (const SegmentEntry& entry : segment.entries()) {
+      target_scratch_[ShardOf(entry.object, num_shards_)] = 1;
+    }
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      if (!target_scratch_[s]) continue;
+      if (queues_[s]->Push(ShardDelivery{segment, watermark_})) ++delivered;
+    }
+  }
+  stats_.deliveries += delivered;
+  return delivered;
+}
+
+void ShardRouter::Close() {
+  for (auto& queue : queues_) queue->Close();
+}
+
+}  // namespace fcp

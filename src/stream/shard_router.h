@@ -1,0 +1,88 @@
+// ShardRouter: multicasts completed segments to object-partitioned miner
+// shards.
+//
+// One producer (the ParallelEngine's merge thread, or a bench driver) calls
+// Route() with segments in global completion order; the router delivers each
+// segment to every shard that owns at least one of its distinct objects,
+// together with the *global* stream-time watermark at routing time. Each
+// per-shard queue is SPSC — single producer (the router caller), single
+// consumer (that shard's miner thread) — and bounded, so a slow shard exerts
+// condition-variable backpressure instead of unbounded buffering.
+//
+// Shipping the global watermark with every delivery is what keeps sharded
+// mining byte-identical to a serial run: a shard only sees a subset of the
+// segment stream, so its own max-end-time would lag the pipeline's and
+// expire supporters later than the serial miner does. Miners call
+// AdvanceWatermark(delivery.watermark) before AddSegment to stay aligned.
+
+#ifndef FCP_STREAM_SHARD_ROUTER_H_
+#define FCP_STREAM_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/shard.h"
+#include "common/types.h"
+#include "stream/bounded_queue.h"
+#include "stream/segment.h"
+
+namespace fcp {
+
+/// One delivery to a miner shard: the segment plus the global watermark (max
+/// segment end time routed so far, this segment included).
+struct ShardDelivery {
+  Segment segment;
+  Timestamp watermark = kMinTimestamp;
+};
+
+/// Routing counters (racy snapshots while the pipeline runs; exact after
+/// Close()).
+struct ShardRouterStats {
+  uint64_t segments_routed = 0;  ///< Route() calls
+  uint64_t deliveries = 0;       ///< sum over shards of segments enqueued
+};
+
+class ShardRouter {
+ public:
+  /// `num_shards >= 1`; `queue_capacity` bounds each per-shard queue.
+  ShardRouter(uint32_t num_shards, size_t queue_capacity);
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Multicasts `segment` to every shard owning >= 1 of its distinct
+  /// objects (all shards when num_shards == 1). Blocks while target queues
+  /// are full. Returns the number of shards the segment was delivered to
+  /// (0 only if the router was closed mid-route).
+  uint32_t Route(const Segment& segment);
+
+  /// Closes every shard queue; consumers drain then see end-of-stream.
+  void Close();
+
+  uint32_t num_shards() const { return num_shards_; }
+
+  /// The ShardSpec shard `i`'s miner must be constructed with.
+  ShardSpec spec(uint32_t shard) const { return ShardSpec{shard, num_shards_}; }
+
+  /// Shard `i`'s delivery queue (consumer side).
+  BoundedQueue<ShardDelivery>& queue(uint32_t shard) {
+    return *queues_[shard];
+  }
+
+  /// The global watermark after the last Route() call.
+  Timestamp watermark() const { return watermark_; }
+
+  const ShardRouterStats& stats() const { return stats_; }
+
+ private:
+  const uint32_t num_shards_;
+  std::vector<std::unique_ptr<BoundedQueue<ShardDelivery>>> queues_;
+  Timestamp watermark_ = kMinTimestamp;
+  std::vector<uint8_t> target_scratch_;  ///< per-shard "owns an object" flags
+  ShardRouterStats stats_;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_STREAM_SHARD_ROUTER_H_

@@ -10,7 +10,9 @@
 //
 // Not a general-purpose map: keys must be integral (hashed with Mix64),
 // iteration order is unspecified, and iterators/pointers are invalidated by
-// any mutation (the callers only iterate over a map they are not mutating).
+// any structural mutation (insert/erase/rehash). The mutable iterator may
+// modify slot *values* in place (the index sweeps compact posting lists this
+// way) but must never touch keys.
 
 #ifndef FCP_UTIL_FLAT_MAP_H_
 #define FCP_UTIL_FLAT_MAP_H_
@@ -160,6 +162,35 @@ class FlatMap {
 
   const_iterator begin() const { return const_iterator(this, 0); }
   const_iterator end() const { return const_iterator(this, slots_.size()); }
+
+  /// Mutable forward iterator: values may be modified in place, keys must
+  /// not be. Structural mutation (operator[], Insert, Erase) invalidates it.
+  class iterator {
+   public:
+    iterator(FlatMap* map, size_t index) : map_(map), index_(index) {
+      SkipFree();
+    }
+    value_type& operator*() const { return map_->slots_[index_]; }
+    value_type* operator->() const { return &map_->slots_[index_]; }
+    iterator& operator++() {
+      ++index_;
+      SkipFree();
+      return *this;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.index_ == b.index_;
+    }
+
+   private:
+    void SkipFree() {
+      while (index_ < map_->slots_.size() && !map_->used_[index_]) ++index_;
+    }
+    FlatMap* map_;
+    size_t index_;
+  };
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, slots_.size()); }
 
  private:
   static constexpr size_t kMinCapacity = 16;

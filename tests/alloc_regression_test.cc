@@ -83,13 +83,15 @@ MiningParams SteadyParams() {
   return params;
 }
 
-TEST(AllocRegressionTest, CooMineSteadyStateAddSegmentIsAllocationFree) {
+// Replays the cyclic trace through `kind` and returns the number of heap
+// allocations performed by the steady-state (post-warmup) half.
+uint64_t SteadyStateAllocations(MinerKind kind) {
   const MiningParams params = SteadyParams();
   Rng rng(42);
   const std::vector<Segment> trace =
       BuildCyclicTrace(BuildSegmentPool(400, rng), /*cycles=*/6, params);
 
-  auto miner = MakeMiner(MinerKind::kCooMine, params);
+  auto miner = MakeMiner(kind, params);
   std::vector<Fcp> sink;
   sink.reserve(64);
 
@@ -105,10 +107,19 @@ TEST(AllocRegressionTest, CooMineSteadyStateAddSegmentIsAllocationFree) {
     sink.clear();
     miner->AddSegment(trace[i], &sink);
   }
-  const uint64_t allocations = alloc_counter::allocations() - before;
-  EXPECT_EQ(allocations, 0u)
-      << "steady-state AddSegment performed " << allocations
-      << " heap allocations over " << (trace.size() - warm) << " calls";
+  return alloc_counter::allocations() - before;
+}
+
+TEST(AllocRegressionTest, CooMineSteadyStateAddSegmentIsAllocationFree) {
+  EXPECT_EQ(SteadyStateAllocations(MinerKind::kCooMine), 0u);
+}
+
+TEST(AllocRegressionTest, DiMineSteadyStateAddSegmentIsAllocationFree) {
+  EXPECT_EQ(SteadyStateAllocations(MinerKind::kDiMine), 0u);
+}
+
+TEST(AllocRegressionTest, MatrixMineSteadyStateAddSegmentIsAllocationFree) {
+  EXPECT_EQ(SteadyStateAllocations(MinerKind::kMatrixMine), 0u);
 }
 
 TEST(AllocRegressionTest, SegTreeSteadyStateChurnIsAllocationFree) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -33,48 +34,7 @@ TrafficTrace Trace(uint64_t seed = 31) {
   return GenerateTraffic(config);
 }
 
-// Offline Definition-3 checker: does `pattern` appear in >= theta distinct
-// streams, each appearance within xi, all within one tau window?
-bool IsGenuineFcp(const std::vector<ObjectEvent>& events,
-                  const Pattern& pattern, const MiningParams& params) {
-  // Occurrences per stream: sliding window over the stream's events finding
-  // windows of span <= xi containing all pattern objects.
-  std::map<StreamId, std::vector<ObjectEvent>> per_stream;
-  for (const ObjectEvent& e : events) per_stream[e.stream].push_back(e);
-  std::vector<std::pair<StreamId, Timestamp>> occurrences;  // (stream, time)
-  for (const auto& [stream, stream_events] : per_stream) {
-    for (size_t l = 0; l < stream_events.size(); ++l) {
-      std::set<ObjectId> seen;
-      for (size_t r = l; r < stream_events.size() &&
-                         stream_events[r].time - stream_events[l].time <=
-                             params.xi;
-           ++r) {
-        if (std::binary_search(pattern.begin(), pattern.end(),
-                               stream_events[r].object)) {
-          seen.insert(stream_events[r].object);
-        }
-        if (seen.size() == pattern.size()) {
-          occurrences.push_back({stream, stream_events[l].time});
-          break;
-        }
-      }
-    }
-  }
-  // Any tau window covering >= theta distinct streams?
-  std::sort(occurrences.begin(), occurrences.end(),
-            [](const auto& a, const auto& b) { return a.second < b.second; });
-  for (size_t i = 0; i < occurrences.size(); ++i) {
-    std::set<StreamId> streams;
-    for (size_t j = i; j < occurrences.size() &&
-                       occurrences[j].second - occurrences[i].second <=
-                           params.tau;
-         ++j) {
-      streams.insert(occurrences[j].first);
-    }
-    if (streams.size() >= params.theta) return true;
-  }
-  return false;
-}
+using testing::IsGenuineFcp;
 
 TEST(ParallelEngineTest, RecoversPlantedConvoys) {
   const TrafficTrace trace = Trace();
@@ -162,6 +122,81 @@ TEST(ParallelEngineTest, EmptyRun) {
   engine.Finish();
   EXPECT_TRUE(engine.results().empty());
   EXPECT_EQ(engine.segments_completed(), 0u);
+}
+
+using testing::FullSignatures;
+
+TEST(ParallelEngineTest, ShardedEngineMatchesSerialByteForByte) {
+  // One worker removes merge skew, so every shard count must reproduce the
+  // serial engine's discoveries exactly (triggers, streams, windows).
+  const MiningParams params = Params();
+  const TrafficTrace trace = Trace(36);
+
+  MiningEngine serial(MinerKind::kCooMine, params);
+  std::vector<Fcp> serial_all;
+  for (const ObjectEvent& event : trace.events) {
+    for (Fcp& f : serial.PushEvent(event)) serial_all.push_back(std::move(f));
+  }
+  for (Fcp& f : serial.Flush()) serial_all.push_back(std::move(f));
+  ASSERT_FALSE(serial_all.empty());
+
+  for (uint32_t shards : {2u, 4u}) {
+    ParallelEngineOptions options;
+    options.num_workers = 1;
+    options.num_miner_shards = shards;
+    ParallelEngine engine(MinerKind::kCooMine, params, options);
+    for (const ObjectEvent& event : trace.events) engine.Push(event);
+    engine.Finish();
+    EXPECT_EQ(FullSignatures(engine.results()), FullSignatures(serial_all))
+        << "shard count " << shards;
+  }
+}
+
+TEST(ParallelEngineTest, ShardedEngineIsSoundAndRecoversConvoys) {
+  const MiningParams params = Params();
+  const TrafficTrace trace = Trace(37);
+  ParallelEngineOptions options;
+  options.num_workers = 3;
+  options.num_miner_shards = 3;
+  ParallelEngine engine(MinerKind::kCooMine, params, options);
+  for (const ObjectEvent& event : trace.events) engine.Push(event);
+  engine.Finish();
+
+  const std::set<Pattern> found = testing::PatternsOf(engine.results());
+  ASSERT_FALSE(found.empty());
+  for (const Pattern& pattern : found) {
+    EXPECT_TRUE(IsGenuineFcp(trace.events, pattern, params))
+        << testing::ToString(pattern) << " is not a genuine FCP";
+  }
+  for (const ConvoyPlan& convoy : trace.convoys) {
+    for (size_t i = 0; i < convoy.vehicles.size(); ++i) {
+      for (size_t j = i + 1; j < convoy.vehicles.size(); ++j) {
+        Pattern pair = {convoy.vehicles[i], convoy.vehicles[j]};
+        std::sort(pair.begin(), pair.end());
+        EXPECT_TRUE(found.contains(pair))
+            << "convoy pair " << testing::ToString(pair) << " missing";
+      }
+    }
+  }
+  EXPECT_EQ(engine.router_stats().segments_routed,
+            engine.segments_completed());
+  EXPECT_GE(engine.router_stats().deliveries,
+            engine.router_stats().segments_routed);
+}
+
+TEST(ParallelEngineTest, SmallShardQueuesExerciseBackpressure) {
+  ParallelEngineOptions options;
+  options.num_workers = 2;
+  options.num_miner_shards = 4;
+  options.event_queue_capacity = 4;
+  options.segment_queue_capacity = 4;
+  options.shard_queue_capacity = 2;
+  ParallelEngine engine(MinerKind::kCooMine, Params(), options);
+  const TrafficTrace trace = Trace(38);
+  for (const ObjectEvent& event : trace.events) engine.Push(event);
+  engine.Finish();
+  EXPECT_EQ(engine.events_pushed(), trace.events.size());
+  EXPECT_GT(engine.segments_completed(), 0u);
 }
 
 TEST(ParallelEngineTest, SmallQueuesExerciseBackpressure) {

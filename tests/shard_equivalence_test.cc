@@ -1,0 +1,195 @@
+// Shard-count invariance: the union of S object-partitioned miner shards
+// must reproduce the serial miner's discoveries exactly — same triggers,
+// patterns, stream sets and windows — for every miner and every shard count.
+// This is the correctness contract of the min-object ownership rule (see
+// common/shard.h): every occurrence segment of an owned pattern contains the
+// owned minimum object, so the owner shard sees every supporter.
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/shard.h"
+#include "core/miner.h"
+#include "stream/segment.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace fcp {
+namespace {
+
+using testing::FcpSignature;
+using testing::FullSignatures;
+
+struct WorkloadConfig {
+  size_t num_segments = 600;
+  ObjectId vocab = 30;
+  StreamId streams = 10;
+  uint32_t min_length = 2;
+  uint32_t max_length = 8;
+  DurationMs max_gap = Seconds(45);  ///< between consecutive segment starts
+};
+
+// Randomized workload: segments on random streams with random object sets,
+// start times advancing by a random gap (global time order, so per-stream
+// time order holds too) and entry times spread within the segment.
+std::vector<Segment> RandomSegments(uint64_t seed, const WorkloadConfig& cfg) {
+  Rng rng(seed);
+  std::vector<Segment> out;
+  out.reserve(cfg.num_segments);
+  Timestamp time = 0;
+  for (size_t i = 0; i < cfg.num_segments; ++i) {
+    time += 1 + static_cast<Timestamp>(rng.Below(
+                    static_cast<uint64_t>(cfg.max_gap)));
+    const uint32_t length =
+        cfg.min_length + static_cast<uint32_t>(rng.Below(
+                             cfg.max_length - cfg.min_length + 1));
+    std::vector<SegmentEntry> entries;
+    entries.reserve(length);
+    for (uint32_t j = 0; j < length; ++j) {
+      entries.push_back(
+          SegmentEntry{static_cast<ObjectId>(rng.Below(cfg.vocab)),
+                       time + static_cast<Timestamp>(j * 100)});
+    }
+    out.emplace_back(static_cast<SegmentId>(i + 1),
+                     static_cast<StreamId>(rng.Below(cfg.streams)),
+                     std::move(entries));
+  }
+  return out;
+}
+
+std::vector<Fcp> MineSerial(MinerKind kind, const MiningParams& params,
+                            const std::vector<Segment>& segments) {
+  auto miner = MakeMiner(kind, params);
+  std::vector<Fcp> out;
+  std::vector<Fcp> batch;
+  for (const Segment& segment : segments) {
+    batch.clear();
+    miner->AddSegment(segment, &batch);
+    for (Fcp& fcp : batch) out.push_back(std::move(fcp));
+  }
+  return out;
+}
+
+// Replays the segment stream through S shard miners the way the
+// ShardRouter + shard threads do: each segment is delivered to every shard
+// owning >= 1 of its objects, together with the global watermark.
+std::vector<Fcp> MineSharded(MinerKind kind, const MiningParams& params,
+                             uint32_t num_shards,
+                             const std::vector<Segment>& segments) {
+  std::vector<std::unique_ptr<FcpMiner>> miners;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    miners.push_back(MakeMiner(kind, params, ShardSpec{s, num_shards}));
+  }
+  Timestamp watermark = kMinTimestamp;
+  std::vector<Fcp> out;
+  std::vector<Fcp> batch;
+  std::set<uint32_t> targets;
+  for (const Segment& segment : segments) {
+    watermark = std::max(watermark, segment.end_time());
+    targets.clear();
+    for (ObjectId object : segment.DistinctObjects()) {
+      targets.insert(ShardOf(object, num_shards));
+    }
+    for (uint32_t target : targets) {
+      miners[target]->AdvanceWatermark(watermark);
+      batch.clear();
+      miners[target]->AddSegment(segment, &batch);
+      for (Fcp& fcp : batch) out.push_back(std::move(fcp));
+    }
+  }
+  return out;
+}
+
+MiningParams Params() {
+  MiningParams params;
+  params.xi = Seconds(60);
+  params.tau = Minutes(10);
+  params.theta = 3;
+  params.min_pattern_size = 1;  // exercises the singleton emission gate
+  params.max_pattern_size = 4;
+  params.max_segment_objects = 16;
+  return params;
+}
+
+class ShardEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<MinerKind, uint32_t>> {};
+
+TEST_P(ShardEquivalenceTest, UnionOfShardsEqualsSerialMultiset) {
+  const auto [kind, num_shards] = GetParam();
+  const MiningParams params = Params();
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    const std::vector<Segment> segments = RandomSegments(seed, {});
+    const std::vector<FcpSignature> serial =
+        FullSignatures(MineSerial(kind, params, segments));
+    const std::vector<FcpSignature> sharded =
+        FullSignatures(MineSharded(kind, params, num_shards, segments));
+    ASSERT_FALSE(serial.empty()) << "workload mined nothing (seed " << seed
+                                 << ") — the test is vacuous";
+    EXPECT_EQ(sharded, serial) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMinersAllShardCounts, ShardEquivalenceTest,
+    ::testing::Combine(::testing::Values(MinerKind::kCooMine,
+                                         MinerKind::kDiMine,
+                                         MinerKind::kMatrixMine),
+                       ::testing::Values(2u, 3u, 8u)));
+
+TEST(ShardEquivalenceTest, BruteForceOracleShardsExactly) {
+  // The oracle shares no code with the real miners; sharding it the same
+  // way and getting the same union is independent evidence the ownership
+  // rule itself (not an implementation detail) is what makes recall exact.
+  WorkloadConfig small;
+  small.num_segments = 150;
+  small.vocab = 12;
+  small.max_length = 6;
+  MiningParams params = Params();
+  params.max_segment_objects = 8;
+  const std::vector<Segment> segments = RandomSegments(21, small);
+  const std::vector<FcpSignature> serial =
+      FullSignatures(MineSerial(MinerKind::kBruteForce, params, segments));
+  ASSERT_FALSE(serial.empty());
+  for (uint32_t num_shards : {2u, 3u}) {
+    EXPECT_EQ(FullSignatures(MineSharded(MinerKind::kBruteForce, params,
+                                         num_shards, segments)),
+              serial);
+  }
+}
+
+TEST(ShardEquivalenceTest, ShardOutputsAreDisjointByOwnership) {
+  // Each shard only emits patterns whose minimum object it owns, so the
+  // per-shard outputs partition the serial output.
+  const MiningParams params = Params();
+  const std::vector<Segment> segments = RandomSegments(31, {});
+  constexpr uint32_t kShards = 3;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    auto miner = MakeMiner(MinerKind::kCooMine, params, ShardSpec{s, kShards});
+    Timestamp watermark = kMinTimestamp;
+    std::vector<Fcp> batch;
+    for (const Segment& segment : segments) {
+      watermark = std::max(watermark, segment.end_time());
+      bool owns_one = false;
+      for (ObjectId object : segment.DistinctObjects()) {
+        owns_one |= ShardOf(object, kShards) == s;
+      }
+      if (!owns_one) continue;
+      miner->AdvanceWatermark(watermark);
+      batch.clear();
+      miner->AddSegment(segment, &batch);
+      for (const Fcp& fcp : batch) {
+        ASSERT_FALSE(fcp.objects.empty());
+        EXPECT_EQ(ShardOf(fcp.objects.front(), kShards), s)
+            << "shard " << s << " emitted a pattern it does not own: "
+            << testing::ToString(fcp.objects);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fcp

@@ -5,10 +5,14 @@
 
 #include <algorithm>
 #include <initializer_list>
+#include <map>
 #include <set>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
+#include "common/params.h"
 #include "common/types.h"
 #include "core/fcp.h"
 #include "stream/segment.h"
@@ -48,6 +52,68 @@ inline std::set<std::pair<Pattern, std::vector<StreamId>>> SignaturesOf(
   std::set<std::pair<Pattern, std::vector<StreamId>>> out;
   for (const Fcp& fcp : fcps) out.insert({fcp.objects, fcp.streams});
   return out;
+}
+
+/// Full per-discovery signature, order-insensitive: one entry per emitted
+/// FCP (sorted), so result equality is checked as a multiset, not a set.
+/// Two mining runs with equal FullSignatures found exactly the same
+/// discoveries — triggers, streams and windows included.
+using FcpSignature = std::tuple<SegmentId, Pattern, std::vector<StreamId>,
+                                Timestamp, Timestamp>;
+inline std::vector<FcpSignature> FullSignatures(const std::vector<Fcp>& fcps) {
+  std::vector<FcpSignature> out;
+  out.reserve(fcps.size());
+  for (const Fcp& fcp : fcps) {
+    out.emplace_back(fcp.trigger, fcp.objects, fcp.streams, fcp.window_start,
+                     fcp.window_end);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Offline Definition-3 checker: does `pattern` appear in >= theta distinct
+/// streams, each appearance within xi, all within one tau window? Used to
+/// verify that every emitted pattern is genuine, independent of any miner's
+/// code path.
+inline bool IsGenuineFcp(const std::vector<ObjectEvent>& events,
+                         const Pattern& pattern, const MiningParams& params) {
+  // Occurrences per stream: sliding window over the stream's events finding
+  // windows of span <= xi containing all pattern objects.
+  std::map<StreamId, std::vector<ObjectEvent>> per_stream;
+  for (const ObjectEvent& e : events) per_stream[e.stream].push_back(e);
+  std::vector<std::pair<StreamId, Timestamp>> occurrences;  // (stream, time)
+  for (const auto& [stream, stream_events] : per_stream) {
+    for (size_t l = 0; l < stream_events.size(); ++l) {
+      std::set<ObjectId> seen;
+      for (size_t r = l; r < stream_events.size() &&
+                         stream_events[r].time - stream_events[l].time <=
+                             params.xi;
+           ++r) {
+        if (std::binary_search(pattern.begin(), pattern.end(),
+                               stream_events[r].object)) {
+          seen.insert(stream_events[r].object);
+        }
+        if (seen.size() == pattern.size()) {
+          occurrences.push_back({stream, stream_events[l].time});
+          break;
+        }
+      }
+    }
+  }
+  // Any tau window covering >= theta distinct streams?
+  std::sort(occurrences.begin(), occurrences.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  for (size_t i = 0; i < occurrences.size(); ++i) {
+    std::set<StreamId> streams;
+    for (size_t j = i; j < occurrences.size() &&
+                       occurrences[j].second - occurrences[i].second <=
+                           params.tau;
+         ++j) {
+      streams.insert(occurrences[j].first);
+    }
+    if (streams.size() >= params.theta) return true;
+  }
+  return false;
 }
 
 /// Pretty-printer for gtest failure messages.
