@@ -27,7 +27,9 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/engine_metrics.h"
 #include "core/miner.h"
+#include "telemetry/registry.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 
@@ -55,6 +57,55 @@ OpCost MeasureAddSegment(MinerKind kind, const MiningParams& params,
   for (size_t i = warm; i < segments.size(); ++i) {
     sink.clear();
     miner->AddSegment(segments[i], &sink);
+  }
+  const int64_t elapsed_ns = timer.ElapsedNanos();
+  const uint64_t allocs = alloc_counter::allocations() - allocs_before;
+
+  const double ops = static_cast<double>(segments.size() - warm);
+  OpCost cost;
+  cost.ns_per_op = static_cast<double>(elapsed_ns) / ops;
+  cost.allocs_per_op = static_cast<double>(allocs) / ops;
+  return cost;
+}
+
+// Like MeasureAddSegment, but with the engines' per-segment telemetry
+// publish sequence (histogram Record + PublishDelta + PublishIntrospection)
+// when `publish` is set. The registry is always constructed, so `publish ==
+// false` is the compiled-but-unread baseline the overhead is measured
+// against.
+OpCost MeasureWithTelemetry(MinerKind kind, const MiningParams& params,
+                            const std::vector<Segment>& segments,
+                            bool publish) {
+  telemetry::MetricRegistry registry;
+  const MinerMetrics metrics = MinerMetrics::Register(&registry, "");
+  telemetry::LatencyHistogram* latency =
+      registry.GetHistogram("fcp_segment_mine_latency_us");
+  MinerStats published;
+
+  auto miner = MakeMiner(kind, params);
+  const size_t warm = segments.size() / 2;
+  std::vector<Fcp> sink;
+  sink.reserve(1024);
+  for (size_t i = 0; i < warm; ++i) {
+    sink.clear();
+    miner->AddSegment(segments[i], &sink);
+    if (publish) {
+      latency->Record(static_cast<uint64_t>(i & 1023));
+      metrics.PublishDelta(miner->stats(), &published);
+      metrics.PublishIntrospection(miner->Introspect());
+    }
+  }
+
+  const uint64_t allocs_before = alloc_counter::allocations();
+  Stopwatch timer;
+  for (size_t i = warm; i < segments.size(); ++i) {
+    sink.clear();
+    miner->AddSegment(segments[i], &sink);
+    if (publish) {
+      latency->Record(static_cast<uint64_t>(i & 1023));
+      metrics.PublishDelta(miner->stats(), &published);
+      metrics.PublishIntrospection(miner->Introspect());
+    }
   }
   const int64_t elapsed_ns = timer.ElapsedNanos();
   const uint64_t allocs = alloc_counter::allocations() - allocs_before;
@@ -128,6 +179,29 @@ int Run(int argc, char** argv) {
     std::printf("%-24s %14.1f %14.3f %12.1f\n", record.name.c_str(),
                 record.ns_per_op, record.allocs_per_op,
                 static_cast<double>(record.rss_bytes) / (1024.0 * 1024.0));
+    records.push_back(record);
+  }
+  // Telemetry overhead datapoint: per-segment publish sequence on vs.
+  // telemetry compiled but unread, on the converged cyclic workload. The
+  // acceptance bar is <= 5% — printed, not asserted (shared-host noise).
+  std::printf("\n%-24s %14s %14s %12s\n", "telemetry", "ns/op", "allocs/op",
+              "overhead%");
+  for (MinerKind kind : kinds) {
+    const OpCost off = MeasureWithTelemetry(kind, steady_params, cyclic,
+                                            /*publish=*/false);
+    const OpCost on = MeasureWithTelemetry(kind, steady_params, cyclic,
+                                           /*publish=*/true);
+    const double overhead_pct =
+        off.ns_per_op > 0 ? (on.ns_per_op / off.ns_per_op - 1.0) * 100.0 : 0;
+    JsonRecord record;
+    record.name = std::string(MinerKindToString(kind)) + "/telemetry";
+    record.ns_per_op = on.ns_per_op;
+    record.allocs_per_op = on.allocs_per_op;
+    record.rss_bytes = CurrentRssBytes();
+    record.AddExtra("baseline_ns_per_op", off.ns_per_op);
+    record.AddExtra("overhead_pct", overhead_pct);
+    std::printf("%-24s %14.1f %14.3f %+11.2f%%\n", record.name.c_str(),
+                record.ns_per_op, record.allocs_per_op, overhead_pct);
     records.push_back(record);
   }
   MaybeAppendBenchJson(flags, "bench_hotpath_alloc", label, records);

@@ -240,6 +240,10 @@ int Run(int argc, char** argv) {
         record.allocs_per_op =
             static_cast<double>(cost.allocs) / triggers;
         record.rss_bytes = CurrentRssBytes();
+        record.AddExtra("speedup", baseline_ns / ns_per_trigger);
+        record.AddExtra("deliveries_per_trigger",
+                        static_cast<double>(cost.deliveries) / triggers);
+        record.AddExtra("fcps", static_cast<double>(cost.output.size()));
         std::printf("%-24s %10.1f %10.1f %9.2f %12.1f %7.2fx %8zu\n",
                     record.name.c_str(), cost.max_shard_ms, cost.sum_shard_ms,
                     static_cast<double>(cost.deliveries) / triggers,

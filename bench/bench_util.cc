@@ -198,8 +198,11 @@ void MaybeAppendBenchJson(const Flags& flags, const std::string& bench,
     const JsonRecord& r = records[i];
     run << "    {\"name\": \"" << r.name << "\", \"ns_per_op\": "
         << r.ns_per_op << ", \"allocs_per_op\": " << r.allocs_per_op
-        << ", \"rss_bytes\": " << r.rss_bytes << "}"
-        << (i + 1 < records.size() ? ",\n" : "\n");
+        << ", \"rss_bytes\": " << r.rss_bytes;
+    for (const auto& [key, value] : r.extras) {
+      run << ", \"" << key << "\": " << value;
+    }
+    run << "}" << (i + 1 < records.size() ? ",\n" : "\n");
   }
   run << "  ]}";
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/params.h"
@@ -111,11 +112,20 @@ struct BenchScale {
 };
 
 /// One benchmark measurement for the JSON trajectory files (BENCH_*.json).
+/// Every bench emits the same base schema {name, ns_per_op, allocs_per_op,
+/// rss_bytes}; bench-specific dimensions (speedup, deliveries per trigger,
+/// telemetry overhead, ...) go in `extras` as additional numeric fields
+/// rather than per-bench ad-hoc JSON.
 struct JsonRecord {
   std::string name;
   double ns_per_op = 0;
   double allocs_per_op = 0;
   uint64_t rss_bytes = 0;
+  std::vector<std::pair<std::string, double>> extras;
+
+  void AddExtra(const std::string& key, double value) {
+    extras.emplace_back(key, value);
+  }
 };
 
 /// Resident set size (VmRSS) of the current process in bytes; 0 when

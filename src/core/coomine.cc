@@ -60,6 +60,17 @@ void CooMine::ForceMaintenance(Timestamp now) {
 
 size_t CooMine::MemoryUsage() const { return tree_.MemoryUsage(); }
 
+MinerIntrospection CooMine::Introspect() const {
+  MinerIntrospection view;
+  view.live_segments = tree_.num_segments();
+  view.index_nodes = tree_.num_nodes();
+  view.index_entries = tree_.total_objects();
+  view.index_bytes = tree_.MemoryUsage();
+  view.arena_bytes = tree_.ArenaBytes();
+  view.compression_ratio = tree_.CompressionRatio();
+  return view;
+}
+
 void CooMine::MineFromLcps(const Segment& segment, const LcpTable& lcp,
                            std::vector<Fcp>* out) {
   MiningScratch& s = scratch_;
@@ -89,6 +100,7 @@ void CooMine::MineFromLcps(const Segment& segment, const LcpTable& lcp,
   // No owned probe object means no owned pattern can trigger here (every
   // pattern is a subset of the probe's objects).
   if (!any_owned) return;
+  stats_.slcp_probes += num_objects;
 
   // Compact the LCP table to its *live* rows — rows sharing >= 1 owned probe
   // object — and build the per-object tidsets over live-row bit positions:
@@ -226,7 +238,10 @@ void CooMine::MineFromLcps(const Segment& segment, const LcpTable& lcp,
   for (uint32_t oi = 0; oi < num_objects; ++oi) {
     ++stats_.candidates_checked;
     const uint64_t* bits = s.object_bits.data() + oi * words;
-    if (!evaluate(bits)) continue;
+    if (!evaluate(bits)) {
+      ++stats_.candidates_pruned;
+      continue;
+    }
     s.level_idx.push_back(oi);
     s.level_bits.insert(s.level_bits.end(), bits, bits + words);
     if (params_.min_pattern_size <= 1 && s.owned[oi]) emit(&oi, 1);
@@ -296,11 +311,17 @@ void CooMine::MineFromLcps(const Segment& segment, const LcpTable& lcp,
         // lexicographic order; stop as soon as the prefix diverges.
         if (!std::equal(pi, pi + k - 1, pj)) break;
         const uint32_t last = pj[k - 1];
-        if (!all_subsets_frequent(pi, last)) continue;
+        if (!all_subsets_frequent(pi, last)) {
+          ++stats_.candidates_pruned;
+          continue;
+        }
         ++stats_.candidates_checked;
         const uint64_t* bo = s.object_bits.data() + last * words;
         for (size_t w = 0; w < words; ++w) s.cand_bits[w] = bi[w] & bo[w];
-        if (!evaluate(s.cand_bits.data())) continue;
+        if (!evaluate(s.cand_bits.data())) {
+          ++stats_.candidates_pruned;
+          continue;
+        }
         s.next_idx.insert(s.next_idx.end(), pi, pi + k);
         s.next_idx.push_back(last);
         s.next_bits.insert(s.next_bits.end(), s.cand_bits.begin(),

@@ -57,6 +57,7 @@ class CooMine : public FcpMiner {
   void ForceMaintenance(Timestamp now) override;
   size_t MemoryUsage() const override;
   const MinerStats& stats() const override { return stats_; }
+  MinerIntrospection Introspect() const override;
   std::string_view name() const override { return "CooMine"; }
 
   /// The underlying index (tests, benches, invariant checks).

@@ -50,6 +50,15 @@ void DiMine::ForceMaintenance(Timestamp now) {
 
 size_t DiMine::MemoryUsage() const { return index_.MemoryUsage(); }
 
+MinerIntrospection DiMine::Introspect() const {
+  MinerIntrospection view;
+  view.live_segments = index_.num_segments();
+  view.index_nodes = index_.num_postings();
+  view.index_entries = index_.total_entries();
+  view.index_bytes = index_.MemoryUsage();
+  return view;
+}
+
 void DiMine::Mine(const Segment& segment, std::vector<Fcp>* out) {
   const Timestamp now = watermark_;
   MiningScratch& s = scratch_;
@@ -76,6 +85,7 @@ void DiMine::Mine(const Segment& segment, std::vector<Fcp>* out) {
     any_owned |= s.owned[oi] != 0;
   }
   if (!any_owned) return;  // no owned pattern can trigger here
+  stats_.slcp_probes += num_objects;
 
   // Valid supporters per probe object (ascending id; includes the probe
   // segment, which was indexed just before mining).
@@ -130,7 +140,10 @@ void DiMine::Mine(const Segment& segment, std::vector<Fcp>* out) {
   s.level_off.assign(1, 0);
   for (uint32_t oi = 0; oi < num_objects; ++oi) {
     ++stats_.candidates_checked;
-    if (!evaluate(s.valid[oi].data(), s.valid[oi].size())) continue;
+    if (!evaluate(s.valid[oi].data(), s.valid[oi].size())) {
+      ++stats_.candidates_pruned;
+      continue;
+    }
     s.level_idx.push_back(oi);
     s.level_supp.insert(s.level_supp.end(), s.valid[oi].begin(),
                         s.valid[oi].end());
@@ -197,11 +210,17 @@ void DiMine::Mine(const Segment& segment, std::vector<Fcp>* out) {
         const uint32_t* pj = s.level_idx.data() + j * k;
         if (!std::equal(pi, pi + k - 1, pj)) break;
         const uint32_t last = pj[k - 1];
-        if (!all_subsets_frequent(pi, last)) continue;
+        if (!all_subsets_frequent(pi, last)) {
+          ++stats_.candidates_pruned;
+          continue;
+        }
         ++stats_.candidates_checked;
         IntersectSorted(parent, parent_n, s.valid[last].data(),
                         s.valid[last].size(), &s.cand_supp);
-        if (!evaluate(s.cand_supp.data(), s.cand_supp.size())) continue;
+        if (!evaluate(s.cand_supp.data(), s.cand_supp.size())) {
+          ++stats_.candidates_pruned;
+          continue;
+        }
         s.next_idx.insert(s.next_idx.end(), pi, pi + k);
         s.next_idx.push_back(last);
         s.next_supp.insert(s.next_supp.end(), s.cand_supp.begin(),

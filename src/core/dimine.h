@@ -39,6 +39,7 @@ class DiMine : public FcpMiner {
   void ForceMaintenance(Timestamp now) override;
   size_t MemoryUsage() const override;
   const MinerStats& stats() const override { return stats_; }
+  MinerIntrospection Introspect() const override;
   std::string_view name() const override { return "DIMine"; }
 
   /// The underlying index (tests and benches).

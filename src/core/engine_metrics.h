@@ -1,0 +1,60 @@
+// Bridges the miners' plain-counter MinerStats/MinerIntrospection into the
+// atomic telemetry registry.
+//
+// Miners are single-threaded by contract, so their stats structs are plain
+// uint64 fields — racy to read from a reporter thread. The bridge keeps the
+// miner unchanged: the thread that *owns* the miner calls PublishDelta /
+// PublishIntrospection after each segment (or batch), pushing the increment
+// since the last publish into relaxed-atomic registry counters. The reporter
+// thread then only ever reads atomics. Publishing is itself allocation-free
+// and wait-free: one fetch_add per counter, one store per gauge.
+
+#ifndef FCP_CORE_ENGINE_METRICS_H_
+#define FCP_CORE_ENGINE_METRICS_H_
+
+#include <string>
+
+#include "core/miner.h"
+#include "telemetry/registry.h"
+
+namespace fcp {
+
+/// Registry handles for one miner's counters, optionally labeled (sharded
+/// engines register one set per shard with `{shard="s"}`).
+struct MinerMetrics {
+  telemetry::Counter* segments_mined = nullptr;
+  telemetry::Counter* fcps_emitted = nullptr;
+  telemetry::Counter* candidates_checked = nullptr;
+  telemetry::Counter* candidates_pruned = nullptr;
+  telemetry::Counter* slcp_probes = nullptr;
+  telemetry::Counter* lcp_rows = nullptr;
+  telemetry::Counter* maintenance_runs = nullptr;
+  telemetry::Counter* segments_expired = nullptr;
+  telemetry::Counter* mining_ns = nullptr;
+  telemetry::Counter* maintenance_ns = nullptr;
+
+  telemetry::Gauge* live_segments = nullptr;
+  telemetry::Gauge* index_nodes = nullptr;
+  telemetry::Gauge* index_entries = nullptr;
+  telemetry::Gauge* index_bytes = nullptr;
+  telemetry::Gauge* arena_bytes = nullptr;
+  /// CooMine compression ratio scaled by 1000 (gauges are integral).
+  telemetry::Gauge* compression_ratio_milli = nullptr;
+
+  /// Registers (or re-binds) the metric set in `registry`. `labels` is empty
+  /// or a canonical Prometheus label block without braces (`shard="2"`).
+  /// Allocates; call once at construction time.
+  static MinerMetrics Register(telemetry::MetricRegistry* registry,
+                               const std::string& labels);
+
+  /// Publishes the increment `current - *last` into the counters and updates
+  /// *last. `last` must start zero-initialized and be reused across calls.
+  void PublishDelta(const MinerStats& current, MinerStats* last) const;
+
+  /// Publishes the current index-structure view into the gauges.
+  void PublishIntrospection(const MinerIntrospection& view) const;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_CORE_ENGINE_METRICS_H_

@@ -49,6 +49,15 @@ void MatrixMine::ForceMaintenance(Timestamp now) {
 
 size_t MatrixMine::MemoryUsage() const { return index_.MemoryUsage(); }
 
+MinerIntrospection MatrixMine::Introspect() const {
+  MinerIntrospection view;
+  view.live_segments = index_.num_segments();
+  view.index_nodes = index_.num_cells();
+  view.index_entries = index_.total_entries();
+  view.index_bytes = index_.MemoryUsage();
+  return view;
+}
+
 void MatrixMine::Mine(const Segment& segment, std::vector<Fcp>* out) {
   const Timestamp now = watermark_;
   MiningScratch& s = scratch_;
@@ -74,6 +83,7 @@ void MatrixMine::Mine(const Segment& segment, std::vector<Fcp>* out) {
     any_owned |= s.owned[oi] != 0;
   }
   if (!any_owned) return;  // no owned pattern can trigger here
+  stats_.slcp_probes += num_objects;
 
   // Valid supporters per probe object from the diagonal cells (ascending
   // id; includes the probe segment, indexed just before mining).
@@ -123,7 +133,10 @@ void MatrixMine::Mine(const Segment& segment, std::vector<Fcp>* out) {
   s.level_off.assign(1, 0);
   for (uint32_t oi = 0; oi < num_objects; ++oi) {
     ++stats_.candidates_checked;
-    if (!evaluate(s.valid[oi].data(), s.valid[oi].size())) continue;
+    if (!evaluate(s.valid[oi].data(), s.valid[oi].size())) {
+      ++stats_.candidates_pruned;
+      continue;
+    }
     s.level_idx.push_back(oi);
     s.level_supp.insert(s.level_supp.end(), s.valid[oi].begin(),
                         s.valid[oi].end());
@@ -186,7 +199,10 @@ void MatrixMine::Mine(const Segment& segment, std::vector<Fcp>* out) {
         const uint32_t* pj = s.level_idx.data() + j * k;
         if (!std::equal(pi, pi + k - 1, pj)) break;
         const uint32_t last = pj[k - 1];
-        if (!all_subsets_frequent(pi, last)) continue;
+        if (!all_subsets_frequent(pi, last)) {
+          ++stats_.candidates_pruned;
+          continue;
+        }
         ++stats_.candidates_checked;
         if (k == 1) {
           // Straight from the pair cell.
@@ -200,7 +216,10 @@ void MatrixMine::Mine(const Segment& segment, std::vector<Fcp>* out) {
           IntersectSorted(parent, parent_n, s.pair_supp.data(),
                           s.pair_supp.size(), &s.cand_supp);
         }
-        if (!evaluate(s.cand_supp.data(), s.cand_supp.size())) continue;
+        if (!evaluate(s.cand_supp.data(), s.cand_supp.size())) {
+          ++stats_.candidates_pruned;
+          continue;
+        }
         s.next_idx.insert(s.next_idx.end(), pi, pi + k);
         s.next_idx.push_back(last);
         s.next_supp.insert(s.next_supp.end(), s.cand_supp.begin(),

@@ -33,6 +33,7 @@ class MatrixMine : public FcpMiner {
   void ForceMaintenance(Timestamp now) override;
   size_t MemoryUsage() const override;
   const MinerStats& stats() const override { return stats_; }
+  MinerIntrospection Introspect() const override;
   std::string_view name() const override { return "MatrixMine"; }
 
   /// The underlying index (tests and benches).

@@ -27,11 +27,27 @@ struct MinerStats {
   uint64_t segments_processed = 0;
   uint64_t fcps_emitted = 0;
   uint64_t candidates_checked = 0;
+  uint64_t candidates_pruned = 0;  ///< candidates rejected before emission
+  uint64_t slcp_probes = 0;        ///< per-object pattern probes (SLCP rows
+                                   ///< for CooMine, posting/matrix probes
+                                   ///< for DIMine/MatrixMine)
   uint64_t lcp_rows = 0;           ///< CooMine: LCP-table rows built
   uint64_t maintenance_runs = 0;   ///< full expiry sweeps executed
   uint64_t segments_expired = 0;
   int64_t mining_ns = 0;
   int64_t maintenance_ns = 0;
+};
+
+/// Point-in-time view of a miner's index structures, for telemetry — the
+/// quantities the paper plots per structure (Seg-tree node counts and
+/// compression ratio, DI-Index/Matrix posting sizes).
+struct MinerIntrospection {
+  uint64_t live_segments = 0;   ///< segments currently indexed (not expired)
+  uint64_t index_nodes = 0;     ///< Seg-tree nodes / postings / matrix cells
+  uint64_t index_entries = 0;   ///< total indexed (object, segment) entries
+  uint64_t index_bytes = 0;     ///< analytic footprint (== MemoryUsage())
+  uint64_t arena_bytes = 0;     ///< CooMine: bytes held by the node arena
+  double compression_ratio = 0; ///< CooMine: entries per Seg-tree node
 };
 
 /// One supporting appearance of a pattern: stream + the (segment-granularity)
@@ -87,6 +103,14 @@ class FcpMiner {
   virtual size_t MemoryUsage() const = 0;
 
   virtual const MinerStats& stats() const = 0;
+
+  /// Index-structure introspection for telemetry. The default covers the
+  /// structure-agnostic fields; miners with richer indexes override.
+  virtual MinerIntrospection Introspect() const {
+    MinerIntrospection view;
+    view.index_bytes = MemoryUsage();
+    return view;
+  }
 
   /// "CooMine", "DIMine", "MatrixMine", "BruteForce".
   virtual std::string_view name() const = 0;

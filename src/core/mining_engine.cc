@@ -1,6 +1,7 @@
 #include "core/mining_engine.h"
 
 #include "common/check.h"
+#include "util/stopwatch.h"
 
 namespace fcp {
 
@@ -9,11 +10,25 @@ MiningEngine::MiningEngine(MinerKind kind, const MiningParams& params,
     : params_(params),
       mux_(params.xi),
       miner_(MakeMiner(kind, params)),
-      collector_(options.suppression_window) {
+      collector_(options.suppression_window),
+      publish_(options.publish_metrics) {
   FCP_CHECK(params.Validate().ok());
+  if (options.metrics != nullptr) {
+    registry_ = options.metrics;
+  } else {
+    owned_registry_ = std::make_unique<telemetry::MetricRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  miner_metrics_ = MinerMetrics::Register(registry_, "");
+  events_ingested_ = registry_->GetCounter("fcp_events_ingested_total");
+  segments_completed_metric_ =
+      registry_->GetCounter("fcp_segments_completed_total");
+  fcps_accepted_ = registry_->GetCounter("fcp_fcps_accepted_total");
+  mine_latency_us_ = registry_->GetHistogram("fcp_segment_mine_latency_us");
 }
 
 std::vector<Fcp> MiningEngine::PushEvent(const ObjectEvent& event) {
+  if (publish_) events_ingested_->Increment();
   scratch_segments_.clear();
   mux_.Push(event, &scratch_segments_);
   return ProcessSegments(scratch_segments_);
@@ -37,9 +52,22 @@ std::vector<Fcp> MiningEngine::ProcessSegments(
   std::vector<Fcp> mined;
   for (const Segment& segment : segments) {
     mined.clear();
-    miner_->AddSegment(segment, &mined);
+    if (publish_) {
+      Stopwatch timer;
+      miner_->AddSegment(segment, &mined);
+      mine_latency_us_->Record(
+          static_cast<uint64_t>(timer.ElapsedNanos()) / 1000);
+      segments_completed_metric_->Increment();
+    } else {
+      miner_->AddSegment(segment, &mined);
+    }
     ++segments_completed_;
     collector_.OfferAll(mined, &accepted);
+  }
+  if (publish_ && !segments.empty()) {
+    miner_metrics_.PublishDelta(miner_->stats(), &published_stats_);
+    miner_metrics_.PublishIntrospection(miner_->Introspect());
+    fcps_accepted_->Increment(accepted.size());
   }
   return accepted;
 }

@@ -17,10 +17,12 @@
 
 #include "common/params.h"
 #include "common/types.h"
+#include "core/engine_metrics.h"
 #include "core/miner.h"
 #include "core/result_collector.h"
 #include "stream/segment.h"
 #include "stream/stream_mux.h"
+#include "telemetry/registry.h"
 
 namespace fcp {
 
@@ -28,6 +30,13 @@ namespace fcp {
 struct EngineOptions {
   /// Passed to the ResultCollector (0 = report every discovery).
   DurationMs suppression_window = 0;
+  /// Registry receiving the engine's metrics; null means the engine owns a
+  /// private one (readable via metrics()/SnapshotMetrics()). Tools pass
+  /// telemetry::MetricRegistry::Global() to share one process-wide registry.
+  telemetry::MetricRegistry* metrics = nullptr;
+  /// Telemetry is always compiled in; benches flip this off to measure the
+  /// record-path overhead against a compiled-but-unread baseline.
+  bool publish_metrics = true;
 };
 
 class MiningEngine {
@@ -65,6 +74,15 @@ class MiningEngine {
 
   uint64_t segments_completed() const { return segments_completed_; }
 
+  /// The registry this engine publishes into (engine-owned unless
+  /// EngineOptions::metrics was set).
+  const telemetry::MetricRegistry& metrics() const { return *registry_; }
+
+  /// Point-in-time copy of every metric (thread-safe).
+  std::vector<telemetry::MetricSample> SnapshotMetrics() const {
+    return registry_->Snapshot();
+  }
+
  private:
   std::vector<Fcp> ProcessSegments(const std::vector<Segment>& segments);
 
@@ -74,6 +92,16 @@ class MiningEngine {
   ResultCollector collector_;
   uint64_t segments_completed_ = 0;
   std::vector<Segment> scratch_segments_;
+
+  std::unique_ptr<telemetry::MetricRegistry> owned_registry_;
+  telemetry::MetricRegistry* registry_ = nullptr;
+  bool publish_ = true;
+  MinerMetrics miner_metrics_;
+  MinerStats published_stats_;  ///< last stats pushed via PublishDelta
+  telemetry::Counter* events_ingested_ = nullptr;
+  telemetry::Counter* segments_completed_metric_ = nullptr;
+  telemetry::Counter* fcps_accepted_ = nullptr;
+  telemetry::LatencyHistogram* mine_latency_us_ = nullptr;
 };
 
 }  // namespace fcp

@@ -1,17 +1,29 @@
 #include "core/parallel_engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 #include <unordered_map>
 
 #include "common/check.h"
 
 namespace fcp {
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 ParallelEngine::ParallelEngine(MinerKind kind, const MiningParams& params,
                                ParallelEngineOptions options)
     : params_(params),
       options_(options),
-      collector_(options.suppression_window) {
+      collector_(options.suppression_window),
+      publish_(options.publish_metrics) {
   FCP_CHECK(params.Validate().ok());
   FCP_CHECK(options.num_workers >= 1);
   FCP_CHECK(options.num_miner_shards >= 1);
@@ -30,6 +42,7 @@ ParallelEngine::ParallelEngine(MinerKind kind, const MiningParams& params,
     segments_.push_back(std::make_unique<BoundedQueue<Segment>>(
         options_.segment_queue_capacity));
   }
+  RegisterMetrics();
   // Start consumers before producers so segment production never deadlocks
   // on a full queue with nobody draining it: shards first, then the merge,
   // then the workers.
@@ -44,12 +57,80 @@ ParallelEngine::ParallelEngine(MinerKind kind, const MiningParams& params,
 
 ParallelEngine::~ParallelEngine() { Finish(); }
 
+void ParallelEngine::RegisterMetrics() {
+  if (options_.metrics != nullptr) {
+    registry_ = options_.metrics;
+  } else {
+    owned_registry_ = std::make_unique<telemetry::MetricRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  events_ingested_ = registry_->GetCounter("fcp_events_ingested_total");
+  segments_completed_metric_ =
+      registry_->GetCounter("fcp_segments_completed_total");
+  merge_stalls_ = registry_->GetCounter("fcp_merge_stalls_total");
+  watermark_lag_ms_ = registry_->GetGauge("fcp_watermark_lag_ms");
+  shard_telemetry_.resize(options_.num_miner_shards);
+  for (uint32_t s = 0; s < options_.num_miner_shards; ++s) {
+    const std::string label = "shard=\"" + std::to_string(s) + "\"";
+    ShardTelemetry& t = shard_telemetry_[s];
+    t.miner = MinerMetrics::Register(registry_, label);
+    t.discovery_latency_us = registry_->GetHistogram(
+        "fcp_discovery_latency_us{" + label + "}");
+    t.segments_routed =
+        registry_->GetGauge("fcp_segments_routed{" + label + "}");
+    t.queue_depth =
+        registry_->GetGauge("fcp_shard_queue_depth{" + label + "}");
+    t.queue_high_watermark =
+        registry_->GetGauge("fcp_shard_queue_high_watermark{" + label + "}");
+  }
+  worker_telemetry_.resize(options_.num_workers);
+  for (uint32_t w = 0; w < options_.num_workers; ++w) {
+    const std::string label = "worker=\"" + std::to_string(w) + "\"";
+    WorkerTelemetry& t = worker_telemetry_[w];
+    t.event_queue_depth =
+        registry_->GetGauge("fcp_event_queue_depth{" + label + "}");
+    t.event_queue_high_watermark =
+        registry_->GetGauge("fcp_event_queue_high_watermark{" + label + "}");
+    t.segment_queue_depth =
+        registry_->GetGauge("fcp_segment_queue_depth{" + label + "}");
+    t.segment_queue_high_watermark =
+        registry_->GetGauge("fcp_segment_queue_high_watermark{" + label +
+                            "}");
+  }
+}
+
+void ParallelEngine::RefreshGauges() {
+  for (uint32_t s = 0; s < options_.num_miner_shards; ++s) {
+    ShardTelemetry& t = shard_telemetry_[s];
+    t.segments_routed->Set(static_cast<int64_t>(router_->routed_to(s)));
+    t.queue_depth->Set(static_cast<int64_t>(router_->queue(s).depth()));
+    t.queue_high_watermark->Set(
+        static_cast<int64_t>(router_->queue(s).high_watermark()));
+  }
+  for (uint32_t w = 0; w < options_.num_workers; ++w) {
+    WorkerTelemetry& t = worker_telemetry_[w];
+    t.event_queue_depth->Set(
+        static_cast<int64_t>(workers_[w].events->depth()));
+    t.event_queue_high_watermark->Set(
+        static_cast<int64_t>(workers_[w].events->high_watermark()));
+    t.segment_queue_depth->Set(static_cast<int64_t>(segments_[w]->depth()));
+    t.segment_queue_high_watermark->Set(
+        static_cast<int64_t>(segments_[w]->high_watermark()));
+  }
+}
+
+std::vector<telemetry::MetricSample> ParallelEngine::SnapshotMetrics() {
+  RefreshGauges();
+  return registry_->Snapshot();
+}
+
 void ParallelEngine::Push(const ObjectEvent& event) {
   FCP_CHECK(!finished_);
   const uint32_t w = event.stream % options_.num_workers;
   // Lossless ingestion: block until the worker accepts the event.
   workers_[w].events->Push(event);
   ++events_pushed_;
+  if (publish_) events_ingested_->Increment();
 }
 
 void ParallelEngine::Finish() {
@@ -178,6 +259,7 @@ void ParallelEngine::MergeLoop() {
       if (all_exhausted) break;
       // Nothing to merge: block on the first still-active queue until it
       // produces, closes, or the timeout passes (then re-poll the others).
+      if (publish_) merge_stalls_->Increment();
       for (uint32_t w = 0; w < n; ++w) {
         if (exhausted[w]) continue;
         if (auto segment =
@@ -225,12 +307,20 @@ void ParallelEngine::MergeLoop() {
     heads[best].reset();
     router_->Route(relabeled);
     ++segments_completed_;
+    if (publish_) {
+      segments_completed_metric_->Increment();
+      // How far the just-routed segment trails the stream-time watermark:
+      // nonzero when a straggler worker's older segment lands after newer
+      // data was already routed (merge-order skew).
+      watermark_lag_ms_->Set(router_->watermark() - relabeled.end_time());
+    }
   }
 }
 
 void ParallelEngine::ShardLoop(uint32_t shard_index) {
   FcpMiner& miner = *shard_miners_[shard_index];
   std::vector<Fcp>& buffer = shard_mined_[shard_index];
+  ShardTelemetry& telemetry = shard_telemetry_[shard_index];
   std::vector<Fcp> mined;
   BoundedQueue<ShardDelivery>& queue = router_->queue(shard_index);
   while (auto delivery = queue.Pop()) {
@@ -242,6 +332,18 @@ void ParallelEngine::ShardLoop(uint32_t shard_index) {
     mined.clear();
     miner.AddSegment(delivery->segment, &mined);
     for (Fcp& fcp : mined) buffer.push_back(std::move(fcp));
+    if (publish_) {
+      // Segment->discovery latency: shard-queue wait + mining, measured
+      // from the router's enqueue stamp.
+      telemetry.discovery_latency_us->Record(
+          static_cast<uint64_t>(
+              std::max<int64_t>(0, SteadyNowNs() - delivery->routed_at_ns)) /
+          1000);
+      // This thread owns the miner, so delta-publishing its plain-counter
+      // stats here is race-free; the reporter only reads the atomics.
+      telemetry.miner.PublishDelta(miner.stats(), &telemetry.published);
+      telemetry.miner.PublishIntrospection(miner.Introspect());
+    }
   }
 }
 

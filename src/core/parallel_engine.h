@@ -36,12 +36,14 @@
 
 #include "common/params.h"
 #include "common/types.h"
+#include "core/engine_metrics.h"
 #include "core/miner.h"
 #include "core/result_collector.h"
 #include "stream/bounded_queue.h"
 #include "stream/segment.h"
 #include "stream/segmenter.h"
 #include "stream/shard_router.h"
+#include "telemetry/registry.h"
 
 namespace fcp {
 
@@ -60,6 +62,11 @@ struct ParallelEngineOptions {
   /// waiting, the merge stops waiting for it (bounds stalls on quiet
   /// stream partitions at the cost of a little ordering skew).
   int64_t merge_idle_timeout_us = 2000;
+  /// Registry receiving the pipeline's metrics (per-shard counters labeled
+  /// `{shard="s"}`); null means the engine owns a private one.
+  telemetry::MetricRegistry* metrics = nullptr;
+  /// Benches flip this off to measure record-path overhead.
+  bool publish_metrics = true;
 };
 
 class ParallelEngine {
@@ -101,10 +108,20 @@ class ParallelEngine {
   uint64_t segments_completed() const { return segments_completed_; }
   uint64_t events_pushed() const { return events_pushed_; }
 
+  /// The registry this pipeline publishes into (engine-owned unless
+  /// ParallelEngineOptions::metrics was set).
+  const telemetry::MetricRegistry& metrics() const { return *registry_; }
+
+  /// Refreshes the queue-occupancy and routing gauges, then snapshots every
+  /// metric. Thread-safe; callable while the pipeline runs.
+  std::vector<telemetry::MetricSample> SnapshotMetrics();
+
  private:
   void WorkerLoop(uint32_t worker_index);
   void MergeLoop();
   void ShardLoop(uint32_t shard_index);
+  void RegisterMetrics();
+  void RefreshGauges();
 
   MiningParams params_;
   ParallelEngineOptions options_;
@@ -133,6 +150,33 @@ class ParallelEngine {
   uint64_t segments_completed_ = 0;
   uint64_t events_pushed_ = 0;
   bool finished_ = false;
+
+  // Telemetry. Registration happens in the constructor before any thread
+  // starts; the record paths below are relaxed atomics only. Per-shard
+  // mutable state (`published`) is touched only by the owning shard thread.
+  struct ShardTelemetry {
+    MinerMetrics miner;
+    MinerStats published;
+    telemetry::LatencyHistogram* discovery_latency_us = nullptr;
+    telemetry::Gauge* segments_routed = nullptr;
+    telemetry::Gauge* queue_depth = nullptr;
+    telemetry::Gauge* queue_high_watermark = nullptr;
+  };
+  struct WorkerTelemetry {
+    telemetry::Gauge* event_queue_depth = nullptr;
+    telemetry::Gauge* event_queue_high_watermark = nullptr;
+    telemetry::Gauge* segment_queue_depth = nullptr;
+    telemetry::Gauge* segment_queue_high_watermark = nullptr;
+  };
+  std::unique_ptr<telemetry::MetricRegistry> owned_registry_;
+  telemetry::MetricRegistry* registry_ = nullptr;
+  bool publish_ = true;
+  telemetry::Counter* events_ingested_ = nullptr;
+  telemetry::Counter* segments_completed_metric_ = nullptr;
+  telemetry::Counter* merge_stalls_ = nullptr;
+  telemetry::Gauge* watermark_lag_ms_ = nullptr;
+  std::vector<ShardTelemetry> shard_telemetry_;
+  std::vector<WorkerTelemetry> worker_telemetry_;
 };
 
 }  // namespace fcp

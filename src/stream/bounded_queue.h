@@ -41,6 +41,7 @@ class BoundedQueue {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      if (items_.size() > high_watermark_) high_watermark_ = items_.size();
     }
     cv_.notify_one();
     return true;
@@ -56,6 +57,7 @@ class BoundedQueue {
                      [&] { return closed_ || items_.size() < capacity_; });
       if (closed_) return false;
       items_.push_back(std::move(item));
+      if (items_.size() > high_watermark_) high_watermark_ = items_.size();
     }
     cv_.notify_one();
     return true;
@@ -99,6 +101,17 @@ class BoundedQueue {
     return items_.size();
   }
 
+  /// Alias of size() under the telemetry vocabulary (queue *depth*).
+  size_t depth() const { return size(); }
+
+  /// Deepest occupancy ever reached — the paper's saturation signal: a
+  /// high watermark pinned at capacity means the producer outran mining.
+  /// Tracked under the push lock, so it costs nothing extra on the hot path.
+  size_t high_watermark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_watermark_;
+  }
+
   size_t capacity() const { return capacity_; }
 
   bool closed() const {
@@ -123,6 +136,7 @@ class BoundedQueue {
   std::condition_variable cv_;        ///< "item available or closed"
   std::condition_variable space_cv_;  ///< "space available or closed"
   std::deque<T> items_;
+  size_t high_watermark_ = 0;
   bool closed_ = false;
 };
 

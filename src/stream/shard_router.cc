@@ -1,18 +1,30 @@
 #include "stream/shard_router.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
 
 namespace fcp {
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 ShardRouter::ShardRouter(uint32_t num_shards, size_t queue_capacity)
-    : num_shards_(num_shards) {
+    : num_shards_(num_shards),
+      routed_to_(new std::atomic<uint64_t>[num_shards]) {
   FCP_CHECK(num_shards >= 1);
   queues_.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
     queues_.push_back(
         std::make_unique<BoundedQueue<ShardDelivery>>(queue_capacity));
+    routed_to_[s].store(0, std::memory_order_relaxed);
   }
   target_scratch_.assign(num_shards, 0);
 }
@@ -20,10 +32,14 @@ ShardRouter::ShardRouter(uint32_t num_shards, size_t queue_capacity)
 uint32_t ShardRouter::Route(const Segment& segment) {
   watermark_ = std::max(watermark_, segment.end_time());
   ++stats_.segments_routed;
+  const int64_t now_ns = SteadyNowNs();
 
   uint32_t delivered = 0;
   if (num_shards_ == 1) {
-    if (queues_[0]->Push(ShardDelivery{segment, watermark_})) ++delivered;
+    if (queues_[0]->Push(ShardDelivery{segment, watermark_, now_ns})) {
+      routed_to_[0].fetch_add(1, std::memory_order_relaxed);
+      ++delivered;
+    }
   } else {
     // Mark each shard owning >= 1 entry object. Entries suffice (duplicates
     // just re-mark); no distinct-object vector is materialized.
@@ -33,7 +49,10 @@ uint32_t ShardRouter::Route(const Segment& segment) {
     }
     for (uint32_t s = 0; s < num_shards_; ++s) {
       if (!target_scratch_[s]) continue;
-      if (queues_[s]->Push(ShardDelivery{segment, watermark_})) ++delivered;
+      if (queues_[s]->Push(ShardDelivery{segment, watermark_, now_ns})) {
+        routed_to_[s].fetch_add(1, std::memory_order_relaxed);
+        ++delivered;
+      }
     }
   }
   stats_.deliveries += delivered;

@@ -18,6 +18,7 @@
 #ifndef FCP_STREAM_SHARD_ROUTER_H_
 #define FCP_STREAM_SHARD_ROUTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -34,6 +35,10 @@ namespace fcp {
 struct ShardDelivery {
   Segment segment;
   Timestamp watermark = kMinTimestamp;
+  /// Steady-clock stamp taken when Route() enqueued this delivery; the shard
+  /// thread turns (now - routed_at_ns) into the segment->discovery latency
+  /// histogram (queue wait + mining).
+  int64_t routed_at_ns = 0;
 };
 
 /// Routing counters (racy snapshots while the pipeline runs; exact after
@@ -75,9 +80,17 @@ class ShardRouter {
 
   const ShardRouterStats& stats() const { return stats_; }
 
+  /// Segments delivered to `shard` so far. Relaxed-atomic, so telemetry can
+  /// sample it from another thread while the pipeline runs (skew visibility:
+  /// per-shard delivery counts diverge under object-popularity skew).
+  uint64_t routed_to(uint32_t shard) const {
+    return routed_to_[shard].load(std::memory_order_relaxed);
+  }
+
  private:
   const uint32_t num_shards_;
   std::vector<std::unique_ptr<BoundedQueue<ShardDelivery>>> queues_;
+  std::unique_ptr<std::atomic<uint64_t>[]> routed_to_;  ///< per-shard count
   Timestamp watermark_ = kMinTimestamp;
   std::vector<uint8_t> target_scratch_;  ///< per-shard "owns an object" flags
   ShardRouterStats stats_;

@@ -1,0 +1,147 @@
+// fcp::telemetry metric primitives: the record path of every type here is
+// wait-free and allocation-free — a relaxed-atomic add or store, nothing
+// else — so the miners' zero-allocation hot-path invariant (DESIGN.md §2.1)
+// holds with telemetry permanently enabled. All cross-thread visibility is
+// relaxed: metrics are monitoring data, not synchronization; readers see
+// values that are each individually recent, not a consistent cut.
+//
+// Registration/aggregation (naming, serialization, the process-wide
+// registry) lives in registry.h; components hold raw pointers to their
+// metrics, obtained once at construction, and record through them lock-free.
+
+#ifndef FCP_TELEMETRY_METRIC_H_
+#define FCP_TELEMETRY_METRIC_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace fcp::telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, index bytes, lag).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time copy of a LatencyHistogram, with percentile queries.
+/// Bucket b covers values with std::bit_width(v) == b, i.e. [2^(b-1), 2^b)
+/// for b >= 1 and exactly {0} for b == 0 — power-of-two buckets, <= 2x
+/// relative error on any percentile, fixed footprint.
+struct HistogramSnapshot {
+  /// bit_width ranges over [0, 64], one bucket each.
+  static constexpr size_t kNumBuckets = 65;
+
+  std::array<uint64_t, kNumBuckets> counts{};
+  uint64_t total = 0;  ///< sum of counts
+  uint64_t sum = 0;    ///< sum of recorded values
+
+  /// Largest value bucket `b` can contain.
+  static uint64_t BucketUpperBound(size_t b) {
+    if (b == 0) return 0;
+    if (b >= 64) return ~uint64_t{0};
+    return (uint64_t{1} << b) - 1;
+  }
+
+  /// Upper bound of the bucket containing the p-th percentile (p in
+  /// [0, 100]); 0 on an empty snapshot. The bound overestimates by at most
+  /// 2x, which is the resolution observability needs — exact quantiles over
+  /// bounded samples live in util/stats.h.
+  double Percentile(double p) const {
+    if (total == 0) return 0.0;
+    if (p < 0.0) p = 0.0;
+    if (p > 100.0) p = 100.0;
+    // Rank of the percentile observation, 1-based, nearest-rank definition.
+    uint64_t rank = static_cast<uint64_t>(p / 100.0 *
+                                          static_cast<double>(total) + 0.5);
+    if (rank == 0) rank = 1;
+    if (rank > total) rank = total;
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      cumulative += counts[b];
+      if (cumulative >= rank) return static_cast<double>(BucketUpperBound(b));
+    }
+    return static_cast<double>(BucketUpperBound(kNumBuckets - 1));
+  }
+
+  double Mean() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(total);
+  }
+
+  /// Accumulates another snapshot (cross-shard aggregation).
+  void Merge(const HistogramSnapshot& other) {
+    for (size_t b = 0; b < kNumBuckets; ++b) counts[b] += other.counts[b];
+    total += other.total;
+    sum += other.sum;
+  }
+};
+
+/// Fixed-bucket concurrent histogram for latency-like nonnegative values.
+/// Record() is two relaxed fetch_adds — wait-free, allocation-free, no
+/// false-sharing-prone global locks. Unit is the recorder's choice and
+/// should be part of the metric name (e.g. `..._latency_us`).
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = HistogramSnapshot::kNumBuckets;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  static size_t BucketOf(uint64_t value) {
+    return static_cast<size_t>(std::bit_width(value));
+  }
+
+  void Record(uint64_t value) {
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot snap;
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      snap.counts[b] = buckets_[b].load(std::memory_order_relaxed);
+      snap.total += snap.counts[b];
+    }
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    return snap;
+  }
+
+  uint64_t TotalCount() const { return Snapshot().total; }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+}  // namespace fcp::telemetry
+
+#endif  // FCP_TELEMETRY_METRIC_H_

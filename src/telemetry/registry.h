@@ -1,0 +1,99 @@
+// MetricRegistry: named aggregation of telemetry metrics with JSON and
+// Prometheus text-exposition serialization.
+//
+// Usage contract, chosen so the record path stays lock-free:
+//
+//   1. Register at construction time: GetCounter/GetGauge/GetHistogram take
+//      the registry mutex and may allocate. They return stable raw pointers
+//      (the registry owns the metric objects for its lifetime).
+//   2. Record through the returned pointers: no registry involvement, no
+//      lock, no allocation (see metric.h).
+//   3. Snapshot/serialize from any thread: takes the mutex only against
+//      concurrent *registration*, reads the metric values with relaxed
+//      atomics.
+//
+// Naming scheme (DESIGN.md §2.3): Prometheus-style snake_case with an
+// `fcp_` prefix; counters end in `_total`; histograms carry their unit
+// suffix (`_us`, `_ms`); dimensioned metrics append labels in canonical
+// Prometheus form, e.g. `fcp_fcps_emitted_total{shard="3"}`. The label
+// block is part of the registered name; the serializers split it back out.
+
+#ifndef FCP_TELEMETRY_REGISTRY_H_
+#define FCP_TELEMETRY_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/metric.h"
+
+namespace fcp::telemetry {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// One serializable metric value at snapshot time.
+struct MetricSample {
+  std::string name;  ///< full registered name, may include a {label} block
+  MetricType type = MetricType::kCounter;
+  uint64_t counter_value = 0;
+  int64_t gauge_value = 0;
+  HistogramSnapshot histogram;
+};
+
+/// Serializes samples as one flat JSON object: scalar metrics map name ->
+/// value, histograms map name -> {count, sum, mean, p50, p90, p99}.
+std::string SerializeJson(const std::vector<MetricSample>& samples);
+
+/// Serializes samples in Prometheus text exposition format 0.0.4: one
+/// `# TYPE` line per metric family (label variants grouped), `name{labels}
+/// value` sample lines, histograms expanded to cumulative `_bucket{le=...}`
+/// series plus `_sum` and `_count`.
+std::string SerializePrometheus(const std::vector<MetricSample>& samples);
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Returns the metric registered under `name`, creating it on first use.
+  /// Aborts if `name` is already registered with a different type. The
+  /// returned pointer is valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Point-in-time copy of every registered metric, in registration order.
+  std::vector<MetricSample> Snapshot() const;
+
+  std::string ToJson() const { return SerializeJson(Snapshot()); }
+  std::string ToPrometheus() const { return SerializePrometheus(Snapshot()); }
+
+  size_t size() const;
+
+  /// The process-wide default registry (tools). Library components take a
+  /// registry parameter instead of reaching for this.
+  static MetricRegistry& Global();
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  Entry* FindOrCreate(const std::string& name, MetricType type);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  ///< registration order
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace fcp::telemetry
+
+#endif  // FCP_TELEMETRY_REGISTRY_H_

@@ -1,0 +1,68 @@
+#include "telemetry/reporter.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace fcp::telemetry {
+
+MetricReporter::MetricReporter(const MetricRegistry* registry,
+                               ReporterOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+MetricReporter::~MetricReporter() { Stop(); }
+
+void MetricReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  EmitOnce();
+}
+
+std::string MetricReporter::Render() const {
+  return options_.format == ReporterOptions::Format::kJson
+             ? registry_->ToJson()
+             : registry_->ToPrometheus();
+}
+
+void MetricReporter::EmitOnce() {
+  const std::string report = Render();
+  if (options_.path.empty()) {
+    std::fwrite(report.data(), 1, report.size(), stderr);
+    std::fflush(stderr);
+    return;
+  }
+  // Rewrite, don't append: the file is a live view, and each report is a
+  // complete document (CI parses it with a strict JSON parser).
+  std::FILE* f = std::fopen(options_.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "metrics: cannot open %s\n", options_.path.c_str());
+    return;
+  }
+  std::fwrite(report.data(), 1, report.size(), f);
+  std::fclose(f);
+}
+
+void MetricReporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    const bool stopping = cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.interval_ms),
+        [this] { return stop_; });
+    if (stopping) break;
+    lock.unlock();
+    EmitOnce();
+    lock.lock();
+  }
+}
+
+}  // namespace fcp::telemetry

@@ -1,0 +1,63 @@
+// MetricReporter: background thread that periodically serializes a
+// MetricRegistry to stderr or a file, in JSON or Prometheus text format.
+// Owned by tools (`fcpmine --metrics=...`), never by library code — the
+// engines only expose Snapshot() and let the caller decide when/where to
+// report.
+
+#ifndef FCP_TELEMETRY_REPORTER_H_
+#define FCP_TELEMETRY_REPORTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "telemetry/registry.h"
+
+namespace fcp::telemetry {
+
+struct ReporterOptions {
+  enum class Format { kJson, kPrometheus };
+
+  Format format = Format::kJson;
+  /// Output path; empty writes to stderr. A file is rewritten in place on
+  /// every tick so it always holds one complete, parseable report.
+  std::string path;
+  int64_t interval_ms = 10000;
+};
+
+class MetricReporter {
+ public:
+  MetricReporter(const MetricRegistry* registry, ReporterOptions options);
+  ~MetricReporter();
+
+  MetricReporter(const MetricReporter&) = delete;
+  MetricReporter& operator=(const MetricReporter&) = delete;
+
+  /// Stops the background thread and emits one final report so short runs
+  /// (shorter than one interval) still produce output. Idempotent; also
+  /// called by the destructor.
+  void Stop();
+
+  /// Serializes the registry once in the configured format (also used for
+  /// the final report).
+  std::string Render() const;
+
+ private:
+  void Loop();
+  void EmitOnce();
+
+  const MetricRegistry* registry_;
+  const ReporterOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace fcp::telemetry
+
+#endif  // FCP_TELEMETRY_REPORTER_H_

@@ -34,6 +34,26 @@ class RunningStats {
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
 
+  /// Parallel combine (Chan et al.): merging per-shard accumulators yields
+  /// the same mean/variance as one accumulator over the union.
+  void Merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const uint64_t n = n_ + other.n_;
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) /
+                           static_cast<double>(n);
+    mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(n);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    n_ = n;
+  }
+
   void Reset() { *this = RunningStats(); }
 
  private:
@@ -60,6 +80,17 @@ class Sample {
     const size_t hi = std::min(lo + 1, values_.size() - 1);
     const double frac = idx - static_cast<double>(lo);
     return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+
+  /// p in [0, 100]; percentile spelling of Quantile, matching the telemetry
+  /// histogram API (telemetry/metric.h).
+  double Percentile(double p) {
+    return Quantile(std::clamp(p, 0.0, 100.0) / 100.0);
+  }
+
+  /// Pools another sample's observations (cross-shard aggregation).
+  void Merge(const Sample& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
   }
 
   size_t size() const { return values_.size(); }

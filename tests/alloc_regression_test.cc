@@ -17,9 +17,11 @@
 
 #include <gtest/gtest.h>
 
+#include "core/engine_metrics.h"
 #include "core/miner.h"
 #include "index/seg_tree.h"
 #include "stream/segment.h"
+#include "telemetry/registry.h"
 #include "util/rng.h"
 
 namespace fcp {
@@ -120,6 +122,51 @@ TEST(AllocRegressionTest, DiMineSteadyStateAddSegmentIsAllocationFree) {
 
 TEST(AllocRegressionTest, MatrixMineSteadyStateAddSegmentIsAllocationFree) {
   EXPECT_EQ(SteadyStateAllocations(MinerKind::kMatrixMine), 0u);
+}
+
+// The telemetry record path must not reintroduce allocations: the same
+// steady-state replay, but with the full per-segment publish sequence the
+// engines run — a histogram Record, a PublishDelta of the miner stats and a
+// PublishIntrospection of the index view. Registration happens before the
+// measured region (it is the one place telemetry may allocate).
+TEST(AllocRegressionTest, TelemetryPublishSteadyStateIsAllocationFree) {
+  const MiningParams params = SteadyParams();
+  Rng rng(42);
+  const std::vector<Segment> trace =
+      BuildCyclicTrace(BuildSegmentPool(400, rng), /*cycles=*/6, params);
+
+  telemetry::MetricRegistry registry;
+  const MinerMetrics metrics = MinerMetrics::Register(&registry, "");
+  telemetry::LatencyHistogram* latency =
+      registry.GetHistogram("fcp_segment_mine_latency_us");
+  MinerStats published;
+
+  auto miner = MakeMiner(MinerKind::kCooMine, params);
+  std::vector<Fcp> sink;
+  sink.reserve(64);
+
+  const size_t warm = trace.size() / 2;
+  for (size_t i = 0; i < warm; ++i) {
+    sink.clear();
+    miner->AddSegment(trace[i], &sink);
+    latency->Record(static_cast<uint64_t>(i % 1000));
+    metrics.PublishDelta(miner->stats(), &published);
+    metrics.PublishIntrospection(miner->Introspect());
+  }
+
+  const uint64_t before = alloc_counter::allocations();
+  for (size_t i = warm; i < trace.size(); ++i) {
+    sink.clear();
+    miner->AddSegment(trace[i], &sink);
+    latency->Record(static_cast<uint64_t>(i % 1000));
+    metrics.PublishDelta(miner->stats(), &published);
+    metrics.PublishIntrospection(miner->Introspect());
+  }
+  const uint64_t allocations = alloc_counter::allocations() - before;
+  EXPECT_EQ(allocations, 0u)
+      << "telemetry-instrumented steady state performed " << allocations
+      << " heap allocations";
+  EXPECT_EQ(latency->TotalCount(), trace.size());
 }
 
 TEST(AllocRegressionTest, SegTreeSteadyStateChurnIsAllocationFree) {

@@ -83,6 +83,71 @@ TEST(BoundedQueueTest, ConcurrentProducersConsumers) {
   EXPECT_EQ(sum.load(), 2 * kPerProducer);
 }
 
+TEST(BoundedQueueTest, DepthTracksOccupancy) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.depth(), 0u);
+  q.TryPush(1);
+  q.TryPush(2);
+  EXPECT_EQ(q.depth(), 2u);
+  q.Pop();
+  EXPECT_EQ(q.depth(), 1u);
+}
+
+TEST(BoundedQueueTest, HighWatermarkIsMonotone) {
+  BoundedQueue<int> q(8);
+  EXPECT_EQ(q.high_watermark(), 0u);
+  q.TryPush(1);
+  q.TryPush(2);
+  q.TryPush(3);
+  EXPECT_EQ(q.high_watermark(), 3u);
+  q.Pop();
+  q.Pop();
+  EXPECT_EQ(q.depth(), 1u);
+  EXPECT_EQ(q.high_watermark(), 3u);  // drains never lower the watermark
+  q.TryPush(4);
+  EXPECT_EQ(q.high_watermark(), 3u);  // depth 2 < previous peak 3
+  q.TryPush(5);
+  q.TryPush(6);
+  EXPECT_EQ(q.high_watermark(), 4u);
+}
+
+TEST(BoundedQueueTest, HighWatermarkViaBlockingPush) {
+  BoundedQueue<int> q(4);
+  q.Push(1);
+  q.Push(2);
+  EXPECT_EQ(q.high_watermark(), 2u);
+}
+
+TEST(BoundedQueueTest, HighWatermarkUnderConcurrentPushPop) {
+  constexpr int kPerProducer = 4000;
+  constexpr size_t kCapacity = 32;
+  BoundedQueue<int> q(kCapacity);
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (q.Pop()) ++consumed;
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(i);
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(consumed.load(), 2 * kPerProducer);
+  EXPECT_EQ(q.depth(), 0u);
+  // The peak is racy by nature but always bounded: at least one item was
+  // enqueued, never more than capacity.
+  EXPECT_GE(q.high_watermark(), 1u);
+  EXPECT_LE(q.high_watermark(), kCapacity);
+}
+
 TEST(BoundedQueueDeathTest, ZeroCapacityAborts) {
   EXPECT_DEATH(BoundedQueue<int>(0), "FCP_CHECK");
 }

@@ -1,0 +1,156 @@
+// Serial vs. sharded telemetry consistency: the same trace mined serially
+// and through the ParallelEngine (one worker, S miner shards) must agree on
+// the semantic counters — segments routed to a shard equal segments that
+// shard mined, and the shard miners' fcps_emitted sum to the serial count.
+// The telemetry registry must agree with the miners' own stats structs, so
+// a dashboard reading the registry sees the same truth as the library API.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mining_engine.h"
+#include "core/parallel_engine.h"
+#include "datagen/traffic_gen.h"
+#include "telemetry/registry.h"
+
+namespace fcp {
+namespace {
+
+MiningParams Params() {
+  MiningParams params;
+  params.xi = Seconds(60);
+  params.tau = Minutes(30);
+  params.theta = 3;
+  params.min_pattern_size = 2;
+  params.max_pattern_size = 4;
+  return params;
+}
+
+std::vector<ObjectEvent> Trace() {
+  TrafficConfig config;
+  config.num_cameras = 20;
+  config.num_vehicles = 1000;
+  config.total_events = 8000;
+  config.num_convoys = 4;
+  config.seed = 77;
+  return GenerateTraffic(config).events;
+}
+
+/// Finds `name` in a snapshot; fails the test if absent.
+const telemetry::MetricSample& Find(
+    const std::vector<telemetry::MetricSample>& samples,
+    const std::string& name) {
+  for (const telemetry::MetricSample& s : samples) {
+    if (s.name == name) return s;
+  }
+  ADD_FAILURE() << "metric " << name << " not registered";
+  static const telemetry::MetricSample kMissing;
+  return kMissing;
+}
+
+class MetricsConsistencyTest
+    : public ::testing::TestWithParam<std::tuple<MinerKind, uint32_t>> {};
+
+TEST_P(MetricsConsistencyTest, SerialAndShardedAgreeOnSemanticCounters) {
+  const auto [kind, num_shards] = GetParam();
+  const std::vector<ObjectEvent> events = Trace();
+  const MiningParams params = Params();
+
+  // Serial reference run.
+  MiningEngine serial(kind, params);
+  for (const ObjectEvent& event : events) serial.PushEvent(event);
+  serial.Flush();
+  const uint64_t serial_fcps = serial.miner().stats().fcps_emitted;
+  const uint64_t serial_segments = serial.segments_completed();
+
+  // Serial registry agrees with the serial miner/engine state.
+  const auto serial_metrics = serial.SnapshotMetrics();
+  EXPECT_EQ(Find(serial_metrics, "fcp_fcps_emitted_total").counter_value,
+            serial_fcps);
+  EXPECT_EQ(Find(serial_metrics, "fcp_segments_completed_total").counter_value,
+            serial_segments);
+  EXPECT_EQ(Find(serial_metrics, "fcp_events_ingested_total").counter_value,
+            events.size());
+  EXPECT_EQ(
+      static_cast<uint64_t>(Find(serial_metrics, "fcp_index_bytes").gauge_value),
+      serial.MemoryUsage());
+
+  // Sharded run: one worker makes segmentation order identical to serial
+  // (any shard count), so the semantic counters must match exactly.
+  ParallelEngineOptions options;
+  options.num_workers = 1;
+  options.num_miner_shards = num_shards;
+  ParallelEngine sharded(kind, params, options);
+  for (const ObjectEvent& event : events) sharded.Push(event);
+  sharded.Finish();
+  const auto sharded_metrics = sharded.SnapshotMetrics();
+
+  EXPECT_EQ(sharded.segments_completed(), serial_segments);
+  EXPECT_EQ(Find(sharded_metrics, "fcp_segments_completed_total").counter_value,
+            serial_segments);
+  EXPECT_EQ(Find(sharded_metrics, "fcp_events_ingested_total").counter_value,
+            events.size());
+
+  uint64_t fcps_sum = 0;
+  uint64_t metric_fcps_sum = 0;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+    const MinerStats& stats = sharded.shard_miner(s).stats();
+
+    // Segments routed to the shard == segments the shard mined.
+    const uint64_t routed = static_cast<uint64_t>(
+        Find(sharded_metrics, "fcp_segments_routed" + label).gauge_value);
+    EXPECT_EQ(routed, stats.segments_processed) << "shard " << s;
+
+    // The registry's per-shard counters mirror the miner's own stats.
+    EXPECT_EQ(
+        Find(sharded_metrics, "fcp_segments_mined_total" + label).counter_value,
+        stats.segments_processed)
+        << "shard " << s;
+    EXPECT_EQ(
+        Find(sharded_metrics, "fcp_fcps_emitted_total" + label).counter_value,
+        stats.fcps_emitted)
+        << "shard " << s;
+    EXPECT_EQ(Find(sharded_metrics, "fcp_candidates_checked_total" + label)
+                  .counter_value,
+              stats.candidates_checked)
+        << "shard " << s;
+
+    // Every delivery landed somewhere: discovery latency histogram counted
+    // exactly the deliveries this shard mined.
+    EXPECT_EQ(
+        Find(sharded_metrics, "fcp_discovery_latency_us" + label)
+            .histogram.total,
+        stats.segments_processed)
+        << "shard " << s;
+
+    fcps_sum += stats.fcps_emitted;
+    metric_fcps_sum +=
+        Find(sharded_metrics, "fcp_fcps_emitted_total" + label).counter_value;
+  }
+
+  // Min-object ownership partitions the pattern space: each discovery is
+  // emitted by exactly one shard, so the counts sum to the serial count.
+  EXPECT_EQ(fcps_sum, serial_fcps);
+  EXPECT_EQ(metric_fcps_sum, serial_fcps);
+
+  // Same discoveries end-to-end, not just same counts.
+  EXPECT_EQ(sharded.results().size(), serial.collector().results().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMinersAllShardCounts, MetricsConsistencyTest,
+    ::testing::Combine(::testing::Values(MinerKind::kCooMine,
+                                         MinerKind::kDiMine,
+                                         MinerKind::kMatrixMine),
+                       ::testing::Values(1u, 4u)),
+    [](const ::testing::TestParamInfo<std::tuple<MinerKind, uint32_t>>& info) {
+      return std::string(MinerKindToString(std::get<0>(info.param))) + "_S" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace fcp

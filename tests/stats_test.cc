@@ -80,5 +80,89 @@ TEST(SampleTest, InterpolatesBetweenPoints) {
   EXPECT_DOUBLE_EQ(s.Quantile(0.5), 5.0);
 }
 
+TEST(SampleTest, PercentileEmpty) {
+  Sample s;
+  EXPECT_EQ(s.Percentile(50.0), 0.0);
+  EXPECT_EQ(s.Percentile(99.0), 0.0);
+}
+
+TEST(SampleTest, PercentileSingleSample) {
+  Sample s;
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100.0), 7.0);
+}
+
+TEST(SampleTest, PercentileKnownDistribution) {
+  // 1..100: pXX interpolates over indices 0..99, so p50 = 50.5, p99 = 99.01.
+  Sample s;
+  for (int i = 1; i <= 100; ++i) s.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.Percentile(50.0), 50.5);
+  EXPECT_NEAR(s.Percentile(99.0), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(s.Percentile(100.0), 100.0);
+}
+
+TEST(SampleTest, PercentileClampsOutOfRange) {
+  Sample s;
+  for (double v : {1.0, 2.0, 3.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Percentile(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(200.0), 3.0);
+}
+
+TEST(SampleTest, MergePoolsObservations) {
+  Sample a;
+  Sample b;
+  for (double v : {1.0, 3.0}) a.Add(v);
+  for (double v : {2.0, 4.0}) b.Add(v);
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_DOUBLE_EQ(a.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(100.0), 4.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(50.0), 2.5);
+}
+
+TEST(SampleTest, MergeWithEmpty) {
+  Sample a;
+  a.Add(5.0);
+  Sample empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.size(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.size(), 1u);
+  EXPECT_DOUBLE_EQ(empty.Percentile(50.0), 5.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesPooledAccumulation) {
+  RunningStats pooled;
+  RunningStats left;
+  RunningStats right;
+  const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (int i = 0; i < 8; ++i) {
+    pooled.Add(values[i]);
+    (i < 3 ? left : right).Add(values[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), pooled.count());
+  EXPECT_DOUBLE_EQ(left.mean(), pooled.mean());
+  EXPECT_NEAR(left.variance(), pooled.variance(), 1e-12);
+  EXPECT_EQ(left.min(), pooled.min());
+  EXPECT_EQ(left.max(), pooled.max());
+  EXPECT_DOUBLE_EQ(left.sum(), pooled.sum());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats empty;
+  a.Add(3.0);
+  a.Add(5.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 4.0);
+}
+
 }  // namespace
 }  // namespace fcp

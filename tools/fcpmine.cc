@@ -22,9 +22,15 @@
 //   --k=N                 top-K size            (default 20)
 //   --suppress=<seconds>  re-report suppression (default tau)
 //   --stats               print miner statistics at the end
+//   --metrics=json|prom[,<path>]   periodic telemetry reports (JSON or
+//                         Prometheus text exposition); with a path the file
+//                         is rewritten each tick, otherwise stderr
+//   --metrics_interval=N  reporting period in seconds (default 10); a final
+//                         report is always emitted at exit
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/mining_engine.h"
@@ -32,6 +38,8 @@
 #include "datagen/traffic_gen.h"
 #include "datagen/twitter_gen.h"
 #include "io/trace_io.h"
+#include "telemetry/registry.h"
+#include "telemetry/reporter.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
@@ -103,9 +111,37 @@ int main(int argc, char** argv) {
     return Fail("unknown --algo '" + algo + "'");
   }
 
+  // --- Telemetry: share the process-wide registry with the engine and wire
+  // the periodic reporter when --metrics is set. ------------------------------
+  const std::string metrics = flags.GetString("metrics", "");
+  std::unique_ptr<fcp::telemetry::MetricReporter> reporter;
+  if (!metrics.empty()) {
+    fcp::telemetry::ReporterOptions reporter_options;
+    std::string format = metrics;
+    const size_t comma = metrics.find(',');
+    if (comma != std::string::npos) {
+      format = metrics.substr(0, comma);
+      reporter_options.path = metrics.substr(comma + 1);
+    }
+    if (format == "json") {
+      reporter_options.format = fcp::telemetry::ReporterOptions::Format::kJson;
+    } else if (format == "prom") {
+      reporter_options.format =
+          fcp::telemetry::ReporterOptions::Format::kPrometheus;
+    } else {
+      return Fail("unknown --metrics format '" + format +
+                  "' (want json or prom)");
+    }
+    reporter_options.interval_ms =
+        static_cast<int64_t>(flags.GetInt("metrics_interval", 10)) * 1000;
+    reporter = std::make_unique<fcp::telemetry::MetricReporter>(
+        &fcp::telemetry::MetricRegistry::Global(), reporter_options);
+  }
+
   fcp::EngineOptions options;
   options.suppression_window =
       fcp::Seconds(flags.GetInt("suppress", params.tau / 1000));
+  options.metrics = &fcp::telemetry::MetricRegistry::Global();
   fcp::MiningEngine engine(kind, params, options);
 
   const std::string report = flags.GetString("report", "stream");
@@ -132,6 +168,9 @@ int main(int argc, char** argv) {
   }
   handle(engine.Flush());
   const double elapsed = clock.ElapsedSeconds();
+  // Stop the reporter before printing the human summary: Stop() joins the
+  // background thread and emits one final, complete report.
+  if (reporter) reporter->Stop();
 
   // --- Report. ----------------------------------------------------------------
   if (report == "topk" || report == "maximal") {
