@@ -126,6 +126,13 @@ int Run(int argc, char** argv) {
   const uint64_t events = scale.Events(
       static_cast<uint64_t>(flags.GetInt("events", 400000)));
   const std::string label = flags.GetString("label", "run");
+  // Pin the SIMD dispatch level. An explicit --kernel tags every record name
+  // with the level (per-kernel trajectory points in BENCH_kernels.json);
+  // without the flag the names stay bare so the BENCH_hotpath.json
+  // trajectory keeps comparing like with like across PRs.
+  const std::string_view kernel_name = ApplyKernelFlag(flags);
+  const std::string kernel_suffix =
+      flags.Has("kernel") ? "@" + std::string(kernel_name) : "";
 
   PrintHeader("hot-path alloc",
               "steady-state AddSegment ns/op and heap allocations/op "
@@ -136,9 +143,9 @@ int Run(int argc, char** argv) {
       GenerateEvents(dataset, events, /*seed=*/42);
   const MiningParams zipf_params = DefaultParams(dataset);
   const std::vector<Segment> segments = SegmentTrace(trace, zipf_params.xi);
-  std::printf("dataset=%s events=%" PRIu64 " segments=%zu\n\n",
+  std::printf("dataset=%s events=%" PRIu64 " segments=%zu kernel=%s\n\n",
               std::string(DatasetName(dataset)).c_str(), events,
-              segments.size());
+              segments.size(), std::string(kernel_name).c_str());
 
   MiningParams steady_params = zipf_params;
   steady_params.theta = 1u << 20;  // unreachable: no emissions
@@ -154,7 +161,7 @@ int Run(int argc, char** argv) {
           kind, steady ? steady_params : zipf_params, segments);
       JsonRecord record;
       record.name = std::string(MinerKindToString(kind)) +
-                    (steady ? "/steady" : "/zipf");
+                    (steady ? "/steady" : "/zipf") + kernel_suffix;
       record.ns_per_op = cost.ns_per_op;
       record.allocs_per_op = cost.allocs_per_op;
       record.rss_bytes = CurrentRssBytes();
@@ -172,7 +179,8 @@ int Run(int argc, char** argv) {
   for (MinerKind kind : kinds) {
     const OpCost cost = MeasureAddSegment(kind, steady_params, cyclic);
     JsonRecord record;
-    record.name = std::string(MinerKindToString(kind)) + "/cycle";
+    record.name =
+        std::string(MinerKindToString(kind)) + "/cycle" + kernel_suffix;
     record.ns_per_op = cost.ns_per_op;
     record.allocs_per_op = cost.allocs_per_op;
     record.rss_bytes = CurrentRssBytes();
@@ -194,7 +202,8 @@ int Run(int argc, char** argv) {
     const double overhead_pct =
         off.ns_per_op > 0 ? (on.ns_per_op / off.ns_per_op - 1.0) * 100.0 : 0;
     JsonRecord record;
-    record.name = std::string(MinerKindToString(kind)) + "/telemetry";
+    record.name =
+        std::string(MinerKindToString(kind)) + "/telemetry" + kernel_suffix;
     record.ns_per_op = on.ns_per_op;
     record.allocs_per_op = on.allocs_per_op;
     record.rss_bytes = CurrentRssBytes();

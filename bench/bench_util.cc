@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "common/check.h"
 #include "stream/stream_mux.h"
+#include "util/kernels/kernels.h"
 
 namespace fcp::bench {
 
@@ -170,6 +172,17 @@ uint64_t BenchScale::Events(uint64_t paper_value) const {
 void PrintHeader(const std::string& figure, const std::string& note) {
   std::printf("=== %s ===\n%s\n\n", figure.c_str(), note.c_str());
   std::fflush(stdout);
+}
+
+std::string_view ApplyKernelFlag(const Flags& flags) {
+  const std::string kernel = flags.GetString("kernel", "");
+  if (!kernel.empty() && !kernels::SetKernelLevelFromString(kernel)) {
+    std::fprintf(stderr,
+                 "unknown --kernel '%s' (want auto, scalar, sse or avx2)\n",
+                 kernel.c_str());
+    std::exit(1);
+  }
+  return kernels::KernelLevelName(kernels::ActiveLevel());
 }
 
 uint64_t CurrentRssBytes() {

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/check.h"
+#include "util/kernels/kernels.h"
 #include "util/stopwatch.h"
 
 namespace fcp {
@@ -56,6 +57,17 @@ void CooMine::ForceMaintenance(Timestamp now) {
   ++stats_.maintenance_runs;
   last_sweep_ = now;
   stats_.maintenance_ns += maint_timer.ElapsedNanos();
+}
+
+void CooMine::PrefetchSegment(const Segment& segment) const {
+  // Warm the Hlist head slots the upcoming AddSegment will probe. Capped:
+  // beyond a few lines the prefetches evict each other before they help.
+  constexpr size_t kPrefetchEntryCap = 16;
+  size_t issued = 0;
+  for (const SegmentEntry& entry : segment.entries()) {
+    tree_.PrefetchObject(entry.object);
+    if (++issued >= kPrefetchEntryCap) break;
+  }
 }
 
 size_t CooMine::MemoryUsage() const { return tree_.MemoryUsage(); }
@@ -163,16 +175,19 @@ void CooMine::MineFromLcps(const Segment& segment, const LcpTable& lcp,
   // Evaluates one candidate from its tidset. The popcount prefilter is
   // exact pruning, not an approximation: popcount rows plus the probe is an
   // upper bound on distinct supporting streams, so failing it proves the
-  // candidate infrequent without touching the rows. On success,
+  // candidate infrequent without touching the rows. The kernel's
+  // early-exit-at-threshold keeps that exactness: only the boolean
+  // "popcount >= theta - 1" is consumed, never the count. On success,
   // s.occurrences holds the supporting occurrences (probe first) and
   // s.streams the sorted distinct stream ids.
-  auto evaluate = [&](const uint64_t* bits) -> bool {
-    size_t support_rows = 0;
-    for (size_t w = 0; w < words; ++w) {
-      support_rows += static_cast<size_t>(std::popcount(bits[w]));
-    }
-    if (support_rows + 1 < params_.theta) return false;
+  const kernels::KernelOps& ops = kernels::Ops();
+  const size_t row_threshold =
+      params_.theta == 0 ? 0 : static_cast<size_t>(params_.theta) - 1;
 
+  // The slow path of candidate evaluation: materialize the supporting
+  // occurrences and count distinct streams. Callers run the popcount
+  // prefilter first.
+  auto verify_streams = [&](const uint64_t* bits) -> bool {
     s.occurrences.clear();
     s.occurrences.push_back(probe_occurrence);
     for (size_t w = 0; w < words; ++w) {
@@ -190,6 +205,11 @@ void CooMine::MineFromLcps(const Segment& segment, const LcpTable& lcp,
     s.streams.erase(std::unique(s.streams.begin(), s.streams.end()),
                     s.streams.end());
     return s.streams.size() >= params_.theta;
+  };
+
+  auto evaluate = [&](const uint64_t* bits) -> bool {
+    if (!ops.popcount_atleast(bits, words, row_threshold)) return false;
+    return verify_streams(bits);
   };
 
   // Emits the Fcp for the pattern at `idx` (object indices, `size` of them)
@@ -316,9 +336,13 @@ void CooMine::MineFromLcps(const Segment& segment, const LcpTable& lcp,
           continue;
         }
         ++stats_.candidates_checked;
+        // Fused AND + popcount prefilter: the candidate's tidset is written
+        // in full (carried to the next level on success) while the support
+        // upper bound is counted in the same pass.
         const uint64_t* bo = s.object_bits.data() + last * words;
-        for (size_t w = 0; w < words; ++w) s.cand_bits[w] = bi[w] & bo[w];
-        if (!evaluate(s.cand_bits.data())) {
+        if (!ops.and_popcount_atleast(bi, bo, s.cand_bits.data(), words,
+                                      row_threshold) ||
+            !verify_streams(s.cand_bits.data())) {
           ++stats_.candidates_pruned;
           continue;
         }

@@ -55,6 +55,7 @@ class CooMine : public FcpMiner {
     watermark_ = std::max(watermark_, now);
   }
   void ForceMaintenance(Timestamp now) override;
+  void PrefetchSegment(const Segment& segment) const override;
   size_t MemoryUsage() const override;
   const MinerStats& stats() const override { return stats_; }
   MinerIntrospection Introspect() const override;

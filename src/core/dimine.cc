@@ -45,7 +45,24 @@ void DiMine::ForceMaintenance(Timestamp now) {
   stats_.segments_expired += index_.RemoveExpired(now, params_.tau);
   ++stats_.maintenance_runs;
   last_sweep_ = now;
+  // Maintenance is the sanctioned boundary for releasing pathological
+  // scratch high-water marks (a viral trigger's supporter lists); a steady
+  // workload never trips the policy, so the hot path stays allocation-free.
+  ShrinkToFitIfOversized(&scratch_.level_supp);
+  ShrinkToFitIfOversized(&scratch_.next_supp);
+  ShrinkToFitIfOversized(&scratch_.cand_supp);
   stats_.maintenance_ns += maint_timer.ElapsedNanos();
+}
+
+void DiMine::PrefetchSegment(const Segment& segment) const {
+  // Warm the posting-list slots the upcoming AddSegment will probe (cap as
+  // in CooMine::PrefetchSegment: more prefetches start evicting each other).
+  constexpr size_t kPrefetchEntryCap = 16;
+  size_t issued = 0;
+  for (const SegmentEntry& entry : segment.entries()) {
+    index_.PrefetchObject(entry.object);
+    if (++issued >= kPrefetchEntryCap) break;
+  }
 }
 
 size_t DiMine::MemoryUsage() const { return index_.MemoryUsage(); }

@@ -44,6 +44,13 @@ void MatrixMine::ForceMaintenance(Timestamp now) {
   stats_.segments_expired += index_.RemoveExpired(now, params_.tau);
   ++stats_.maintenance_runs;
   last_sweep_ = now;
+  // Release pathological scratch high-water marks at the maintenance
+  // boundary only (see ShrinkToFitIfOversized): steady workloads never trip
+  // it, so the mining path stays allocation-free.
+  ShrinkToFitIfOversized(&scratch_.level_supp);
+  ShrinkToFitIfOversized(&scratch_.next_supp);
+  ShrinkToFitIfOversized(&scratch_.cand_supp);
+  ShrinkToFitIfOversized(&scratch_.pair_supp);
   stats_.maintenance_ns += maint_timer.ElapsedNanos();
 }
 

@@ -99,6 +99,15 @@ class FcpMiner {
   /// self-trigger sweeps every MiningParams::maintenance_interval.
   virtual void ForceMaintenance(Timestamp now) = 0;
 
+  /// Advisory hint that `segment` will be passed to AddSegment soon: warms
+  /// the index cache lines its objects will probe (Hlist heads, posting-list
+  /// slots). MUST have no observable effect — batched ingestion calls it for
+  /// segment k+1 while segment k is being mined, and outputs must stay
+  /// byte-identical whether or not the hint fires. Default: no-op.
+  virtual void PrefetchSegment(const Segment& segment) const {
+    (void)segment;
+  }
+
   /// Analytic memory footprint of the miner's index structures, in bytes.
   virtual size_t MemoryUsage() const = 0;
 

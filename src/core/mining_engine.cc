@@ -34,6 +34,14 @@ std::vector<Fcp> MiningEngine::PushEvent(const ObjectEvent& event) {
   return ProcessSegments(scratch_segments_);
 }
 
+std::vector<Fcp> MiningEngine::IngestBatch(std::span<const ObjectEvent> events) {
+  // One counter delta per batch — same final totals as per-event increments.
+  if (publish_ && !events.empty()) events_ingested_->Increment(events.size());
+  scratch_segments_.clear();
+  mux_.PushBatch(events.data(), events.size(), &scratch_segments_);
+  return ProcessSegments(scratch_segments_);
+}
+
 std::vector<Fcp> MiningEngine::PushSegment(const Segment& segment) {
   scratch_segments_.clear();
   scratch_segments_.push_back(segment);
@@ -50,21 +58,26 @@ std::vector<Fcp> MiningEngine::ProcessSegments(
     const std::vector<Segment>& segments) {
   std::vector<Fcp> accepted;
   std::vector<Fcp> mined;
-  for (const Segment& segment : segments) {
+  for (size_t k = 0; k < segments.size(); ++k) {
+    // Warm the next segment's index lines while this one is mined (advisory;
+    // PrefetchSegment has no observable effect, so results are unchanged).
+    if (k + 1 < segments.size()) miner_->PrefetchSegment(segments[k + 1]);
     mined.clear();
     if (publish_) {
       Stopwatch timer;
-      miner_->AddSegment(segment, &mined);
+      miner_->AddSegment(segments[k], &mined);
       mine_latency_us_->Record(
           static_cast<uint64_t>(timer.ElapsedNanos()) / 1000);
-      segments_completed_metric_->Increment();
     } else {
-      miner_->AddSegment(segment, &mined);
+      miner_->AddSegment(segments[k], &mined);
     }
     ++segments_completed_;
     collector_.OfferAll(mined, &accepted);
   }
   if (publish_ && !segments.empty()) {
+    // Per-batch counter deltas: same totals as per-segment increments, one
+    // atomic add per batch.
+    segments_completed_metric_->Increment(segments.size());
     miner_metrics_.PublishDelta(miner_->stats(), &published_stats_);
     miner_metrics_.PublishIntrospection(miner_->Introspect());
     fcps_accepted_->Increment(accepted.size());

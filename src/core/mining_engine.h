@@ -13,6 +13,7 @@
 #define FCP_CORE_MINING_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/params.h"
@@ -51,6 +52,13 @@ class MiningEngine {
   /// Feeds one event. Returns the (deduplicated) FCPs completed by any
   /// segment this event closed.
   std::vector<Fcp> PushEvent(const ObjectEvent& event);
+
+  /// Feeds a batch of events in order. Byte-identical results to calling
+  /// PushEvent per event, but cheaper: the segmenter lookup is cached across
+  /// same-stream runs, telemetry counters take one delta per batch instead
+  /// of one per event, and while segment k of the batch is mined the
+  /// miner's index lines for segment k+1 are software-prefetched.
+  std::vector<Fcp> IngestBatch(std::span<const ObjectEvent> events);
 
   /// Feeds a pre-built segment directly (e.g., a tweet). The segment id must
   /// come from ids allocated via AllocateSegmentId() so ids stay unique

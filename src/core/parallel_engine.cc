@@ -133,6 +133,28 @@ void ParallelEngine::Push(const ObjectEvent& event) {
   if (publish_) events_ingested_->Increment();
 }
 
+void ParallelEngine::PushBatch(std::span<const ObjectEvent> events) {
+  FCP_CHECK(!finished_);
+  size_t k = 0;
+  while (k < events.size()) {
+    // Hand each maximal run of same-worker events to the queue in one lock
+    // acquisition. Per-worker FIFO order is exactly what Push produces, so
+    // downstream segmentation is unchanged.
+    const uint32_t w = events[k].stream % options_.num_workers;
+    size_t run_end = k + 1;
+    while (run_end < events.size() &&
+           events[run_end].stream % options_.num_workers == w) {
+      ++run_end;
+    }
+    push_batch_scratch_.assign(events.begin() + static_cast<ptrdiff_t>(k),
+                               events.begin() + static_cast<ptrdiff_t>(run_end));
+    workers_[w].events->PushAll(&push_batch_scratch_);
+    k = run_end;
+  }
+  events_pushed_ += events.size();
+  if (publish_ && !events.empty()) events_ingested_->Increment(events.size());
+}
+
 void ParallelEngine::Finish() {
   if (finished_) return;
   finished_ = true;

@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -86,6 +87,12 @@ class ParallelEngine {
   /// while that worker's queue is full — ingestion is lossless, unlike the
   /// Fig. 8 saturation harness. Must not be called after Finish().
   void Push(const ObjectEvent& event);
+
+  /// Routes a batch of events in order. Equivalent to Push per event, but
+  /// consecutive same-worker runs are handed to the worker queue in one
+  /// lock acquisition (BoundedQueue::PushAll) and the ingestion counter
+  /// takes one delta per batch. Must not be called after Finish().
+  void PushBatch(std::span<const ObjectEvent> events);
 
   /// Flushes every open window, drains the pipeline, joins all threads and
   /// merges the per-shard outputs into the collector. Idempotent. After
@@ -150,6 +157,7 @@ class ParallelEngine {
   uint64_t segments_completed_ = 0;
   uint64_t events_pushed_ = 0;
   bool finished_ = false;
+  std::vector<ObjectEvent> push_batch_scratch_;  ///< PushBatch staging
 
   // Telemetry. Registration happens in the constructor before any thread
   // starts; the record paths below are relaxed atomics only. Per-shard

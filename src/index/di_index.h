@@ -68,6 +68,10 @@ class DiIndex {
   const SegmentRegistry& registry() const { return registry_; }
   const DiIndexStats& stats() const { return stats_; }
 
+  /// Software-prefetches `object`'s posting-list slot (advisory, no
+  /// observable effect); see FlatMap::PrefetchSlot.
+  void PrefetchObject(ObjectId object) const { postings_.PrefetchSlot(object); }
+
   /// Analytic memory footprint in bytes.
   size_t MemoryUsage() const;
 

@@ -214,6 +214,11 @@ class SegTree {
   const SegTreeStats& stats() const { return stats_; }
   const SegmentRegistry& registry() const { return registry_; }
 
+  /// Software-prefetches `object`'s Hlist head slot (advisory, no observable
+  /// effect). Batched ingestion calls this for the next segment's objects
+  /// while the current one is mined, hiding the Hlist probe's cache miss.
+  void PrefetchObject(ObjectId object) const { hlist_.PrefetchSlot(object); }
+
   /// Validates every structural invariant (parent/child symmetry, Hlist
   /// chains, counts, distance upper bounds, tail reachability). Aborts on
   /// violation; O(tree). Called by tests after every mutation batch.

@@ -12,6 +12,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "common/check.h"
 
@@ -61,6 +62,34 @@ class BoundedQueue {
     }
     cv_.notify_one();
     return true;
+  }
+
+  /// Blocking bulk push: enqueues `*items` in order, taking the lock once
+  /// per admitted chunk instead of once per item (waits for space between
+  /// chunks like Push). `*items` is left cleared — elements are moved out.
+  /// Returns the number of items enqueued; less than items->size() only if
+  /// the queue was closed mid-batch (the remainder is dropped with the
+  /// clear, mirroring Push's false-on-closed contract).
+  size_t PushAll(std::vector<T>* items) {
+    size_t pushed = 0;
+    const size_t n = items->size();
+    while (pushed < n) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        space_cv_.wait(lock,
+                       [&] { return closed_ || items_.size() < capacity_; });
+        if (closed_) break;
+        while (pushed < n && items_.size() < capacity_) {
+          items_.push_back(std::move((*items)[pushed]));
+          ++pushed;
+        }
+        if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+      }
+      // A chunk can satisfy many waiting consumers; wake them all.
+      cv_.notify_all();
+    }
+    items->clear();
+    return pushed;
   }
 
   /// Blocking pop. Returns nullopt when the queue is closed and empty.

@@ -59,6 +59,42 @@ uint32_t ShardRouter::Route(const Segment& segment) {
   return delivered;
 }
 
+uint64_t ShardRouter::RouteBatch(const Segment* segments, size_t count) {
+  if (count == 0) return 0;
+  const int64_t now_ns = SteadyNowNs();
+  // Stage the deliveries per shard first — the watermark must advance
+  // cumulatively in segment order (delivery k ships the max end time over
+  // segments [0, k]), which a per-shard flush after the fact preserves.
+  if (batch_scratch_.size() < num_shards_) batch_scratch_.resize(num_shards_);
+  for (auto& staged : batch_scratch_) staged.clear();
+  for (size_t k = 0; k < count; ++k) {
+    const Segment& segment = segments[k];
+    watermark_ = std::max(watermark_, segment.end_time());
+    ++stats_.segments_routed;
+    if (num_shards_ == 1) {
+      batch_scratch_[0].push_back(ShardDelivery{segment, watermark_, now_ns});
+      continue;
+    }
+    std::fill(target_scratch_.begin(), target_scratch_.end(), 0);
+    for (const SegmentEntry& entry : segment.entries()) {
+      target_scratch_[ShardOf(entry.object, num_shards_)] = 1;
+    }
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      if (!target_scratch_[s]) continue;
+      batch_scratch_[s].push_back(ShardDelivery{segment, watermark_, now_ns});
+    }
+  }
+  uint64_t delivered = 0;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    if (batch_scratch_[s].empty()) continue;
+    const size_t pushed = queues_[s]->PushAll(&batch_scratch_[s]);
+    routed_to_[s].fetch_add(pushed, std::memory_order_relaxed);
+    delivered += pushed;
+  }
+  stats_.deliveries += delivered;
+  return delivered;
+}
+
 void ShardRouter::Close() {
   for (auto& queue : queues_) queue->Close();
 }

@@ -62,6 +62,13 @@ class ShardRouter {
   /// (0 only if the router was closed mid-route).
   uint32_t Route(const Segment& segment);
 
+  /// Routes `count` segments in order with one queue lock per (shard, batch)
+  /// instead of one per delivery. The watermark advances cumulatively in
+  /// segment order, so each delivery carries exactly the watermark a
+  /// sequence of Route() calls would have shipped — sharded output stays
+  /// byte-identical to serial. Returns the total deliveries enqueued.
+  uint64_t RouteBatch(const Segment* segments, size_t count);
+
   /// Closes every shard queue; consumers drain then see end-of-stream.
   void Close();
 
@@ -93,6 +100,8 @@ class ShardRouter {
   std::unique_ptr<std::atomic<uint64_t>[]> routed_to_;  ///< per-shard count
   Timestamp watermark_ = kMinTimestamp;
   std::vector<uint8_t> target_scratch_;  ///< per-shard "owns an object" flags
+  /// RouteBatch's per-shard staging buffers (capacity reused across calls).
+  std::vector<std::vector<ShardDelivery>> batch_scratch_;
   ShardRouterStats stats_;
 };
 

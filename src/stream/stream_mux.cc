@@ -17,6 +17,27 @@ void StreamMux::Push(const ObjectEvent& event, std::vector<Segment>* out) {
   it->second->Push(event.object, event.time, out);
 }
 
+void StreamMux::PushBatch(const ObjectEvent* events, size_t count,
+                          std::vector<Segment>* out) {
+  Segmenter* cached = nullptr;
+  StreamId cached_stream = 0;
+  for (size_t k = 0; k < count; ++k) {
+    const ObjectEvent& event = events[k];
+    if (cached == nullptr || event.stream != cached_stream) {
+      auto it = segmenters_.find(event.stream);
+      if (it == segmenters_.end()) {
+        it = segmenters_
+                 .emplace(event.stream, std::make_unique<Segmenter>(
+                                            event.stream, xi_, &id_gen_))
+                 .first;
+      }
+      cached = it->second.get();
+      cached_stream = event.stream;
+    }
+    cached->Push(event.object, event.time, out);
+  }
+}
+
 void StreamMux::FlushAll(std::vector<Segment>* out) {
   for (auto& [stream, segmenter] : segmenters_) {
     segmenter->Flush(out);

@@ -30,6 +30,14 @@ class StreamMux {
   /// Feeds one event; appends any segments it completes to `out`.
   void Push(const ObjectEvent& event, std::vector<Segment>* out);
 
+  /// Feeds `count` events in order; appends any segments they complete to
+  /// `out`. Equivalent to calling Push per event, but the segmenter lookup
+  /// is cached across consecutive same-stream events, so a feed with runs
+  /// (the common shape of a batched front end) pays one hash probe per run
+  /// instead of one per event.
+  void PushBatch(const ObjectEvent* events, size_t count,
+                 std::vector<Segment>* out);
+
   /// Flushes the open window of every stream (end of feed).
   void FlushAll(std::vector<Segment>* out);
 

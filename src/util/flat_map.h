@@ -57,6 +57,22 @@ class FlatMap {
 
   bool Contains(K key) const { return Find(key) != nullptr; }
 
+  /// Issues a software prefetch of `key`'s home slot (read intent, low
+  /// temporal locality). Purely advisory — no observable effect — and safe
+  /// on an empty map. Batched ingestion calls this for the next segment's
+  /// objects while the current one is being mined, so the probe chain's
+  /// first line is warm by the time Find() runs.
+  void PrefetchSlot(K key) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (slots_.empty()) return;
+    const size_t home = Home(key);
+    __builtin_prefetch(&slots_[home], /*rw=*/0, /*locality=*/1);
+    __builtin_prefetch(&used_[home], /*rw=*/0, /*locality=*/1);
+#else
+    (void)key;
+#endif
+  }
+
   /// Returns the value for `key`, inserting a default-constructed V first if
   /// absent (the unordered_map operator[] shape the index code uses).
   V& operator[](K key) {

@@ -22,6 +22,8 @@
 #include "index/seg_tree.h"
 #include "stream/segment.h"
 #include "telemetry/registry.h"
+#include "util/intersect.h"
+#include "util/kernels/kernels.h"
 #include "util/rng.h"
 
 namespace fcp {
@@ -122,6 +124,49 @@ TEST(AllocRegressionTest, DiMineSteadyStateAddSegmentIsAllocationFree) {
 
 TEST(AllocRegressionTest, MatrixMineSteadyStateAddSegmentIsAllocationFree) {
   EXPECT_EQ(SteadyStateAllocations(MinerKind::kMatrixMine), 0u);
+}
+
+// The SIMD kernel layer must not disturb the invariant at any dispatch
+// level: the kernels write into caller-provided buffers only, so forcing
+// each supported level through the same steady-state replay must still
+// count zero allocations.
+TEST(AllocRegressionTest, SteadyStateIsAllocationFreeAtEveryKernelLevel) {
+  const kernels::KernelLevel saved = kernels::ActiveLevel();
+  for (kernels::KernelLevel level :
+       {kernels::KernelLevel::kScalar, kernels::KernelLevel::kSse42,
+        kernels::KernelLevel::kAvx2}) {
+    if (!kernels::LevelSupported(level)) continue;
+    kernels::SetKernelLevel(level);
+    for (MinerKind kind : {MinerKind::kCooMine, MinerKind::kDiMine,
+                           MinerKind::kMatrixMine}) {
+      EXPECT_EQ(SteadyStateAllocations(kind), 0u)
+          << "kernel level " << kernels::KernelLevelName(level) << ", miner "
+          << MinerKindToString(kind);
+    }
+  }
+  kernels::SetKernelLevel(saved);
+}
+
+// ShrinkToFitIfOversized is the one sanctioned capacity release. At a
+// maintenance boundary it must (a) stay silent on steady-state buffers —
+// zero allocations — and (b) give back a pathological high-water mark.
+TEST(AllocRegressionTest, ShrinkPolicyKeepsSteadyStateAllocationFree) {
+  std::vector<uint64_t> scratch;
+  scratch.reserve(2048);  // steady-state capacity, well above the byte floor
+  scratch.resize(1500);   // hovers near the high-water mark
+  const uint64_t before = alloc_counter::allocations();
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    scratch.resize(1200 + (sweep % 300));
+    EXPECT_FALSE(ShrinkToFitIfOversized(&scratch));
+  }
+  EXPECT_EQ(alloc_counter::allocations() - before, 0u)
+      << "steady-state shrink checks must not touch the heap";
+
+  // Workload shift: capacity 100x the live size is released (this is the
+  // maintenance boundary, where an allocation is sanctioned).
+  scratch.resize(16);
+  EXPECT_TRUE(ShrinkToFitIfOversized(&scratch));
+  EXPECT_LT(scratch.capacity(), size_t{2048});
 }
 
 // The telemetry record path must not reintroduce allocations: the same

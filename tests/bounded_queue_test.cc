@@ -148,6 +148,49 @@ TEST(BoundedQueueTest, HighWatermarkUnderConcurrentPushPop) {
   EXPECT_LE(q.high_watermark(), kCapacity);
 }
 
+TEST(BoundedQueueTest, PushAllKeepsFifoOrder) {
+  BoundedQueue<int> q(16);
+  std::vector<int> batch = {1, 2, 3, 4, 5};
+  EXPECT_EQ(q.PushAll(&batch), 5u);
+  EXPECT_TRUE(batch.empty());  // elements moved out, buffer reusable
+  for (int want = 1; want <= 5; ++want) {
+    auto got = q.TryPop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, want);
+  }
+  std::vector<int> empty;
+  EXPECT_EQ(q.PushAll(&empty), 0u);
+}
+
+TEST(BoundedQueueTest, PushAllLargerThanCapacityBlocksUntilDrained) {
+  // A batch 4x the capacity must flow through in chunks while a consumer
+  // drains, preserving order and losing nothing.
+  constexpr size_t kCapacity = 8;
+  constexpr int kTotal = 32;
+  BoundedQueue<int> q(kCapacity);
+  std::vector<int> popped;
+  std::thread consumer([&] {
+    while (auto item = q.Pop()) popped.push_back(*item);
+  });
+  std::vector<int> batch;
+  for (int i = 0; i < kTotal; ++i) batch.push_back(i);
+  EXPECT_EQ(q.PushAll(&batch), static_cast<size_t>(kTotal));
+  q.Close();
+  consumer.join();
+  ASSERT_EQ(popped.size(), static_cast<size_t>(kTotal));
+  for (int i = 0; i < kTotal; ++i) EXPECT_EQ(popped[i], i);
+  EXPECT_EQ(q.high_watermark(), kCapacity);
+}
+
+TEST(BoundedQueueTest, PushAllOnClosedQueueEnqueuesNothing) {
+  BoundedQueue<int> q(4);
+  q.Close();
+  std::vector<int> batch = {1, 2, 3};
+  EXPECT_EQ(q.PushAll(&batch), 0u);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(q.TryPop(), std::nullopt);
+}
+
 TEST(BoundedQueueDeathTest, ZeroCapacityAborts) {
   EXPECT_DEATH(BoundedQueue<int>(0), "FCP_CHECK");
 }

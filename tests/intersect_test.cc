@@ -49,8 +49,8 @@ TEST(IntersectTest, BalancedMerge) {
 }
 
 TEST(IntersectTest, SkewedSizesTakeTheGallopPath) {
-  // |b| > 8 * |a| forces galloping. Hit the interesting positions: before
-  // everything, dense run, sparse tail, past the end.
+  // |b| >= kGallopCrossoverRatio * |a| forces galloping. Hit the interesting
+  // positions: before everything, dense run, sparse tail, past the end.
   std::vector<uint64_t> big;
   for (uint64_t v = 100; v < 1000; ++v) big.push_back(v);
   std::vector<uint64_t> small = {1, 100, 101, 555, 999, 2000};
@@ -77,10 +77,13 @@ TEST(IntersectTest, RandomizedAgainstSetIntersection) {
   Rng rng(11);
   std::vector<uint64_t> out;
   for (int round = 0; round < 300; ++round) {
-    // Mix balanced and heavily skewed size pairs so both code paths run.
+    // Mix balanced and heavily skewed size pairs so both code paths run
+    // (the skewed shape clears the crossover ratio with margin).
     const size_t a_size = 1 + rng.Below(40);
-    const size_t b_size =
-        round % 2 == 0 ? 1 + rng.Below(40) : a_size * 16 + rng.Below(200);
+    const size_t b_size = round % 2 == 0
+                              ? 1 + rng.Below(40)
+                              : a_size * 2 * kGallopCrossoverRatio +
+                                    rng.Below(200);
     const uint64_t universe = 1 + rng.Below(2000);
     const auto a = RandomSortedSet(rng, std::min<size_t>(a_size, universe),
                                    universe);
@@ -89,6 +92,70 @@ TEST(IntersectTest, RandomizedAgainstSetIntersection) {
     IntersectSorted(a, b, &out);
     ASSERT_EQ(out, Reference(a, b)) << "round " << round;
   }
+}
+
+TEST(IntersectTest, RandomizedAcrossKernelLevels) {
+  // The balanced branch runs the active dispatch kernel; the result must not
+  // depend on which level is active.
+  const kernels::KernelLevel saved = kernels::ActiveLevel();
+  for (kernels::KernelLevel level :
+       {kernels::KernelLevel::kScalar, kernels::KernelLevel::kSse42,
+        kernels::KernelLevel::kAvx2}) {
+    if (!kernels::LevelSupported(level)) continue;
+    kernels::SetKernelLevel(level);
+    Rng rng(17);
+    std::vector<uint64_t> out;
+    for (int round = 0; round < 100; ++round) {
+      const uint64_t universe = 32 + rng.Below(1500);
+      const auto a =
+          RandomSortedSet(rng, 1 + rng.Below(universe / 2), universe);
+      const auto b =
+          RandomSortedSet(rng, 1 + rng.Below(universe / 2), universe);
+      IntersectSorted(a, b, &out);
+      ASSERT_EQ(out, Reference(a, b))
+          << "level " << kernels::KernelLevelName(level) << " round " << round;
+    }
+  }
+  kernels::SetKernelLevel(saved);
+}
+
+TEST(ShrinkToFitTest, SmallBuffersAreNeverReleased) {
+  // Below the byte floor the release is never worth it, no matter the ratio.
+  std::vector<uint64_t> v;
+  v.reserve(4096 / sizeof(uint64_t));  // exactly the default floor
+  EXPECT_FALSE(ShrinkToFitIfOversized(&v));
+  EXPECT_GE(v.capacity(), 4096 / sizeof(uint64_t));
+}
+
+TEST(ShrinkToFitTest, SteadyStateCapacityIsKept) {
+  // A buffer whose size hovers near capacity must be left alone — releasing
+  // it would re-pay the allocation next call and break the zero-alloc
+  // steady state.
+  std::vector<uint64_t> v(4000);
+  const size_t capacity = v.capacity();
+  v.resize(3000);  // 1.3x oversize: below the 8x default factor
+  EXPECT_FALSE(ShrinkToFitIfOversized(&v));
+  EXPECT_EQ(v.capacity(), capacity);
+}
+
+TEST(ShrinkToFitTest, PathologicalHighWaterMarkIsReleased) {
+  std::vector<uint64_t> v(100000);  // viral-trigger high-water mark
+  v.resize(10);                     // workload shifted back to tiny
+  EXPECT_TRUE(ShrinkToFitIfOversized(&v));
+  EXPECT_LT(v.capacity() * sizeof(uint64_t), size_t{100000} * 8);
+  EXPECT_EQ(v.size(), size_t{10});
+}
+
+TEST(ShrinkToFitTest, CustomFactorAndFloorAreHonored) {
+  std::vector<uint64_t> v(1000);
+  v.resize(400);
+  // 2.5x oversized: released under factor 2, kept under the default 8.
+  EXPECT_FALSE(ShrinkToFitIfOversized(&v));
+  EXPECT_TRUE(ShrinkToFitIfOversized(&v, /*oversize_factor=*/2));
+  // A huge floor protects even a massively oversized buffer.
+  std::vector<uint64_t> w(100000);
+  w.resize(1);
+  EXPECT_FALSE(ShrinkToFitIfOversized(&w, 8, /*min_capacity_bytes=*/1 << 30));
 }
 
 }  // namespace

@@ -1,5 +1,10 @@
 #include "core/mining_engine.h"
 
+#include <algorithm>
+#include <span>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "test_util.h"
@@ -55,6 +60,81 @@ TEST(MiningEngineTest, DirectSegmentPush) {
   EXPECT_TRUE(out1.empty());
   std::vector<Fcp> out2 = engine.PushSegment(MakeSegment(id2, 1, {1, 2}, 200));
   EXPECT_EQ(PatternsOf(out2), (std::set<Pattern>{{1}, {2}, {1, 2}}));
+}
+
+// A small multi-stream workload with same-stream runs, enough events to
+// complete segments and fire FCPs.
+std::vector<ObjectEvent> BatchWorkload() {
+  std::vector<ObjectEvent> events;
+  Timestamp time = 0;
+  for (int round = 0; round < 60; ++round) {
+    const StreamId stream = static_cast<StreamId>(round % 4);
+    for (int k = 0; k < 3; ++k) {
+      time += 900;
+      events.push_back(
+          {stream, static_cast<ObjectId>(7 + (round + k) % 5), time});
+    }
+  }
+  return events;
+}
+
+uint64_t CounterValue(const std::vector<telemetry::MetricSample>& samples,
+                      const std::string& name) {
+  for (const telemetry::MetricSample& sample : samples) {
+    if (sample.name == name) return sample.counter_value;
+  }
+  ADD_FAILURE() << "metric not found: " << name;
+  return 0;
+}
+
+TEST(MiningEngineTest, IngestBatchMatchesPerEventPush) {
+  const std::vector<ObjectEvent> events = BatchWorkload();
+  for (size_t batch : {size_t{1}, size_t{7}, size_t{64}, events.size()}) {
+    MiningEngine per_event(MinerKind::kCooMine, SmallParams());
+    std::vector<Fcp> expected;
+    for (const ObjectEvent& event : events) {
+      for (Fcp& fcp : per_event.PushEvent(event)) {
+        expected.push_back(std::move(fcp));
+      }
+    }
+    for (Fcp& fcp : per_event.Flush()) expected.push_back(std::move(fcp));
+
+    MiningEngine batched(MinerKind::kCooMine, SmallParams());
+    std::vector<Fcp> got;
+    for (size_t i = 0; i < events.size(); i += batch) {
+      const size_t n = std::min(batch, events.size() - i);
+      for (Fcp& fcp : batched.IngestBatch(std::span(events.data() + i, n))) {
+        got.push_back(std::move(fcp));
+      }
+    }
+    for (Fcp& fcp : batched.Flush()) got.push_back(std::move(fcp));
+
+    EXPECT_EQ(testing::FullSignatures(got), testing::FullSignatures(expected))
+        << "batch=" << batch;
+    EXPECT_EQ(batched.segments_completed(), per_event.segments_completed())
+        << "batch=" << batch;
+
+    // Per-batch counter deltas must land on the same totals as per-event
+    // increments.
+    const auto expected_metrics = per_event.SnapshotMetrics();
+    const auto got_metrics = batched.SnapshotMetrics();
+    for (const char* counter :
+         {"fcp_events_ingested_total", "fcp_segments_completed_total",
+          "fcp_fcps_accepted_total"}) {
+      EXPECT_EQ(CounterValue(got_metrics, counter),
+                CounterValue(expected_metrics, counter))
+          << counter << " batch=" << batch;
+    }
+  }
+}
+
+TEST(MiningEngineTest, EmptyIngestBatchIsANoOp) {
+  MiningEngine engine(MinerKind::kCooMine, SmallParams());
+  EXPECT_TRUE(engine.IngestBatch({}).empty());
+  EXPECT_EQ(engine.segments_completed(), 0u);
+  EXPECT_EQ(CounterValue(engine.SnapshotMetrics(),
+                         "fcp_events_ingested_total"),
+            0u);
 }
 
 TEST(MiningEngineTest, SuppressionWindowDeduplicates) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <span>
 #include <tuple>
 
 #include <gtest/gtest.h>
@@ -106,6 +107,45 @@ TEST(ParallelEngineTest, SingleWorkerStillWorks) {
   const TrafficTrace trace = Trace(34);
   for (const ObjectEvent& event : trace.events) engine.Push(event);
   engine.Finish();
+  EXPECT_GT(engine.results().size(), 0u);
+}
+
+TEST(ParallelEngineTest, PushBatchMatchesPerEventPush) {
+  // One worker removes merge skew, so batch and per-event ingestion must
+  // produce identical results (the batch path only changes queue handoff).
+  const TrafficTrace trace = Trace(35);
+  ParallelEngineOptions options;
+  options.num_workers = 1;
+
+  ParallelEngine per_event(MinerKind::kCooMine, Params(), options);
+  for (const ObjectEvent& event : trace.events) per_event.Push(event);
+  per_event.Finish();
+
+  ParallelEngine batched(MinerKind::kCooMine, Params(), options);
+  constexpr size_t kBatch = 97;
+  for (size_t i = 0; i < trace.events.size(); i += kBatch) {
+    const size_t n = std::min(kBatch, trace.events.size() - i);
+    batched.PushBatch(std::span(trace.events.data() + i, n));
+  }
+  batched.Finish();
+
+  EXPECT_EQ(batched.events_pushed(), per_event.events_pushed());
+  EXPECT_EQ(batched.segments_completed(), per_event.segments_completed());
+  EXPECT_EQ(testing::FullSignatures(batched.results()),
+            testing::FullSignatures(per_event.results()));
+}
+
+TEST(ParallelEngineTest, PushBatchSplitsRunsAcrossWorkers) {
+  // Multi-worker smoke test: the run-splitting must deliver every event to
+  // the right worker (soundness is checked by the dedicated tests; here we
+  // just confirm nothing is lost and the pipeline completes).
+  const TrafficTrace trace = Trace(36);
+  ParallelEngineOptions options;
+  options.num_workers = 3;
+  ParallelEngine engine(MinerKind::kDiMine, Params(), options);
+  engine.PushBatch(std::span(trace.events.data(), trace.events.size()));
+  engine.Finish();
+  EXPECT_EQ(engine.events_pushed(), trace.events.size());
   EXPECT_GT(engine.results().size(), 0u);
 }
 

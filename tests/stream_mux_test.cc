@@ -56,6 +56,50 @@ TEST(StreamMuxTest, ReorderedCountAggregates) {
   EXPECT_EQ(mux.reordered_count(), 2u);
 }
 
+TEST(StreamMuxTest, PushBatchMatchesPerEventPush) {
+  // Randomish interleaving with same-stream runs (the shape whose segmenter
+  // lookup PushBatch caches) — batch and per-event feeds must produce the
+  // same segments in the same order, with the same ids.
+  std::vector<ObjectEvent> events;
+  Timestamp time = 0;
+  for (int run = 0; run < 40; ++run) {
+    const StreamId stream = static_cast<StreamId>((run * 7) % 3);
+    for (int k = 0; k < 1 + (run % 4); ++k) {
+      time += 3 + (run % 11);
+      events.push_back({stream, static_cast<ObjectId>((run + k) % 9), time});
+    }
+  }
+
+  StreamMux per_event(10);
+  std::vector<Segment> expected;
+  for (const ObjectEvent& event : events) per_event.Push(event, &expected);
+  per_event.FlushAll(&expected);
+
+  StreamMux batched(10);
+  std::vector<Segment> got;
+  batched.PushBatch(events.data(), events.size(), &got);
+  batched.FlushAll(&got);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id(), expected[i].id()) << i;
+    EXPECT_EQ(got[i].stream(), expected[i].stream()) << i;
+    EXPECT_EQ(got[i].entries(), expected[i].entries()) << i;
+  }
+  EXPECT_EQ(batched.num_streams(), per_event.num_streams());
+  EXPECT_EQ(batched.reordered_count(), per_event.reordered_count());
+}
+
+TEST(StreamMuxTest, PushBatchOfZeroAndOne) {
+  StreamMux mux(10);
+  std::vector<Segment> out;
+  mux.PushBatch(nullptr, 0, &out);
+  EXPECT_TRUE(out.empty());
+  const ObjectEvent event{0, 1, 5};
+  mux.PushBatch(&event, 1, &out);
+  EXPECT_EQ(mux.num_streams(), 1u);
+}
+
 TEST(StreamMuxTest, PerStreamTimeIsIndependent) {
   // Stream 1 events go "back in time" relative to stream 0 — that is fine,
   // only intra-stream order matters.
