@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/check.h"
+#include "telemetry/trace.h"
 #include "util/kernels/kernels.h"
 #include "util/stopwatch.h"
 
@@ -26,13 +27,20 @@ void CooMine::AddSegment(const Segment& segment, std::vector<Fcp>* out) {
   // --- Mining phase: SLCP + Apriori over the LCP table. -------------------
   Stopwatch mine_timer;
   scratch_.expired.clear();
-  tree_.SlcpInto(segment, now, params_.tau, &scratch_.expired, &scratch_.lcp,
-                 shard_);
+  {
+    FCP_TRACE_SPAN("coomine/slcp");
+    tree_.SlcpInto(segment, now, params_.tau, &scratch_.expired, &scratch_.lcp,
+                   shard_);
+  }
   stats_.lcp_rows += scratch_.lcp.rows.size();
-  MineFromLcps(segment, scratch_.lcp, out);
+  {
+    FCP_TRACE_SPAN("coomine/apriori");
+    MineFromLcps(segment, scratch_.lcp, out);
+  }
   stats_.mining_ns += mine_timer.ElapsedNanos();
 
   // --- Maintenance phase: lazy deletion + insert + periodic sweep. --------
+  FCP_TRACE_SPAN("coomine/maintenance");
   Stopwatch maint_timer;
   for (SegmentId id : scratch_.expired) tree_.Remove(id);
   stats_.segments_expired += scratch_.expired.size();

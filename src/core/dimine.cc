@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "telemetry/trace.h"
 #include "util/intersect.h"
 #include "util/stopwatch.h"
 
@@ -22,19 +23,25 @@ void DiMine::AddSegment(const Segment& segment, std::vector<Fcp>* out) {
   // --- Maintenance: index the new segment (the paper's step (1) updates
   // the DI-Index before verification), plus the periodic full sweep. -------
   Stopwatch maint_timer;
-  index_.Insert(segment);
-  if (last_sweep_ == kMinTimestamp) {
-    last_sweep_ = now;
-  } else if (now - last_sweep_ >= params_.maintenance_interval) {
-    stats_.segments_expired += index_.RemoveExpired(now, params_.tau);
-    ++stats_.maintenance_runs;
-    last_sweep_ = now;
+  {
+    FCP_TRACE_SPAN("dimine/maintenance");
+    index_.Insert(segment);
+    if (last_sweep_ == kMinTimestamp) {
+      last_sweep_ = now;
+    } else if (now - last_sweep_ >= params_.maintenance_interval) {
+      stats_.segments_expired += index_.RemoveExpired(now, params_.tau);
+      ++stats_.maintenance_runs;
+      last_sweep_ = now;
+    }
   }
   stats_.maintenance_ns += maint_timer.ElapsedNanos();
 
   // --- Mining: Apriori over posting-list intersections. -------------------
   Stopwatch mine_timer;
-  Mine(segment, out);
+  {
+    FCP_TRACE_SPAN("dimine/mine");
+    Mine(segment, out);
+  }
   stats_.mining_ns += mine_timer.ElapsedNanos();
 
   ++stats_.segments_processed;

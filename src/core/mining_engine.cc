@@ -1,6 +1,8 @@
 #include "core/mining_engine.h"
 
 #include "common/check.h"
+#include "core/slow_op.h"
+#include "telemetry/trace.h"
 #include "util/stopwatch.h"
 
 namespace fcp {
@@ -35,6 +37,8 @@ std::vector<Fcp> MiningEngine::PushEvent(const ObjectEvent& event) {
 }
 
 std::vector<Fcp> MiningEngine::IngestBatch(std::span<const ObjectEvent> events) {
+  FCP_TRACE_SPAN_FLOW("engine/ingest_batch", 0,
+                      static_cast<uint32_t>(events.size()));
   // One counter delta per batch — same final totals as per-event increments.
   if (publish_ && !events.empty()) events_ingested_->Increment(events.size());
   scratch_segments_.clear();
@@ -63,13 +67,27 @@ std::vector<Fcp> MiningEngine::ProcessSegments(
     // PrefetchSegment has no observable effect, so results are unchanged).
     if (k + 1 < segments.size()) miner_->PrefetchSegment(segments[k + 1]);
     mined.clear();
-    if (publish_) {
-      Stopwatch timer;
-      miner_->AddSegment(segments[k], &mined);
-      mine_latency_us_->Record(
-          static_cast<uint64_t>(timer.ElapsedNanos()) / 1000);
-    } else {
-      miner_->AddSegment(segments[k], &mined);
+    {
+      FCP_TRACE_SPAN_FLOW("engine/mine", segments[k].id(),
+                          static_cast<uint32_t>(segments[k].length()));
+      FCP_TRACE_FLOW_END("segment", segments[k].id());
+      // Timing is needed for the latency histogram (publish on) or the
+      // slow-op detector (threshold set); with both off the baseline path
+      // stays clock-free.
+      const int64_t slow_ns = trace::SlowOpThresholdNs();
+      if (publish_ || slow_ns > 0) {
+        Stopwatch timer;
+        miner_->AddSegment(segments[k], &mined);
+        const int64_t elapsed = timer.ElapsedNanos();
+        if (publish_) {
+          mine_latency_us_->Record(static_cast<uint64_t>(elapsed) / 1000);
+        }
+        if (slow_ns > 0 && elapsed >= slow_ns) {
+          DumpSlowOp("engine/mine", segments[k], *miner_, 0, elapsed);
+        }
+      } else {
+        miner_->AddSegment(segments[k], &mined);
+      }
     }
     ++segments_completed_;
     collector_.OfferAll(mined, &accepted);

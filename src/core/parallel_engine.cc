@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <string>
 #include <unordered_map>
 
 #include "common/check.h"
+#include "core/slow_op.h"
+#include "telemetry/trace.h"
+#include "util/stopwatch.h"
 
 namespace fcp {
 namespace {
@@ -14,6 +18,15 @@ int64_t SteadyNowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Trace-flow id for a worker-local (pre-relabel) segment. Worker scratch
+/// ids restart at 1 in every worker AND collide with the merge thread's
+/// final global ids, so the worker index is folded into the top bits; the
+/// merge thread recomputes the same id from (worker, head->id()) to stitch
+/// the worker->merge hop without shipping extra state through the queue.
+inline uint64_t WorkerFlowId(uint32_t worker_index, uint64_t scratch_id) {
+  return (static_cast<uint64_t>(worker_index + 1) << 48) | scratch_id;
 }
 
 }  // namespace
@@ -71,7 +84,8 @@ void ParallelEngine::RegisterMetrics() {
   watermark_lag_ms_ = registry_->GetGauge("fcp_watermark_lag_ms");
   shard_telemetry_.resize(options_.num_miner_shards);
   for (uint32_t s = 0; s < options_.num_miner_shards; ++s) {
-    const std::string label = "shard=\"" + std::to_string(s) + "\"";
+    const std::string label =
+        telemetry::FormatLabel("shard", std::to_string(s));
     ShardTelemetry& t = shard_telemetry_[s];
     t.miner = MinerMetrics::Register(registry_, label);
     t.discovery_latency_us = registry_->GetHistogram(
@@ -85,7 +99,8 @@ void ParallelEngine::RegisterMetrics() {
   }
   worker_telemetry_.resize(options_.num_workers);
   for (uint32_t w = 0; w < options_.num_workers; ++w) {
-    const std::string label = "worker=\"" + std::to_string(w) + "\"";
+    const std::string label =
+        telemetry::FormatLabel("worker", std::to_string(w));
     WorkerTelemetry& t = worker_telemetry_[w];
     t.event_queue_depth =
         registry_->GetGauge("fcp_event_queue_depth{" + label + "}");
@@ -204,6 +219,9 @@ void ParallelEngine::Finish() {
 }
 
 void ParallelEngine::WorkerLoop(uint32_t worker_index) {
+  char thread_name[32];
+  std::snprintf(thread_name, sizeof(thread_name), "worker-%u", worker_index);
+  trace::SetThreadName(thread_name);
   std::unordered_map<StreamId, std::unique_ptr<Segmenter>> segmenters;
   // Worker-local scratch ids; the merge thread assigns the final, globally
   // monotone ids in consumption order (index posting lists rely on segment
@@ -214,6 +232,13 @@ void ParallelEngine::WorkerLoop(uint32_t worker_index) {
   BoundedQueue<Segment>& out = *segments_[worker_index];
   auto emit = [&](std::vector<Segment>& batch) {
     for (Segment& segment : batch) {
+      // The span covers the push, so backpressure from a full segment queue
+      // is visible as a stretched worker/segment slice; the flow-begin is
+      // the tail of the arrow the merge thread extends.
+      const uint64_t flow = WorkerFlowId(worker_index, segment.id());
+      FCP_TRACE_SPAN_FLOW("worker/segment", flow,
+                          static_cast<uint32_t>(segment.length()));
+      FCP_TRACE_FLOW_BEGIN("segment", flow);
       // Blocking push: backpressure without spinning. False = shutdown.
       if (!out.Push(std::move(segment))) return;
     }
@@ -245,6 +270,7 @@ void ParallelEngine::MergeLoop() {
   // serial run, so no worker's supporters expire early just because another
   // worker raced ahead. A worker that stays quiet for merge_idle_timeout_us
   // while others have segments waiting is skipped until it produces again.
+  trace::SetThreadName("merge");
   const uint32_t n = options_.num_workers;
   std::vector<std::optional<Segment>> heads(n);
   std::vector<bool> exhausted(n, false);
@@ -324,10 +350,22 @@ void ParallelEngine::MergeLoop() {
       }
     }
     FCP_DCHECK(best < n);
+    const uint64_t worker_flow = WorkerFlowId(best, heads[best]->id());
     Segment relabeled(final_ids.Next(), heads[best]->stream(),
                       std::vector<SegmentEntry>(heads[best]->entries()));
     heads[best].reset();
-    router_->Route(relabeled);
+    {
+      // One slice per routed segment: the flow-step receives the worker's
+      // arrow, the flow-begin (keyed by the post-relabel global id, the same
+      // id the router stamps into each delivery) fans out to every shard
+      // that mines this segment. Routing blocks on full shard queues, so
+      // shard backpressure shows up as a stretched merge/route slice.
+      FCP_TRACE_SPAN_FLOW("merge/route", relabeled.id(),
+                          static_cast<uint32_t>(relabeled.length()));
+      FCP_TRACE_FLOW_STEP("segment", worker_flow);
+      FCP_TRACE_FLOW_BEGIN("segment", relabeled.id());
+      router_->Route(relabeled);
+    }
     ++segments_completed_;
     if (publish_) {
       segments_completed_metric_->Increment();
@@ -340,6 +378,9 @@ void ParallelEngine::MergeLoop() {
 }
 
 void ParallelEngine::ShardLoop(uint32_t shard_index) {
+  char thread_name[32];
+  std::snprintf(thread_name, sizeof(thread_name), "shard-%u", shard_index);
+  trace::SetThreadName(thread_name);
   FcpMiner& miner = *shard_miners_[shard_index];
   std::vector<Fcp>& buffer = shard_mined_[shard_index];
   ShardTelemetry& telemetry = shard_telemetry_[shard_index];
@@ -352,7 +393,25 @@ void ParallelEngine::ShardLoop(uint32_t shard_index) {
     // run (breaking shard-count invariance of the output).
     miner.AdvanceWatermark(delivery->watermark);
     mined.clear();
-    miner.AddSegment(delivery->segment, &mined);
+    {
+      // The flow-end closes the arrow the merge thread began under the same
+      // id (the router-stamped trace_flow), tying this shard's mine slice to
+      // the segment's route slice across the thread boundary.
+      FCP_TRACE_SPAN_FLOW("shard/mine", delivery->trace_flow, shard_index);
+      FCP_TRACE_FLOW_END("segment", delivery->trace_flow);
+      const int64_t slow_ns = trace::SlowOpThresholdNs();
+      if (slow_ns > 0) {
+        Stopwatch timer;
+        miner.AddSegment(delivery->segment, &mined);
+        const int64_t elapsed = timer.ElapsedNanos();
+        if (elapsed >= slow_ns) {
+          DumpSlowOp("shard/mine", delivery->segment, miner, shard_index,
+                     elapsed);
+        }
+      } else {
+        miner.AddSegment(delivery->segment, &mined);
+      }
+    }
     for (Fcp& fcp : mined) buffer.push_back(std::move(fcp));
     if (publish_) {
       // Segment->discovery latency: shard-queue wait + mining, measured

@@ -1,0 +1,29 @@
+// Bridges the core mining types into trace::WriteSlowOpDump: when a mine
+// call exceeds the configured --slow_op_ns threshold, the engine snapshots
+// the triggering segment, the miner's stats and Introspect() state and the
+// flight-recorder tail into one structured JSON dump (the forensic record a
+// latency-tail investigation starts from). The telemetry layer stays
+// independent of core types — this translation lives here, in core.
+
+#ifndef FCP_CORE_SLOW_OP_H_
+#define FCP_CORE_SLOW_OP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/miner.h"
+#include "stream/segment.h"
+
+namespace fcp {
+
+/// Builds and writes a slow-op dump for `segment` mined by `miner` in
+/// `duration_ns`. Callers check the threshold first (trace::
+/// SlowOpThresholdNs()) so the steady-state cost is one relaxed load.
+/// Returns the dump path, or "" if capture is disabled / max dumps reached.
+std::string DumpSlowOp(const char* op, const Segment& segment,
+                       const FcpMiner& miner, uint32_t shard,
+                       int64_t duration_ns);
+
+}  // namespace fcp
+
+#endif  // FCP_CORE_SLOW_OP_H_

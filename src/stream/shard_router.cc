@@ -36,7 +36,8 @@ uint32_t ShardRouter::Route(const Segment& segment) {
 
   uint32_t delivered = 0;
   if (num_shards_ == 1) {
-    if (queues_[0]->Push(ShardDelivery{segment, watermark_, now_ns})) {
+    if (queues_[0]->Push(
+            ShardDelivery{segment, watermark_, now_ns, segment.id()})) {
       routed_to_[0].fetch_add(1, std::memory_order_relaxed);
       ++delivered;
     }
@@ -49,7 +50,8 @@ uint32_t ShardRouter::Route(const Segment& segment) {
     }
     for (uint32_t s = 0; s < num_shards_; ++s) {
       if (!target_scratch_[s]) continue;
-      if (queues_[s]->Push(ShardDelivery{segment, watermark_, now_ns})) {
+      if (queues_[s]->Push(
+              ShardDelivery{segment, watermark_, now_ns, segment.id()})) {
         routed_to_[s].fetch_add(1, std::memory_order_relaxed);
         ++delivered;
       }
@@ -72,7 +74,8 @@ uint64_t ShardRouter::RouteBatch(const Segment* segments, size_t count) {
     watermark_ = std::max(watermark_, segment.end_time());
     ++stats_.segments_routed;
     if (num_shards_ == 1) {
-      batch_scratch_[0].push_back(ShardDelivery{segment, watermark_, now_ns});
+      batch_scratch_[0].push_back(
+          ShardDelivery{segment, watermark_, now_ns, segment.id()});
       continue;
     }
     std::fill(target_scratch_.begin(), target_scratch_.end(), 0);
@@ -81,7 +84,8 @@ uint64_t ShardRouter::RouteBatch(const Segment* segments, size_t count) {
     }
     for (uint32_t s = 0; s < num_shards_; ++s) {
       if (!target_scratch_[s]) continue;
-      batch_scratch_[s].push_back(ShardDelivery{segment, watermark_, now_ns});
+      batch_scratch_[s].push_back(
+          ShardDelivery{segment, watermark_, now_ns, segment.id()});
     }
   }
   uint64_t delivered = 0;

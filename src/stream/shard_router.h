@@ -39,6 +39,12 @@ struct ShardDelivery {
   /// thread turns (now - routed_at_ns) into the segment->discovery latency
   /// histogram (queue wait + mining).
   int64_t routed_at_ns = 0;
+  /// Trace-flow id stamped at route time (the segment's post-relabel global
+  /// id). Shard threads emit flow-end events against it so one segment's
+  /// journey — ingest, route, per-shard mine — renders as a connected arrow
+  /// chain in Perfetto. Stamped unconditionally (one uint64 store) so the
+  /// router stays independent of the recorder's enabled state.
+  uint64_t trace_flow = 0;
 };
 
 /// Routing counters (racy snapshots while the pipeline runs; exact after

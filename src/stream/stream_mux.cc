@@ -1,8 +1,33 @@
 #include "stream/stream_mux.h"
 
 #include "common/check.h"
+#include "telemetry/trace.h"
 
 namespace fcp {
+namespace {
+
+/// Emits the ingest-side origin of each completed segment's trace flow: a
+/// zero-width "mux/segment_complete" span enclosing a flow-begin keyed by the
+/// segment id. The downstream mine span (serial engine) or shard span
+/// (sharded pipeline) ends the flow, so Perfetto draws one arrow per segment
+/// from ingest to mine. `before` is out->size() before the push.
+inline void TraceCompletedSegments(const std::vector<Segment>& out,
+                                   size_t before) {
+#ifndef FCP_TRACE_DISABLED
+  if (!trace::IsEnabled()) return;
+  for (size_t k = before; k < out.size(); ++k) {
+    trace::Emit(trace::Phase::kBegin, "mux/segment_complete", out[k].id(),
+                static_cast<uint32_t>(out[k].length()));
+    trace::Emit(trace::Phase::kFlowBegin, "segment", out[k].id());
+    trace::Emit(trace::Phase::kEnd, "mux/segment_complete");
+  }
+#else
+  (void)out;
+  (void)before;
+#endif
+}
+
+}  // namespace
 
 StreamMux::StreamMux(DurationMs xi) : xi_(xi) { FCP_CHECK(xi > 0); }
 
@@ -14,7 +39,9 @@ void StreamMux::Push(const ObjectEvent& event, std::vector<Segment>* out) {
                                         event.stream, xi_, &id_gen_))
              .first;
   }
+  const size_t before = out->size();
   it->second->Push(event.object, event.time, out);
+  TraceCompletedSegments(*out, before);
 }
 
 void StreamMux::PushBatch(const ObjectEvent* events, size_t count,
@@ -34,13 +61,17 @@ void StreamMux::PushBatch(const ObjectEvent* events, size_t count,
       cached = it->second.get();
       cached_stream = event.stream;
     }
+    const size_t before = out->size();
     cached->Push(event.object, event.time, out);
+    TraceCompletedSegments(*out, before);
   }
 }
 
 void StreamMux::FlushAll(std::vector<Segment>* out) {
   for (auto& [stream, segmenter] : segmenters_) {
+    const size_t before = out->size();
     segmenter->Flush(out);
+    TraceCompletedSegments(*out, before);
   }
 }
 

@@ -20,13 +20,28 @@ std::pair<std::string, std::string> SplitLabels(const std::string& name) {
 }
 
 /// JSON string escaping for the metric names used as object keys (labels
-/// contain quote characters).
+/// contain quote characters, and escaped label values can contain literal
+/// backslashes; control characters must never reach the output raw or the
+/// report stops being parseable JSON).
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
   for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
   }
   return out;
 }
@@ -65,6 +80,24 @@ const char* TypeName(MetricType type) {
 }
 
 }  // namespace
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 8);
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatLabel(const std::string& key, const std::string& value) {
+  return key + "=\"" + EscapeLabelValue(value) + "\"";
+}
 
 std::string SerializeJson(const std::vector<MetricSample>& samples) {
   std::string out = "{\n";

@@ -43,6 +43,17 @@ struct MetricSample {
   HistogramSnapshot histogram;
 };
 
+/// Escapes a label value per the Prometheus text exposition format 0.0.4:
+/// backslash -> \\, double quote -> \", line feed -> \n. Everything else
+/// passes through untouched.
+std::string EscapeLabelValue(const std::string& value);
+
+/// Renders one `key="value"` label pair with the value escaped. Producers
+/// embedding a label block into a registered metric name use this so values
+/// containing quotes, backslashes or newlines serialize as valid Prometheus
+/// and JSON output.
+std::string FormatLabel(const std::string& key, const std::string& value);
+
 /// Serializes samples as one flat JSON object: scalar metrics map name ->
 /// value, histograms map name -> {count, sum, mean, p50, p90, p99}.
 std::string SerializeJson(const std::vector<MetricSample>& samples);

@@ -8,7 +8,12 @@ namespace fcp::telemetry {
 MetricReporter::MetricReporter(const MetricRegistry* registry,
                                ReporterOptions options)
     : registry_(registry), options_(std::move(options)) {
-  thread_ = std::thread([this] { Loop(); });
+  // interval_ms <= 0 means "final report only": no background thread at all
+  // (a zero-length wait_for would busy-spin EmitOnce); Stop() still renders
+  // one complete report.
+  if (options_.interval_ms > 0) {
+    thread_ = std::thread([this] { Loop(); });
+  }
 }
 
 MetricReporter::~MetricReporter() { Stop(); }

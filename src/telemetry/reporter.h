@@ -24,6 +24,8 @@ struct ReporterOptions {
   /// Output path; empty writes to stderr. A file is rewritten in place on
   /// every tick so it always holds one complete, parseable report.
   std::string path;
+  /// Reporting period. <= 0 disables periodic reporting — no background
+  /// thread is started and the only output is the final report at Stop().
   int64_t interval_ms = 10000;
 };
 

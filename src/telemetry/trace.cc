@@ -1,0 +1,150 @@
+#include "telemetry/trace.h"
+
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace fcp::trace {
+namespace {
+
+constexpr size_t kMinSlots = 64;
+constexpr size_t kThreadNameCap = 32;
+
+/// One thread's ring. Only the owning thread writes slots and head; readers
+/// (Snapshot) are exact at quiescence, racy on the crash path by design.
+struct ThreadRing {
+  explicit ThreadRing(size_t slot_count)
+      : slots(new TraceEvent[slot_count]), mask(slot_count - 1) {}
+
+  std::unique_ptr<TraceEvent[]> slots;
+  size_t mask;
+  /// Monotonic write index (next slot = head & mask). Release-stored after
+  /// the slot write so a quiescent reader acquiring it sees complete slots.
+  std::atomic<uint64_t> head{0};
+  uint64_t tid = 0;
+  char name[kThreadNameCap] = {};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+  size_t ring_slots = 8192;
+  /// Bumped by Start/Reset so stale thread-local ring pointers re-register
+  /// instead of writing into a freed ring.
+  std::atomic<uint64_t> epoch{1};
+  std::atomic<uint64_t> next_flow{1};
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+thread_local ThreadRing* t_ring = nullptr;
+thread_local uint64_t t_epoch = 0;
+thread_local char t_name[kThreadNameCap] = {};
+
+/// Registers the calling thread's ring (first event after Start/Reset).
+/// The one place the recorder allocates.
+ThreadRing* RegisterThread() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto ring = std::make_unique<ThreadRing>(registry.ring_slots);
+  ring->tid = registry.rings.size() + 1;  // stable, compact track ids
+  std::memcpy(ring->name, t_name, kThreadNameCap);
+  registry.rings.push_back(std::move(ring));
+  t_ring = registry.rings.back().get();
+  t_epoch = registry.epoch.load(std::memory_order_relaxed);
+  return t_ring;
+}
+
+}  // namespace
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Start(size_t ring_kb) {
+  Registry& registry = GetRegistry();
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    size_t slots = ring_kb * 1024 / sizeof(TraceEvent);
+    slots = std::bit_ceil(slots < kMinSlots ? kMinSlots : slots);
+    registry.ring_slots = slots;
+    registry.rings.clear();  // discard any previous recording
+    registry.epoch.fetch_add(1, std::memory_order_relaxed);
+  }
+  EnabledFlag().store(true, std::memory_order_release);
+}
+
+void Stop() { EnabledFlag().store(false, std::memory_order_release); }
+
+void Reset() {
+  Stop();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.rings.clear();
+  registry.epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Emit(Phase phase, const char* name, uint64_t flow, uint32_t arg) {
+  if (!IsEnabled()) return;
+  Registry& registry = GetRegistry();
+  ThreadRing* ring = t_ring;
+  if (ring == nullptr ||
+      t_epoch != registry.epoch.load(std::memory_order_relaxed)) {
+    ring = RegisterThread();
+  }
+  const uint64_t head = ring->head.load(std::memory_order_relaxed);
+  TraceEvent& slot = ring->slots[head & ring->mask];
+  slot.ts_ns = NowNs();
+  slot.name = name;
+  slot.flow = flow;
+  slot.arg = arg;
+  slot.phase = phase;
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+void SetThreadName(const char* name) {
+  std::strncpy(t_name, name, kThreadNameCap - 1);
+  t_name[kThreadNameCap - 1] = '\0';
+  Registry& registry = GetRegistry();
+  ThreadRing* ring = t_ring;
+  if (ring != nullptr &&
+      t_epoch == registry.epoch.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    std::memcpy(ring->name, t_name, kThreadNameCap);
+  }
+}
+
+uint64_t NextFlowId() {
+  return GetRegistry().next_flow.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<ThreadTrace> Snapshot() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<ThreadTrace> out;
+  out.reserve(registry.rings.size());
+  for (const auto& ring : registry.rings) {
+    ThreadTrace thread;
+    thread.tid = ring->tid;
+    thread.name = ring->name;
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const size_t capacity = ring->mask + 1;
+    const uint64_t n = head < capacity ? head : capacity;
+    thread.dropped = head - n;
+    thread.events.reserve(static_cast<size_t>(n));
+    for (uint64_t i = head - n; i < head; ++i) {
+      thread.events.push_back(ring->slots[i & ring->mask]);
+    }
+    out.push_back(std::move(thread));
+  }
+  return out;
+}
+
+}  // namespace fcp::trace

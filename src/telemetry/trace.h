@@ -1,0 +1,298 @@
+// fcp::trace — an always-on flight recorder for causal, per-occurrence
+// latency forensics (DESIGN.md §2.5).
+//
+// Aggregate metrics (telemetry/metric.h) answer "what is p99"; the flight
+// recorder answers "why did THIS segment take 40 ms": every thread records
+// begin/end/instant/flow events into its own fixed-size ring buffer, old
+// events are overwritten (drop-oldest policy), and a snapshot serializes to
+// Chrome trace-event JSON that opens directly in Perfetto/chrome://tracing.
+//
+// Hot-path contract, preserving the §2.1 zero-allocation invariant:
+//
+//   - Recording disabled (default): one relaxed atomic load + branch.
+//   - Recording enabled, steady state: a handful of plain stores into the
+//     calling thread's ring slot plus one release store of the head index —
+//     no locks, no allocation, no cross-thread contention.
+//   - The only allocation is per-thread ring registration, which happens on
+//     a thread's FIRST recorded event (mutex + one array allocation) — never
+//     again on that thread.
+//   - Compiled out (cmake -DFCP_TRACE=OFF): the FCP_TRACE_* macros expand to
+//     nothing, so instrumented hot paths carry zero bytes of trace code.
+//
+// Event names MUST be string literals (or other static-storage strings): the
+// recorder stores the pointer, not a copy. Flow ids stitch one logical
+// operation across threads (a segment's journey worker -> merge -> shards);
+// the serializer emits them as Chrome flow events so Perfetto draws arrows
+// across track boundaries.
+//
+// Snapshot/serialize read ring slots written without atomics, so they are
+// exact only at quiescence (writers stopped or joined); the crash handler
+// knowingly reads racy tails — a torn final event beats an empty black box.
+
+#ifndef FCP_TELEMETRY_TRACE_H_
+#define FCP_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fcp::trace {
+
+/// Whether the FCP_TRACE_* macros compile to anything in this build.
+#if defined(FCP_TRACE_DISABLED)
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+/// Chrome trace-event phases (the serializer emits the enum value as the
+/// event's "ph" letter verbatim).
+enum class Phase : uint8_t {
+  kBegin = 'B',      ///< duration span open
+  kEnd = 'E',        ///< duration span close
+  kInstant = 'i',    ///< point event
+  kFlowBegin = 's',  ///< flow start (arrow tail)
+  kFlowStep = 't',   ///< flow step (arrow through)
+  kFlowEnd = 'f',    ///< flow end (arrow head)
+};
+
+/// One recorded event: 32 bytes, POD, lives in the per-thread ring.
+struct TraceEvent {
+  int64_t ts_ns = 0;           ///< steady-clock nanoseconds
+  const char* name = nullptr;  ///< static-storage string, never owned
+  uint64_t flow = 0;           ///< flow id (0 = not part of a flow)
+  uint32_t arg = 0;            ///< free-form payload (length, shard, ...)
+  Phase phase = Phase::kInstant;
+};
+
+/// Monotonic nanosecond clock shared by all recorder events.
+int64_t NowNs();
+
+/// Starts recording with `ring_kb` KiB of ring per thread (rounded to a
+/// power-of-two slot count, minimum 64 slots). Must be called at quiescence
+/// (no concurrently emitting threads); discards any previous recording.
+void Start(size_t ring_kb = 256);
+
+/// Stops recording (events already in the rings are kept for Snapshot).
+void Stop();
+
+/// Drops all rings and thread registrations. Quiescence required. Tests.
+void Reset();
+
+inline std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+
+/// True while recording. The macro fast path: one relaxed load.
+inline bool IsEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+/// Records one event on the calling thread's ring. No-op when disabled.
+/// `name` must have static storage duration.
+void Emit(Phase phase, const char* name, uint64_t flow = 0, uint32_t arg = 0);
+
+/// Names the calling thread's track in the serialized trace ("shard-0",
+/// "merge", ...). Cheap and callable whether or not recording is on (the
+/// name is kept thread-locally and attached to the ring at registration).
+void SetThreadName(const char* name);
+
+/// Allocates a process-unique flow id (never 0).
+uint64_t NextFlowId();
+
+/// One thread's recorded tail, oldest event first.
+struct ThreadTrace {
+  uint64_t tid = 0;        ///< serializer track id (registration order)
+  std::string name;        ///< SetThreadName value, may be empty
+  uint64_t dropped = 0;    ///< events overwritten by ring wrap
+  std::vector<TraceEvent> events;
+};
+
+/// Copies every registered ring's tail. Exact at quiescence; while writers
+/// run, the most recent slots of their rings may be torn (crash path only).
+std::vector<ThreadTrace> Snapshot();
+
+// --- Chrome trace-event serialization (trace_sink.cc). ---------------------
+
+/// Serializes a snapshot as Chrome trace-event JSON (the object form:
+/// {"traceEvents": [...]}), timestamps in microseconds as Perfetto expects.
+std::string SerializeChromeTrace(const std::vector<ThreadTrace>& threads);
+
+/// Snapshot() + SerializeChromeTrace + write to `path`. False on I/O error.
+bool WriteChromeTrace(const std::string& path);
+
+/// One event parsed back out of Chrome trace JSON (fcptrace, tests).
+struct ParsedTraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = '?';
+  double ts_us = 0;
+  double dur_us = 0;   ///< "X" complete events only
+  uint64_t pid = 0;
+  uint64_t tid = 0;
+  std::string id;      ///< flow id, empty when absent
+  std::string arg_name;  ///< metadata events: args.name
+};
+
+/// Strict parse of Chrome trace-event JSON (object form). Returns nullopt
+/// and sets `error` when the document is not well-formed JSON or events are
+/// missing required fields (ph/ts/pid/tid, name on non-E phases).
+std::optional<std::vector<ParsedTraceEvent>> ParseChromeTraceJson(
+    const std::string& json, std::string* error);
+
+/// True iff `json` parses as valid Chrome trace-event JSON.
+bool ValidateChromeTraceJson(const std::string& json, std::string* error);
+
+// --- Slow-op forensic capture (trace_sink.cc). -----------------------------
+
+/// Global slow-op capture configuration. `threshold_ns` <= 0 disables
+/// capture; dumps land at `<dump_prefix>.slowop-<n>.json`, at most
+/// `max_dumps` per process (first triggers win: the earliest slow ops are
+/// the interesting ones, and a pathological run must not flood the disk).
+struct SlowOpOptions {
+  int64_t threshold_ns = 0;
+  std::string dump_prefix = "fcp";
+  int max_dumps = 8;
+};
+
+/// Installs the configuration (thread-safe; typically once at startup).
+void ConfigureSlowOp(const SlowOpOptions& options);
+
+/// The active threshold; 0 when capture is disabled. Relaxed load.
+int64_t SlowOpThresholdNs();
+
+/// Dumps written so far.
+uint64_t SlowOpDumpCount();
+
+/// What a slow mine call looked like. The core layer fills this from the
+/// triggering Segment and the miner's stats/Introspect() (the telemetry
+/// layer stays independent of core types — everything arrives pre-rendered).
+struct SlowOpReport {
+  const char* op = "";          ///< e.g. "engine/mine", "shard/mine"
+  int64_t duration_ns = 0;
+  std::string miner;            ///< miner name()
+  uint32_t shard = 0;
+  std::string segment_debug;    ///< Segment::DebugString()
+  uint64_t segment_id = 0;
+  uint64_t stream = 0;
+  uint64_t segment_length = 0;
+  int64_t segment_start_ms = 0;
+  int64_t segment_end_ms = 0;
+  /// Introspection/stats counters, serialized as a flat "state" object.
+  std::vector<std::pair<std::string, int64_t>> state;
+};
+
+/// Writes one structured slow-op dump: the report, the active threshold and
+/// the calling thread's flight-recorder tail. Returns the path written, or
+/// "" when capture is disabled or max_dumps was reached.
+std::string WriteSlowOpDump(const SlowOpReport& report);
+
+// --- Fatal-signal black box (trace_sink.cc). -------------------------------
+
+/// Installs handlers for SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT that write the
+/// full flight-recorder contents as Chrome trace JSON to `path` and then
+/// re-raise with the default disposition (so exit codes/core dumps are
+/// unchanged). Best-effort: the handler formats JSON with ordinary library
+/// calls, which is not async-signal-safe — acceptable for a crash-path black
+/// box, where a partial trace beats none. Idempotent; last path wins.
+void InstallCrashHandler(const std::string& path);
+
+// --- RAII span + instrumentation macros. -----------------------------------
+
+/// Opens a Begin/End span over its scope. When recording is off at
+/// construction the destructor does nothing (name_ stays null), so a span
+/// that straddles Stop() emits a dangling Begin at worst — the serializer
+/// closes unbalanced spans at the snapshot's end.
+class Span {
+ public:
+  explicit Span(const char* name, uint64_t flow = 0, uint32_t arg = 0) {
+    if (IsEnabled()) {
+      name_ = name;
+      Emit(Phase::kBegin, name, flow, arg);
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) Emit(Phase::kEnd, name_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+};
+
+}  // namespace fcp::trace
+
+#if defined(FCP_TRACE_DISABLED)
+
+// The no-op forms still "use" their arguments via unevaluated sizeof so a
+// local computed only for tracing doesn't trip -Werror=unused-variable.
+#define FCP_TRACE_SPAN(name)  \
+  do {                        \
+    (void)sizeof(name);       \
+  } while (false)
+#define FCP_TRACE_SPAN_FLOW(name, flow_id, arg_v) \
+  do {                                            \
+    (void)sizeof(name);                           \
+    (void)sizeof(flow_id);                        \
+    (void)sizeof(arg_v);                          \
+  } while (false)
+#define FCP_TRACE_INSTANT(name, flow_id, arg_v) \
+  do {                                          \
+    (void)sizeof(name);                         \
+    (void)sizeof(flow_id);                      \
+    (void)sizeof(arg_v);                        \
+  } while (false)
+#define FCP_TRACE_FLOW_BEGIN(name, flow_id) \
+  do {                                      \
+    (void)sizeof(name);                     \
+    (void)sizeof(flow_id);                  \
+  } while (false)
+#define FCP_TRACE_FLOW_STEP(name, flow_id) \
+  do {                                     \
+    (void)sizeof(name);                    \
+    (void)sizeof(flow_id);                 \
+  } while (false)
+#define FCP_TRACE_FLOW_END(name, flow_id) \
+  do {                                    \
+    (void)sizeof(name);                   \
+    (void)sizeof(flow_id);                \
+  } while (false)
+
+#else
+
+#define FCP_TRACE_CONCAT_(a, b) a##b
+#define FCP_TRACE_CONCAT(a, b) FCP_TRACE_CONCAT_(a, b)
+
+/// Scoped duration span; `name` must be a string literal.
+#define FCP_TRACE_SPAN(name) \
+  ::fcp::trace::Span FCP_TRACE_CONCAT(fcp_trace_span_, __LINE__)(name)
+
+/// Scoped span carrying a flow id and a numeric arg.
+#define FCP_TRACE_SPAN_FLOW(name, flow_id, arg_v)                       \
+  ::fcp::trace::Span FCP_TRACE_CONCAT(fcp_trace_span_, __LINE__)(       \
+      name, static_cast<uint64_t>(flow_id), static_cast<uint32_t>(arg_v))
+
+#define FCP_TRACE_INSTANT(name, flow_id, arg_v)                         \
+  ::fcp::trace::Emit(::fcp::trace::Phase::kInstant, name,               \
+                     static_cast<uint64_t>(flow_id),                    \
+                     static_cast<uint32_t>(arg_v))
+
+#define FCP_TRACE_FLOW_BEGIN(name, flow_id)                  \
+  ::fcp::trace::Emit(::fcp::trace::Phase::kFlowBegin, name,  \
+                     static_cast<uint64_t>(flow_id))
+
+#define FCP_TRACE_FLOW_STEP(name, flow_id)                  \
+  ::fcp::trace::Emit(::fcp::trace::Phase::kFlowStep, name,  \
+                     static_cast<uint64_t>(flow_id))
+
+#define FCP_TRACE_FLOW_END(name, flow_id)                  \
+  ::fcp::trace::Emit(::fcp::trace::Phase::kFlowEnd, name,  \
+                     static_cast<uint64_t>(flow_id))
+
+#endif  // FCP_TRACE_DISABLED
+
+#endif  // FCP_TELEMETRY_TRACE_H_

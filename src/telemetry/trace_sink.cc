@@ -1,0 +1,554 @@
+// Chrome trace-event serialization, slow-op forensic dumps and the fatal-
+// signal black box for the fcp::trace flight recorder (see trace.h).
+
+#include "telemetry/trace.h"
+
+#include <cctype>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace fcp::trace {
+namespace {
+
+// --- JSON building helpers. ------------------------------------------------
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Microsecond timestamp with nanosecond resolution kept as decimals.
+void AppendTsUs(std::string* out, int64_t ts_ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ts_ns / 1000),
+                static_cast<long long>(ts_ns % 1000));
+  *out += buf;
+}
+
+void AppendEvent(std::string* out, const TraceEvent& event, uint64_t tid,
+                 bool* first) {
+  if (!*first) *out += ",\n";
+  *first = false;
+  const char ph = static_cast<char>(event.phase);
+  *out += "  {\"name\": ";
+  AppendJsonString(out, event.name != nullptr ? event.name : "?");
+  *out += ", \"ph\": \"";
+  out->push_back(ph);
+  *out += "\", \"ts\": ";
+  AppendTsUs(out, event.ts_ns);
+  *out += ", \"pid\": 1, \"tid\": " + std::to_string(tid);
+  if (ph == 's' || ph == 't' || ph == 'f') {
+    // Flow events: Chrome groups them by (cat, id) and binds each to the
+    // enclosing slice of its thread at its timestamp.
+    char idbuf[32];
+    std::snprintf(idbuf, sizeof(idbuf), "0x%llx",
+                  static_cast<unsigned long long>(event.flow));
+    *out += ", \"cat\": \"flow\", \"id\": \"";
+    *out += idbuf;
+    *out += "\"";
+    if (ph == 'f') *out += ", \"bp\": \"e\"";
+  } else if (ph == 'i') {
+    *out += ", \"s\": \"t\"";  // thread-scoped instant
+  }
+  if (event.arg != 0 || (event.flow != 0 && ph != 's' && ph != 't' &&
+                         ph != 'f')) {
+    *out += ", \"args\": {\"arg\": " + std::to_string(event.arg);
+    if (event.flow != 0 && ph != 's' && ph != 't' && ph != 'f') {
+      *out += ", \"flow\": " + std::to_string(event.flow);
+    }
+    *out += "}";
+  }
+  *out += "}";
+}
+
+// --- Minimal strict JSON parser (for our own output + fcptrace input). -----
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool Fail(const char* what) {
+    if (error_ != nullptr) {
+      *error_ = std::string(what) + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) return Fail("unexpected end");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't' || c == 'f') {
+      const std::string_view word = c == 't' ? "true" : "false";
+      if (text_.compare(pos_, word.size(), word) != 0) {
+        return Fail("bad literal");
+      }
+      pos_ += word.size();
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = c == 't';
+      return true;
+    }
+    if (c == 'n') {
+      if (text_.compare(pos_, 4, "null") != 0) return Fail("bad literal");
+      pos_ += 4;
+      out->kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Fail("bad \\u escape");
+            }
+            // ASCII only (our own output never emits more); others pass
+            // through as '?' rather than failing the parse.
+            c = code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: return Fail("bad escape");
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected value");
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(text_.c_str() + start, nullptr);
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      SkipWs();
+      if (!ParseValue(&element)) return false;
+      out->array.push_back(std::move(element));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return Fail("expected ':'");
+      ++pos_;
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  return written == contents.size();
+}
+
+// --- Slow-op state. --------------------------------------------------------
+
+struct SlowOpState {
+  std::mutex mu;
+  SlowOpOptions options;
+  std::atomic<int64_t> threshold_ns{0};
+  std::atomic<uint64_t> dumps{0};
+};
+
+SlowOpState& GetSlowOpState() {
+  static SlowOpState* state = new SlowOpState();
+  return *state;
+}
+
+// --- Crash handler state. --------------------------------------------------
+
+constexpr size_t kCrashPathCap = 1024;
+char g_crash_path[kCrashPathCap] = {};
+bool g_crash_handler_installed = false;
+
+void CrashHandler(int signum) {
+  // Restore default disposition first so a second fault (or the re-raise
+  // below) terminates instead of recursing.
+  std::signal(signum, SIG_DFL);
+  if (g_crash_path[0] != '\0') {
+    // Not async-signal-safe (allocates while serializing); a best-effort
+    // black box — see InstallCrashHandler's contract in trace.h.
+    WriteChromeTrace(g_crash_path);
+    std::fprintf(stderr, "fcp::trace: fatal signal %d, flight recorder -> %s\n",
+                 signum, g_crash_path);
+  }
+  raise(signum);
+}
+
+}  // namespace
+
+std::string SerializeChromeTrace(const std::vector<ThreadTrace>& threads) {
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  // Metadata first: process name and one thread_name entry per track.
+  out +=
+      "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+      "\"args\": {\"name\": \"fcp\"}}";
+  first = false;
+  for (const ThreadTrace& thread : threads) {
+    out += ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": " +
+           std::to_string(thread.tid) + ", \"args\": {\"name\": ";
+    AppendJsonString(&out, thread.name.empty()
+                               ? "thread-" + std::to_string(thread.tid)
+                               : thread.name);
+    out += "}}";
+  }
+  for (const ThreadTrace& thread : threads) {
+    for (const TraceEvent& event : thread.events) {
+      AppendEvent(&out, event, thread.tid, &first);
+    }
+    // Close any span left open at snapshot time (e.g. recording stopped
+    // mid-span) so strict viewers still pair every B with an E.
+    int64_t open = 0;
+    int64_t last_ts = 0;
+    for (const TraceEvent& event : thread.events) {
+      if (event.phase == Phase::kBegin) ++open;
+      if (event.phase == Phase::kEnd && open > 0) --open;
+      last_ts = event.ts_ns > last_ts ? event.ts_ns : last_ts;
+    }
+    for (int64_t i = 0; i < open; ++i) {
+      TraceEvent closer;
+      closer.ts_ns = last_ts;
+      closer.name = "unclosed";
+      closer.phase = Phase::kEnd;
+      AppendEvent(&out, closer, thread.tid, &first);
+    }
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  return WriteFile(path, SerializeChromeTrace(Snapshot()));
+}
+
+std::optional<std::vector<ParsedTraceEvent>> ParseChromeTraceJson(
+    const std::string& json, std::string* error) {
+  std::string local_error;
+  std::string* err = error != nullptr ? error : &local_error;
+  JsonValue root;
+  if (!JsonParser(json, err).Parse(&root)) return std::nullopt;
+  if (root.kind != JsonValue::Kind::kObject) {
+    *err = "top level is not an object";
+    return std::nullopt;
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    *err = "missing traceEvents array";
+    return std::nullopt;
+  }
+  std::vector<ParsedTraceEvent> out;
+  out.reserve(events->array.size());
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    if (e.kind != JsonValue::Kind::kObject) {
+      *err = "traceEvents[" + std::to_string(i) + "] is not an object";
+      return std::nullopt;
+    }
+    ParsedTraceEvent parsed;
+    const JsonValue* ph = e.Find("ph");
+    const JsonValue* ts = e.Find("ts");
+    const JsonValue* pid = e.Find("pid");
+    const JsonValue* tid = e.Find("tid");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString ||
+        ph->str.size() != 1) {
+      *err = "traceEvents[" + std::to_string(i) + "] missing ph";
+      return std::nullopt;
+    }
+    parsed.ph = ph->str[0];
+    if (pid == nullptr || pid->kind != JsonValue::Kind::kNumber ||
+        tid == nullptr || tid->kind != JsonValue::Kind::kNumber) {
+      *err = "traceEvents[" + std::to_string(i) + "] missing pid/tid";
+      return std::nullopt;
+    }
+    parsed.pid = static_cast<uint64_t>(pid->number);
+    parsed.tid = static_cast<uint64_t>(tid->number);
+    if (parsed.ph != 'M') {
+      if (ts == nullptr || ts->kind != JsonValue::Kind::kNumber) {
+        *err = "traceEvents[" + std::to_string(i) + "] missing ts";
+        return std::nullopt;
+      }
+      parsed.ts_us = ts->number;
+    }
+    const JsonValue* name = e.Find("name");
+    if (name != nullptr && name->kind == JsonValue::Kind::kString) {
+      parsed.name = name->str;
+    }
+    if (parsed.name.empty() && parsed.ph != 'E') {
+      *err = "traceEvents[" + std::to_string(i) + "] missing name";
+      return std::nullopt;
+    }
+    const JsonValue* cat = e.Find("cat");
+    if (cat != nullptr && cat->kind == JsonValue::Kind::kString) {
+      parsed.cat = cat->str;
+    }
+    const JsonValue* id = e.Find("id");
+    if (id != nullptr && id->kind == JsonValue::Kind::kString) {
+      parsed.id = id->str;
+    }
+    if (parsed.ph == 's' || parsed.ph == 't' || parsed.ph == 'f') {
+      if (parsed.id.empty()) {
+        *err = "flow event traceEvents[" + std::to_string(i) + "] missing id";
+        return std::nullopt;
+      }
+    }
+    const JsonValue* dur = e.Find("dur");
+    if (dur != nullptr && dur->kind == JsonValue::Kind::kNumber) {
+      parsed.dur_us = dur->number;
+    }
+    const JsonValue* args = e.Find("args");
+    if (args != nullptr && args->kind == JsonValue::Kind::kObject) {
+      const JsonValue* arg_name = args->Find("name");
+      if (arg_name != nullptr &&
+          arg_name->kind == JsonValue::Kind::kString) {
+        parsed.arg_name = arg_name->str;
+      }
+    }
+    out.push_back(std::move(parsed));
+  }
+  return out;
+}
+
+bool ValidateChromeTraceJson(const std::string& json, std::string* error) {
+  return ParseChromeTraceJson(json, error).has_value();
+}
+
+void ConfigureSlowOp(const SlowOpOptions& options) {
+  SlowOpState& state = GetSlowOpState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.options = options;
+  state.threshold_ns.store(options.threshold_ns < 0 ? 0 : options.threshold_ns,
+                           std::memory_order_relaxed);
+  state.dumps.store(0, std::memory_order_relaxed);
+}
+
+int64_t SlowOpThresholdNs() {
+  return GetSlowOpState().threshold_ns.load(std::memory_order_relaxed);
+}
+
+uint64_t SlowOpDumpCount() {
+  return GetSlowOpState().dumps.load(std::memory_order_relaxed);
+}
+
+std::string WriteSlowOpDump(const SlowOpReport& report) {
+  SlowOpState& state = GetSlowOpState();
+  std::string path;
+  int64_t threshold = 0;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.options.threshold_ns <= 0) return "";
+    const uint64_t n = state.dumps.load(std::memory_order_relaxed);
+    if (n >= static_cast<uint64_t>(state.options.max_dumps)) return "";
+    state.dumps.store(n + 1, std::memory_order_relaxed);
+    path = state.options.dump_prefix + ".slowop-" + std::to_string(n) +
+           ".json";
+    threshold = state.options.threshold_ns;
+  }
+
+  std::string out = "{\n";
+  out += "  \"op\": ";
+  AppendJsonString(&out, report.op);
+  out += ",\n  \"duration_ns\": " + std::to_string(report.duration_ns);
+  out += ",\n  \"threshold_ns\": " + std::to_string(threshold);
+  out += ",\n  \"miner\": ";
+  AppendJsonString(&out, report.miner);
+  out += ",\n  \"shard\": " + std::to_string(report.shard);
+  out += ",\n  \"segment\": {\n    \"id\": " +
+         std::to_string(report.segment_id);
+  out += ",\n    \"stream\": " + std::to_string(report.stream);
+  out += ",\n    \"length\": " + std::to_string(report.segment_length);
+  out += ",\n    \"start_ms\": " + std::to_string(report.segment_start_ms);
+  out += ",\n    \"end_ms\": " + std::to_string(report.segment_end_ms);
+  out += ",\n    \"debug\": ";
+  AppendJsonString(&out, report.segment_debug);
+  out += "\n  },\n  \"state\": {";
+  for (size_t i = 0; i < report.state.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonString(&out, report.state[i].first);
+    out += ": " + std::to_string(report.state[i].second);
+  }
+  out += "\n  },\n  \"recorder_tail\": ";
+  // The flight-recorder tail leading up to the slow op, capped per thread so
+  // a dump stays readable; embedded as a complete Chrome trace document so
+  // the tail itself opens in Perfetto when extracted.
+  constexpr size_t kTailCap = 512;
+  std::vector<ThreadTrace> threads = Snapshot();
+  for (ThreadTrace& thread : threads) {
+    if (thread.events.size() > kTailCap) {
+      thread.events.erase(thread.events.begin(),
+                          thread.events.end() - kTailCap);
+    }
+  }
+  out += SerializeChromeTrace(threads);
+  out += "}\n";
+  WriteFile(path, out);
+  return path;
+}
+
+void InstallCrashHandler(const std::string& path) {
+  std::strncpy(g_crash_path, path.c_str(), kCrashPathCap - 1);
+  g_crash_path[kCrashPathCap - 1] = '\0';
+  if (g_crash_handler_installed) return;
+  g_crash_handler_installed = true;
+  for (const int signum :
+       {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT}) {
+    std::signal(signum, CrashHandler);
+  }
+}
+
+}  // namespace fcp::trace

@@ -22,6 +22,7 @@
 #include "index/seg_tree.h"
 #include "stream/segment.h"
 #include "telemetry/registry.h"
+#include "telemetry/trace.h"
 #include "util/intersect.h"
 #include "util/kernels/kernels.h"
 #include "util/rng.h"
@@ -145,6 +146,26 @@ TEST(AllocRegressionTest, SteadyStateIsAllocationFreeAtEveryKernelLevel) {
     }
   }
   kernels::SetKernelLevel(saved);
+}
+
+// The flight recorder must preserve the invariant with recording ON
+// (DESIGN.md §2.5): ring slots are pre-allocated and the only allocation is
+// the per-thread ring registration, which the warm cycles absorb. From then
+// on every span/flow emitted inside AddSegment is plain stores into the
+// ring — the steady-state half must still count zero allocations even while
+// the ring wraps continuously.
+TEST(AllocRegressionTest, TracingEnabledSteadyStateIsAllocationFree) {
+  if (!trace::kCompiledIn) GTEST_SKIP() << "built with FCP_TRACE=OFF";
+  trace::Reset();
+  trace::Start(/*ring_kb=*/64);  // small ring: wrap path exercised constantly
+  for (MinerKind kind : {MinerKind::kCooMine, MinerKind::kDiMine,
+                         MinerKind::kMatrixMine}) {
+    EXPECT_EQ(SteadyStateAllocations(kind), 0u)
+        << "tracing-enabled steady state allocated, miner "
+        << MinerKindToString(kind);
+  }
+  trace::Stop();
+  trace::Reset();
 }
 
 // ShrinkToFitIfOversized is the one sanctioned capacity release. At a

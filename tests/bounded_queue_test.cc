@@ -182,6 +182,96 @@ TEST(BoundedQueueTest, PushAllLargerThanCapacityBlocksUntilDrained) {
   EXPECT_EQ(q.high_watermark(), kCapacity);
 }
 
+TEST(BoundedQueueTest, HighWatermarkAcrossPushAllBursts) {
+  // Burst ingestion is the RouteBatch path: the watermark must capture the
+  // peak occupancy of every burst, not just single-Push increments, and
+  // must survive full drains between bursts.
+  BoundedQueue<int> q(16);
+  std::vector<int> burst = {1, 2, 3, 4, 5};
+  EXPECT_EQ(q.PushAll(&burst), 5u);
+  EXPECT_EQ(q.high_watermark(), 5u);
+  while (q.TryPop()) {
+  }
+  EXPECT_EQ(q.depth(), 0u);
+
+  burst = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(q.PushAll(&burst), 9u);
+  EXPECT_EQ(q.high_watermark(), 9u);  // larger burst raises the peak
+  while (q.TryPop()) {
+  }
+
+  burst = {1, 2, 3};
+  EXPECT_EQ(q.PushAll(&burst), 3u);
+  EXPECT_EQ(q.high_watermark(), 9u);  // smaller burst never lowers it
+}
+
+TEST(BoundedQueueTest, HighWatermarkCountsBurstOnTopOfResidue) {
+  // A burst landing on a partially-filled queue peaks at residue + burst.
+  BoundedQueue<int> q(16);
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  std::vector<int> burst = {4, 5, 6, 7};
+  EXPECT_EQ(q.PushAll(&burst), 4u);
+  EXPECT_EQ(q.high_watermark(), 7u);
+}
+
+TEST(BoundedQueueTest, HighWatermarkChunkedPushAllPeaksAtCapacity) {
+  // When the burst exceeds capacity, each chunk tops the queue off, so the
+  // recorded peak is exactly the capacity regardless of drain interleaving.
+  constexpr size_t kCapacity = 8;
+  BoundedQueue<int> q(kCapacity);
+  std::thread consumer([&] {
+    while (q.Pop()) {
+    }
+  });
+  std::vector<int> burst(kCapacity * 4, 7);
+  EXPECT_EQ(q.PushAll(&burst), kCapacity * 4);
+  q.Close();
+  consumer.join();
+  EXPECT_EQ(q.high_watermark(), kCapacity);
+}
+
+TEST(BoundedQueueTest, WatermarkAndDepthSampledConcurrently) {
+  // A telemetry thread samples depth()/high_watermark() while producers
+  // burst PushAll and consumers drain — the accessors must be data-race
+  // free (TSan runs this suite) and every sample must respect the bounds.
+  constexpr size_t kCapacity = 32;
+  constexpr int kBursts = 200;
+  BoundedQueue<int> q(kCapacity);
+  std::atomic<bool> sampling{true};
+  std::atomic<int> consumed{0};
+
+  std::thread sampler([&] {
+    while (sampling.load(std::memory_order_relaxed)) {
+      const size_t depth = q.depth();
+      const size_t watermark = q.high_watermark();
+      EXPECT_LE(depth, kCapacity);
+      EXPECT_LE(watermark, kCapacity);
+      std::this_thread::yield();
+    }
+  });
+  std::thread consumer([&] {
+    while (q.Pop()) ++consumed;
+  });
+  std::thread producer([&] {
+    std::vector<int> burst;
+    for (int b = 0; b < kBursts; ++b) {
+      burst.assign(10, b);
+      q.PushAll(&burst);
+    }
+  });
+  producer.join();
+  q.Close();
+  consumer.join();
+  sampling.store(false, std::memory_order_relaxed);
+  sampler.join();
+
+  EXPECT_EQ(consumed.load(), kBursts * 10);
+  EXPECT_GE(q.high_watermark(), 1u);
+  EXPECT_LE(q.high_watermark(), kCapacity);
+}
+
 TEST(BoundedQueueTest, PushAllOnClosedQueueEnqueuesNothing) {
   BoundedQueue<int> q(4);
   q.Close();

@@ -5,8 +5,10 @@
 // The telemetry registry must agree with the miners' own stats structs, so
 // a dashboard reading the registry sees the same truth as the library API.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -139,6 +141,71 @@ TEST_P(MetricsConsistencyTest, SerialAndShardedAgreeOnSemanticCounters) {
 
   // Same discoveries end-to-end, not just same counts.
   EXPECT_EQ(sharded.results().size(), serial.collector().results().size());
+}
+
+TEST(MetricsConsistencyQueueTest, QueueGaugesBoundedUnderConcurrentSampling) {
+  // SnapshotMetrics() refreshes the queue-occupancy gauges from the live
+  // queues while the pipeline runs (this suite runs under TSan, so the
+  // refresh path is checked against the producer/consumer threads). Every
+  // sampled value must respect the configured capacity bounds, and the
+  // final snapshot must describe a fully drained pipeline.
+  constexpr uint32_t kShards = 4;
+  constexpr size_t kShardCapacity = 64;
+  constexpr size_t kEventCapacity = 256;
+  constexpr size_t kSegmentCapacity = 64;
+  const std::vector<ObjectEvent> events = Trace();
+
+  ParallelEngineOptions options;
+  options.num_workers = 2;
+  options.num_miner_shards = kShards;
+  options.event_queue_capacity = kEventCapacity;
+  options.segment_queue_capacity = kSegmentCapacity;
+  options.shard_queue_capacity = kShardCapacity;
+  ParallelEngine engine(MinerKind::kCooMine, Params(), options);
+
+  std::atomic<bool> sampling{true};
+  std::thread sampler([&] {
+    while (sampling.load(std::memory_order_relaxed)) {
+      const auto samples = engine.SnapshotMetrics();
+      for (uint32_t s = 0; s < kShards; ++s) {
+        const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+        const int64_t depth =
+            Find(samples, "fcp_shard_queue_depth" + label).gauge_value;
+        const int64_t peak =
+            Find(samples, "fcp_shard_queue_high_watermark" + label)
+                .gauge_value;
+        EXPECT_GE(depth, 0) << "shard " << s;
+        EXPECT_LE(depth, static_cast<int64_t>(kShardCapacity)) << "shard " << s;
+        EXPECT_GE(peak, depth) << "shard " << s;
+        EXPECT_LE(peak, static_cast<int64_t>(kShardCapacity)) << "shard " << s;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (const ObjectEvent& event : events) engine.Push(event);
+  engine.Finish();
+  sampling.store(false, std::memory_order_relaxed);
+  sampler.join();
+
+  // Quiescent pipeline: all queues drained, gauges exact.
+  const auto samples = engine.SnapshotMetrics();
+  uint64_t routed_sum = 0;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+    EXPECT_EQ(Find(samples, "fcp_shard_queue_depth" + label).gauge_value, 0)
+        << "shard " << s;
+    routed_sum += static_cast<uint64_t>(
+        Find(samples, "fcp_segments_routed" + label).gauge_value);
+  }
+  EXPECT_EQ(routed_sum, engine.router_stats().deliveries);
+  for (uint32_t w = 0; w < options.num_workers; ++w) {
+    const std::string label = "{worker=\"" + std::to_string(w) + "\"}";
+    EXPECT_EQ(Find(samples, "fcp_event_queue_depth" + label).gauge_value, 0)
+        << "worker " << w;
+    EXPECT_EQ(Find(samples, "fcp_segment_queue_depth" + label).gauge_value, 0)
+        << "worker " << w;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

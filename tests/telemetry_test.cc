@@ -231,6 +231,48 @@ TEST(TelemetrySerializerTest, HistogramBucketsAreCumulative) {
             std::string::npos);
 }
 
+TEST(TelemetrySerializerTest, LabelValueEscaping) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+  EXPECT_EQ(EscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(FormatLabel("path", "C:\\tmp"), "path=\"C:\\\\tmp\"");
+}
+
+TEST(TelemetrySerializerTest, EscapedLabelValuesSurvivePrometheusAndJson) {
+  // A label value carrying a quote, a backslash and a newline must round
+  // out of both serializers as one valid line / one valid JSON document
+  // (the 0.0.4 text format escapes exactly those three characters).
+  MetricRegistry registry;
+  const std::string label = FormatLabel("source", "say \"hi\"\\\n");
+  registry.GetCounter("fcp_tagged_total{" + label + "}")->Increment(2);
+
+  const std::string prom = registry.ToPrometheus();
+  EXPECT_NE(
+      prom.find("fcp_tagged_total{source=\"say \\\"hi\\\"\\\\\\n\"} 2\n"),
+      std::string::npos);
+  // No raw newline inside any sample line: every '\n' in the output ends a
+  // complete line that starts with '#' or the metric name.
+  size_t start = 0;
+  while (start < prom.size()) {
+    size_t end = prom.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const std::string line = prom.substr(start, end - start);
+    EXPECT_TRUE(line.empty() || line[0] == '#' ||
+                line.rfind("fcp_", 0) == 0)
+        << "torn line: " << line;
+    start = end + 1;
+  }
+
+  const std::string json = registry.ToJson();
+  // The JSON key escapes the label's quotes and backslashes and encodes the
+  // newline as \n — never a raw control character.
+  EXPECT_EQ(json.find('\n', json.find("fcp_tagged_total")),
+            json.find("\": 2", json.find("fcp_tagged_total")) + 4);
+  EXPECT_NE(json.find("\\\\n"), std::string::npos);
+}
+
 TEST(TelemetryReporterTest, StopEmitsFinalReportToFile) {
   MetricRegistry registry;
   registry.GetCounter("fcp_done_total")->Increment(3);
@@ -251,6 +293,49 @@ TEST(TelemetryReporterTest, StopEmitsFinalReportToFile) {
   buf[n] = '\0';
   EXPECT_NE(std::string(buf).find("\"fcp_done_total\": 3"),
             std::string::npos);
+}
+
+TEST(TelemetryReporterTest, ZeroIntervalDisablesPeriodicReporting) {
+  // interval_ms = 0 means "final report only": no background thread, no
+  // ticks (a zero-length wait_for used to busy-spin EmitOnce in a loop,
+  // rewriting the file continuously and burning a core).
+  MetricRegistry registry;
+  registry.GetCounter("fcp_final_total")->Increment(9);
+  const std::string path = ::testing::TempDir() + "/reporter_zero.json";
+  std::remove(path.c_str());
+  ReporterOptions options;
+  options.format = ReporterOptions::Format::kJson;
+  options.path = path;
+  options.interval_ms = 0;
+  MetricReporter reporter(&registry, options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Nothing was emitted while the reporter idled.
+  EXPECT_EQ(std::fopen(path.c_str(), "r"), nullptr);
+  reporter.Stop();
+  // Stop() still renders the one final report.
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  EXPECT_NE(std::string(buf).find("\"fcp_final_total\": 9"),
+            std::string::npos);
+}
+
+TEST(TelemetryReporterTest, NegativeIntervalAlsoDisablesThread) {
+  MetricRegistry registry;
+  registry.GetCounter("fcp_neg_total")->Increment(1);
+  ReporterOptions options;
+  options.format = ReporterOptions::Format::kJson;
+  options.path = ::testing::TempDir() + "/reporter_neg.json";
+  options.interval_ms = -5;
+  std::remove(options.path.c_str());
+  MetricReporter reporter(&registry, options);
+  reporter.Stop();
+  std::FILE* f = std::fopen(options.path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
 }
 
 TEST(TelemetryReporterTest, PeriodicEmission) {

@@ -35,21 +35,39 @@
 //                         (default 1 = per-event PushEvent); results are
 //                         identical for every N, only the ingestion cost
 //                         changes
+//   --shards=S            mine with the parallel pipeline (S miner shards);
+//                         0 (default) = serial MiningEngine. Results are
+//                         invariant in S; alerts print after the run drains.
+//   --workers=W           parallel ingestion workers (default 2; needs
+//                         --shards >= 1)
+//   --trace=<path>[,ring_kb]   record a flight-recorder trace of the run and
+//                         write Chrome trace-event JSON to <path> (open in
+//                         Perfetto / chrome://tracing). ring_kb sizes each
+//                         thread's ring (default 256 KiB). Also arms a
+//                         fatal-signal handler that dumps the recorder to
+//                         <path>.crash.json.
+//   --slow_op_ns=N        dump forensics (triggering segment, miner state,
+//                         recorder tail) for any mine call slower than N ns;
+//                         dumps land at <trace path or "fcpmine">.slowop-<n>
+//                         .json
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <span>
 #include <string>
 
 #include "core/mining_engine.h"
+#include "core/parallel_engine.h"
 #include "core/pattern_report.h"
 #include "datagen/traffic_gen.h"
 #include "datagen/twitter_gen.h"
 #include "io/trace_io.h"
 #include "telemetry/registry.h"
 #include "telemetry/reporter.h"
+#include "telemetry/trace.h"
 #include "util/flags.h"
 #include "util/kernels/kernels.h"
 #include "util/stopwatch.h"
@@ -75,6 +93,37 @@ std::string PatternToString(const fcp::Pattern& pattern) {
 
 int main(int argc, char** argv) {
   fcp::Flags flags(argc, argv);
+
+  // --- Flight recorder + slow-op forensics: arm before any mining runs so
+  // the whole run (including engine construction) is on the record. ---------
+  const std::string trace_flag = flags.GetString("trace", "");
+  std::string trace_path;
+  if (!trace_flag.empty()) {
+    trace_path = trace_flag;
+    size_t ring_kb = 256;
+    const size_t comma = trace_flag.find(',');
+    if (comma != std::string::npos) {
+      trace_path = trace_flag.substr(0, comma);
+      const std::string kb = trace_flag.substr(comma + 1);
+      char* end = nullptr;
+      ring_kb = std::strtoul(kb.c_str(), &end, 10);
+      if (end == kb.c_str() || *end != '\0' || ring_kb == 0) {
+        return Fail("bad --trace ring size '" + kb + "'");
+      }
+    }
+    if (trace_path.empty()) return Fail("--trace needs a path");
+    fcp::trace::Start(ring_kb);
+    fcp::trace::SetThreadName("main");
+    fcp::trace::InstallCrashHandler(trace_path + ".crash.json");
+  }
+  const int64_t slow_op_ns = flags.GetInt("slow_op_ns", 0);
+  if (slow_op_ns < 0) return Fail("--slow_op_ns must be >= 0");
+  if (slow_op_ns > 0) {
+    fcp::trace::SlowOpOptions slow;
+    slow.threshold_ns = slow_op_ns;
+    slow.dump_prefix = trace_path.empty() ? "fcpmine" : trace_path;
+    fcp::trace::ConfigureSlowOp(slow);
+  }
 
   // Kernel dispatch is process-global; pick it before any mining runs.
   const std::string kernel = flags.GetString("kernel", "");
@@ -132,6 +181,10 @@ int main(int argc, char** argv) {
   // --- Telemetry: share the process-wide registry with the engine and wire
   // the periodic reporter when --metrics is set. ------------------------------
   const std::string metrics = flags.GetString("metrics", "");
+  const int64_t metrics_interval = flags.GetInt("metrics_interval", 10);
+  if (metrics_interval < 0) {
+    return Fail("--metrics_interval must be >= 0 (0 = final report only)");
+  }
   std::unique_ptr<fcp::telemetry::MetricReporter> reporter;
   if (!metrics.empty()) {
     fcp::telemetry::ReporterOptions reporter_options;
@@ -150,18 +203,18 @@ int main(int argc, char** argv) {
       return Fail("unknown --metrics format '" + format +
                   "' (want json or prom)");
     }
-    reporter_options.interval_ms =
-        static_cast<int64_t>(flags.GetInt("metrics_interval", 10)) * 1000;
+    reporter_options.interval_ms = metrics_interval * 1000;
     reporter = std::make_unique<fcp::telemetry::MetricReporter>(
         &fcp::telemetry::MetricRegistry::Global(), reporter_options);
   }
 
-  fcp::EngineOptions options;
-  options.suppression_window =
-      fcp::Seconds(flags.GetInt("suppress", params.tau / 1000));
-  options.metrics = &fcp::telemetry::MetricRegistry::Global();
-  fcp::MiningEngine engine(kind, params, options);
+  const int64_t shards = flags.GetInt("shards", 0);
+  const int64_t workers = flags.GetInt("workers", 2);
+  if (shards < 0) return Fail("--shards must be >= 0 (0 = serial engine)");
+  if (shards > 0 && workers < 1) return Fail("--workers must be >= 1");
 
+  const fcp::DurationMs suppression =
+      fcp::Seconds(flags.GetInt("suppress", params.tau / 1000));
   const std::string report = flags.GetString("report", "stream");
   const bool stream_mode = report == "stream";
   fcp::PatternSupportIndex support;
@@ -169,7 +222,7 @@ int main(int argc, char** argv) {
   // --- Run. ------------------------------------------------------------------
   fcp::Stopwatch clock;
   uint64_t alerts = 0;
-  auto handle = [&](std::vector<fcp::Fcp> fcps) {
+  auto handle = [&](const std::vector<fcp::Fcp>& fcps) {
     for (const fcp::Fcp& fcp : fcps) {
       ++alerts;
       support.Add(fcp);
@@ -182,21 +235,80 @@ int main(int argc, char** argv) {
     }
   };
   const size_t batch = static_cast<size_t>(flags.GetInt("batch", 1));
-  if (batch <= 1) {
-    for (const fcp::ObjectEvent& event : events) {
-      handle(engine.PushEvent(event));
+  uint64_t segments_completed = 0;
+  size_t index_bytes = 0;
+  fcp::MinerStats stats;  // summed across shards in the parallel path
+  if (shards > 0) {
+    // Parallel pipeline: alerts surface only after Finish() drains the
+    // shards, so stream mode prints them post-hoc in merged order.
+    fcp::ParallelEngineOptions poptions;
+    poptions.num_workers = static_cast<uint32_t>(workers);
+    poptions.num_miner_shards = static_cast<uint32_t>(shards);
+    poptions.suppression_window = suppression;
+    poptions.metrics = &fcp::telemetry::MetricRegistry::Global();
+    fcp::ParallelEngine engine(kind, params, poptions);
+    if (batch <= 1) {
+      for (const fcp::ObjectEvent& event : events) engine.Push(event);
+    } else {
+      for (size_t i = 0; i < events.size(); i += batch) {
+        const size_t n = std::min(batch, events.size() - i);
+        engine.PushBatch(std::span(events.data() + i, n));
+      }
+    }
+    engine.Finish();
+    handle(engine.results());
+    segments_completed = engine.segments_completed();
+    for (uint32_t s = 0; s < engine.num_miner_shards(); ++s) {
+      const fcp::FcpMiner& miner = engine.shard_miner(s);
+      index_bytes += miner.MemoryUsage();
+      const fcp::MinerStats& shard_stats = miner.stats();
+      stats.mining_ns += shard_stats.mining_ns;
+      stats.maintenance_ns += shard_stats.maintenance_ns;
+      stats.candidates_checked += shard_stats.candidates_checked;
+      stats.lcp_rows += shard_stats.lcp_rows;
+      stats.segments_expired += shard_stats.segments_expired;
     }
   } else {
-    for (size_t i = 0; i < events.size(); i += batch) {
-      const size_t n = std::min(batch, events.size() - i);
-      handle(engine.IngestBatch(std::span(events.data() + i, n)));
+    fcp::EngineOptions options;
+    options.suppression_window = suppression;
+    options.metrics = &fcp::telemetry::MetricRegistry::Global();
+    fcp::MiningEngine engine(kind, params, options);
+    if (batch <= 1) {
+      for (const fcp::ObjectEvent& event : events) {
+        handle(engine.PushEvent(event));
+      }
+    } else {
+      for (size_t i = 0; i < events.size(); i += batch) {
+        const size_t n = std::min(batch, events.size() - i);
+        handle(engine.IngestBatch(std::span(events.data() + i, n)));
+      }
     }
+    handle(engine.Flush());
+    segments_completed = engine.segments_completed();
+    index_bytes = engine.MemoryUsage();
+    stats = engine.miner().stats();
   }
-  handle(engine.Flush());
   const double elapsed = clock.ElapsedSeconds();
   // Stop the reporter before printing the human summary: Stop() joins the
   // background thread and emits one final, complete report.
   if (reporter) reporter->Stop();
+  // Stop recording before serializing: the pipeline threads are joined, so
+  // the snapshot is exact (no torn tail slots).
+  if (!trace_path.empty()) {
+    fcp::trace::Stop();
+    if (fcp::trace::WriteChromeTrace(trace_path)) {
+      std::fprintf(stderr, "fcpmine: trace written to %s\n",
+                   trace_path.c_str());
+    } else {
+      return Fail("cannot write trace to " + trace_path);
+    }
+  }
+  if (slow_op_ns > 0 && fcp::trace::SlowOpDumpCount() > 0) {
+    std::fprintf(
+        stderr, "fcpmine: %llu slow-op dump(s) written (prefix %s)\n",
+        static_cast<unsigned long long>(fcp::trace::SlowOpDumpCount()),
+        (trace_path.empty() ? "fcpmine" : trace_path.c_str()));
+  }
 
   // --- Report. ----------------------------------------------------------------
   if (report == "topk" || report == "maximal") {
@@ -217,13 +329,12 @@ int main(int argc, char** argv) {
                "fcpmine: %zu events, %llu segments, %llu alerts, "
                "%zu distinct patterns, %.2fs (%.0f events/s), index %.2f MB\n",
                events.size(),
-               static_cast<unsigned long long>(engine.segments_completed()),
+               static_cast<unsigned long long>(segments_completed),
                static_cast<unsigned long long>(alerts), support.size(),
                elapsed, static_cast<double>(events.size()) / elapsed,
-               static_cast<double>(engine.MemoryUsage()) / (1024.0 * 1024.0));
+               static_cast<double>(index_bytes) / (1024.0 * 1024.0));
 
   if (flags.GetBool("stats", false)) {
-    const fcp::MinerStats& stats = engine.miner().stats();
     std::fprintf(stderr,
                  "  mining %.1f ms, maintenance %.1f ms, candidates %llu, "
                  "lcp rows %llu, expired %llu\n",
