@@ -23,10 +23,12 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/shard.h"
 #include "core/engine_metrics.h"
 #include "core/miner.h"
 #include "telemetry/registry.h"
@@ -118,6 +120,61 @@ OpCost MeasureWithTelemetry(MinerKind kind, const MiningParams& params,
   return cost;
 }
 
+// Sharded replay: `num_shards` replicas each index their routed share of the
+// trace (min-object routing, ownership-filtered mining — the ShardRouter's
+// delivery pattern without the queues). The delivery plan is precomputed so
+// routing never charges the measurement; allocs/op is per delivery. Posting
+// growth is re-paid by every replica, so this is where unpooled per-shard
+// postings make allocs/op climb with S — arena-pooled postings must hold it
+// near-flat.
+OpCost MeasureShardedAddSegment(MinerKind kind, const MiningParams& params,
+                                const std::vector<Segment>& segments,
+                                uint32_t num_shards) {
+  std::vector<std::unique_ptr<FcpMiner>> miners;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    miners.push_back(MakeMiner(kind, params, ShardSpec{s, num_shards}));
+  }
+  std::vector<std::vector<uint32_t>> plan(segments.size());
+  for (size_t i = 0; i < segments.size(); ++i) {
+    for (ObjectId object : segments[i].DistinctObjects()) {
+      const uint32_t shard = ShardOf(object, num_shards);
+      std::vector<uint32_t>& targets = plan[i];
+      if (std::find(targets.begin(), targets.end(), shard) == targets.end()) {
+        targets.push_back(shard);
+      }
+    }
+  }
+
+  std::vector<Fcp> sink;
+  sink.reserve(1024);
+  uint64_t deliveries = 0;
+  auto replay = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      for (uint32_t target : plan[i]) {
+        miners[target]->AdvanceWatermark(segments[i].end_time());
+        sink.clear();
+        miners[target]->AddSegment(segments[i], &sink);
+        ++deliveries;
+      }
+    }
+  };
+  const size_t warm = segments.size() / 2;
+  replay(0, warm);
+
+  deliveries = 0;
+  const uint64_t allocs_before = alloc_counter::allocations();
+  Stopwatch timer;
+  replay(warm, segments.size());
+  const int64_t elapsed_ns = timer.ElapsedNanos();
+  const uint64_t allocs = alloc_counter::allocations() - allocs_before;
+
+  const double ops = static_cast<double>(deliveries);
+  OpCost cost;
+  cost.ns_per_op = static_cast<double>(elapsed_ns) / ops;
+  cost.allocs_per_op = static_cast<double>(allocs) / ops;
+  return cost;
+}
+
 int Run(int argc, char** argv) {
   const Flags flags(argc, argv);
   const BenchScale scale(flags);
@@ -185,6 +242,28 @@ int Run(int argc, char** argv) {
     record.ns_per_op = cost.ns_per_op;
     record.allocs_per_op = cost.allocs_per_op;
     record.rss_bytes = CurrentRssBytes();
+    std::printf("%-24s %14.1f %14.3f %12.1f\n", record.name.c_str(),
+                record.ns_per_op, record.allocs_per_op,
+                static_cast<double>(record.rss_bytes) / (1024.0 * 1024.0));
+    records.push_back(record);
+  }
+  // Shard-count allocation scaling (Issue 6 satellite): the open-universe
+  // zipf trace replayed into S DiMine shard replicas. Arena-pooled postings
+  // must keep allocs/op near-flat as S grows instead of re-paying every
+  // posting's doubling chain per replica.
+  std::printf("\n%-24s %14s %14s %12s\n", "sharded DiMine", "ns/op",
+              "allocs/op", "rss(MB)");
+  for (const uint32_t num_shards : {1u, 2u, 4u, 8u}) {
+    const OpCost cost = MeasureShardedAddSegment(MinerKind::kDiMine,
+                                                 zipf_params, segments,
+                                                 num_shards);
+    JsonRecord record;
+    record.name = "DiMine/zipf/S" + std::to_string(num_shards) +
+                  kernel_suffix;
+    record.ns_per_op = cost.ns_per_op;
+    record.allocs_per_op = cost.allocs_per_op;
+    record.rss_bytes = CurrentRssBytes();
+    record.AddExtra("num_shards", static_cast<double>(num_shards));
     std::printf("%-24s %14.1f %14.3f %12.1f\n", record.name.c_str(),
                 record.ns_per_op, record.allocs_per_op,
                 static_cast<double>(record.rss_bytes) / (1024.0 * 1024.0));

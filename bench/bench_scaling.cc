@@ -50,9 +50,12 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/placement.h"
 #include "common/shard.h"
 #include "core/miner.h"
 #include "datagen/twitter_gen.h"
+#include "stream/rebalancer.h"
+#include "stream/shard_router.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
 
@@ -168,6 +171,148 @@ ShardedCost RunSharded(MinerKind kind, const MiningParams& params,
   return cost;
 }
 
+// ---------------------------------------------------------------------------
+// Skew sweep: static hash placement vs greedy frequency placement vs live
+// rebalancing (Issue 6). The placement-aware plans are recorded by running
+// the REAL ShardRouter (and, for the rebalance mode, the real Rebalancer)
+// single-threaded over the trace, capturing every delivery — mining and
+// index-only backfill alike, each stamped with its placement snapshot — and
+// then replaying each shard's FIFO against a fresh miner, timed. Migration
+// cost is therefore charged honestly: the destination shard pays for its
+// backfills inside its timed chain.
+//
+// Work stealing is deliberately absent from this offline model: a (pop,
+// mine) pair serializes under the victim shard's mutex, so a steal changes
+// which THREAD mines a segment, never the length of a shard's serial chain
+// — the critical-path model is identical with and without it. Its real
+// benefit (smoothing transient queue imbalance when a shard's dedicated
+// thread falls behind) only exists with live threads; the engine-level
+// StealTest suite and fcpmine --steal cover that regime.
+
+/// Everything one shard replays, in FIFO order, placement fences included.
+struct RecordedPlan {
+  std::vector<std::vector<ShardDelivery>> per_shard;
+  uint64_t deliveries = 0;  ///< mining deliveries
+  uint64_t backfills = 0;   ///< index-only migration replays
+  uint64_t rounds_triggered = 0;
+  uint64_t objects_moved = 0;
+};
+
+RecordedPlan RecordPlan(const std::vector<Segment>& segments,
+                        uint32_t num_shards,
+                        std::shared_ptr<const PlacementMap> placement,
+                        const MiningParams& params,
+                        const RebalancerOptions* rebalance) {
+  ShardRouterOptions options;
+  options.placement = std::move(placement);
+  options.track_live = rebalance != nullptr;
+  options.tau = params.tau;
+  // Queues must hold a full ApplyPlacement backfill burst (bounded by the
+  // live set, ~one tau window of segments): the recorder drains between
+  // Route calls, but ApplyPlacement enqueues its backfills in one blocking
+  // call and would deadlock a single thread on a small queue.
+  ShardRouter router(num_shards, /*queue_capacity=*/size_t{1} << 17, options);
+  std::unique_ptr<Rebalancer> rebalancer;
+  if (rebalance != nullptr) {
+    rebalancer = std::make_unique<Rebalancer>(num_shards, *rebalance);
+  }
+  RecordedPlan plan;
+  plan.per_shard.resize(num_shards);
+  auto drain = [&] {
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      while (auto delivery = router.queue(s).TryPop()) {
+        if (delivery->index_only) {
+          ++plan.backfills;
+        } else {
+          ++plan.deliveries;
+        }
+        plan.per_shard[s].push_back(std::move(*delivery));
+      }
+    }
+  };
+  for (const Segment& segment : segments) {
+    router.Route(segment);
+    if (rebalancer != nullptr) {
+      rebalancer->ObserveSegment(segment);
+      if (auto next = rebalancer->MaybeRebalance(router)) {
+        router.ApplyPlacement(std::move(next));
+      }
+    }
+    drain();  // single-threaded: keep the bounded queues from filling
+  }
+  router.Close();
+  drain();
+  if (rebalancer != nullptr) {
+    plan.rounds_triggered = rebalancer->stats().rounds_triggered;
+    plan.objects_moved = rebalancer->stats().objects_moved;
+  }
+  return plan;
+}
+
+ShardedCost ReplayPlan(MinerKind kind, const MiningParams& params,
+                       uint32_t num_shards, const RecordedPlan& plan,
+                       int reps) {
+  ShardedCost cost;
+  cost.deliveries = plan.deliveries;
+  std::vector<Fcp> batch;
+  batch.reserve(1024);
+  std::vector<double> best_ms(num_shards,
+                              std::numeric_limits<double>::infinity());
+  for (int rep = 0; rep < reps; ++rep) {
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      const auto miner = MakeMiner(kind, params, ShardSpec{s, num_shards});
+      const PlacementMap* active = nullptr;
+      const uint64_t allocs_before = alloc_counter::allocations();
+      Stopwatch timer;
+      for (const ShardDelivery& delivery : plan.per_shard[s]) {
+        if (delivery.placement.get() != active) {
+          active = delivery.placement.get();
+          miner->SetPlacement(active);
+        }
+        miner->AdvanceWatermark(delivery.watermark);
+        if (delivery.index_only) {
+          miner->AddSegmentIndexOnly(delivery.segment);
+          continue;
+        }
+        batch.clear();
+        miner->AddSegment(delivery.segment, &batch);
+        if (rep == 0) {
+          for (Fcp& fcp : batch) cost.output.push_back(std::move(fcp));
+        }
+      }
+      const double ms = static_cast<double>(timer.ElapsedNanos()) / 1e6;
+      best_ms[s] = std::min(best_ms[s], ms);
+      if (rep == 0) {
+        cost.allocs += alloc_counter::allocations() - allocs_before;
+        AccumulateStats(miner->stats(), &cost.stats);
+      }
+    }
+  }
+  for (const double ms : best_ms) {
+    cost.max_shard_ms = std::max(cost.max_shard_ms, ms);
+    cost.sum_shard_ms += ms;
+  }
+  return cost;
+}
+
+/// Per-object event frequencies of a segmented trace — the observation pass
+/// fcpmine --placement=freq runs.
+std::vector<std::pair<ObjectId, uint64_t>> ObjectWeights(
+    const std::vector<Segment>& segments) {
+  std::vector<uint64_t> counts;
+  for (const Segment& segment : segments) {
+    for (const SegmentEntry& entry : segment.entries()) {
+      if (entry.object >= counts.size()) counts.resize(entry.object + 1, 0);
+      ++counts[entry.object];
+    }
+  }
+  std::vector<std::pair<ObjectId, uint64_t>> weights;
+  for (ObjectId object = 0; object < counts.size(); ++object) {
+    if (counts[object] > 0) weights.push_back({object, counts[object]});
+  }
+  return weights;
+}
+
 int Run(int argc, char** argv) {
   const Flags flags(argc, argv);
   const BenchScale scale(flags);
@@ -259,6 +404,89 @@ int Run(int argc, char** argv) {
         }
         records.push_back(record);
       }
+    }
+  }
+  // ---- Skew sweep: how each placement strategy copes as the head of the
+  // object distribution grows (see the RecordedPlan comment above). CooMine
+  // only — it is the paper's primary miner and the acceptance datapoint;
+  // miner-equivalence under migration is covered by the Migration/Steal test
+  // suites, not re-measured here. Off under --quick (the CI TSan smoke):
+  // the replay is single-threaded, so sanitizers learn nothing new from it.
+  const bool skew_sweep =
+      flags.GetInt("skew_sweep", flags.Has("quick") ? 0 : 1) != 0;
+  const uint32_t sweep_shards =
+      static_cast<uint32_t>(flags.GetInt("sweep_shards", 8));
+  const int reps = std::max(1, static_cast<int>(flags.GetInt("reps", 3)));
+  if (!skew_sweep) {
+    MaybeAppendBenchJson(flags, "bench_scaling", label, records);
+    return outputs_match ? 0 : 1;
+  }
+  std::printf("\n%-30s %10s %10s %12s %8s %9s\n", "skew sweep (CooMine)",
+              "crit(ms)", "sum(ms)", "ns/trigger", "speedup", "backfills");
+  for (const double skew : {0.6, 1.0, 1.4}) {
+    TwitterConfig sweep_config = twitter;
+    sweep_config.zipf_s = skew;
+    const std::vector<ObjectEvent> sweep_trace =
+        GenerateTwitter(sweep_config).events;
+    const std::vector<Segment> sweep_segments =
+        SegmentTrace(sweep_trace, params.xi);
+    const double triggers = static_cast<double>(sweep_segments.size());
+
+    const ShardedCost serial =
+        RunSharded(MinerKind::kCooMine, params, 1, sweep_segments, reps);
+    const double baseline_ns = serial.max_shard_ms * 1e6 / triggers;
+    const std::vector<Signature> baseline = Signatures(serial.output);
+
+    auto freq_placement = BuildGreedyPlacement(ObjectWeights(sweep_segments),
+                                               sweep_shards);
+    RebalancerOptions rebalance;
+    rebalance.interval_segments = static_cast<uint32_t>(
+        flags.GetInt("rebalance_interval", 256));
+    rebalance.imbalance_threshold = 1.05;
+    rebalance.max_moves_per_round = 8;
+    rebalance.min_move_weight = 4;
+
+    struct Mode {
+      const char* name;
+      RecordedPlan plan;
+    };
+    Mode modes[] = {
+        {"static", RecordPlan(sweep_segments, sweep_shards, nullptr, params,
+                              nullptr)},
+        {"freq", RecordPlan(sweep_segments, sweep_shards, freq_placement,
+                            params, nullptr)},
+        {"rebal", RecordPlan(sweep_segments, sweep_shards, freq_placement,
+                             params, &rebalance)},
+    };
+    for (const Mode& mode : modes) {
+      const ShardedCost cost = ReplayPlan(MinerKind::kCooMine, params,
+                                          sweep_shards, mode.plan, reps);
+      if (Signatures(cost.output) != baseline) {
+        std::fprintf(stderr,
+                     "FATAL: CooMine skew=%.1f S=%u mode=%s output differs "
+                     "from serial\n",
+                     skew, sweep_shards, mode.name);
+        outputs_match = false;
+      }
+      const double ns_per_trigger = cost.max_shard_ms * 1e6 / triggers;
+      JsonRecord record;
+      record.name = "CooMine/skew" + std::to_string(skew).substr(0, 3) +
+                    "/S" + std::to_string(sweep_shards) + "/" + mode.name;
+      record.ns_per_op = ns_per_trigger;
+      record.allocs_per_op = static_cast<double>(cost.allocs) / triggers;
+      record.rss_bytes = CurrentRssBytes();
+      record.AddExtra("zipf_s", skew);
+      record.AddExtra("speedup", baseline_ns / ns_per_trigger);
+      record.AddExtra("backfills", static_cast<double>(mode.plan.backfills));
+      record.AddExtra("rounds_triggered",
+                      static_cast<double>(mode.plan.rounds_triggered));
+      record.AddExtra("objects_moved",
+                      static_cast<double>(mode.plan.objects_moved));
+      std::printf("%-30s %10.1f %10.1f %12.1f %7.2fx %9" PRIu64 "\n",
+                  record.name.c_str(), cost.max_shard_ms, cost.sum_shard_ms,
+                  ns_per_trigger, baseline_ns / ns_per_trigger,
+                  mode.plan.backfills);
+      records.push_back(record);
     }
   }
   MaybeAppendBenchJson(flags, "bench_scaling", label, records);

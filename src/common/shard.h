@@ -13,12 +13,20 @@
 // occurrence is lost (recall) and no pattern is owned by two shards (no
 // duplicates). See DESIGN.md "Shard ownership semantics".
 
+// With a PlacementMap attached (common/placement.h), ownership is data
+// instead of a hash: placement(o) replaces Mix64(o) % S, which is how the
+// frequency-weighted initial placement and the live Rebalancer change which
+// shard owns a hot object without touching the ownership *rule* — min-object
+// ownership and the union==serial proof are placement-agnostic, because any
+// function object -> shard partitions the pattern space.
+
 #ifndef FCP_COMMON_SHARD_H_
 #define FCP_COMMON_SHARD_H_
 
 #include <cstdint>
 
 #include "common/hash.h"
+#include "common/placement.h"
 #include "common/types.h"
 
 namespace fcp {
@@ -36,10 +44,17 @@ inline uint32_t ShardOf(ObjectId object, uint32_t num_shards) {
 struct ShardSpec {
   uint32_t index = 0;
   uint32_t count = 1;
+  /// When set, ownership consults this placement instead of the hash. Not
+  /// owned; the holder (miner / shard thread) keeps the snapshot alive and
+  /// swaps the pointer at delivery boundaries only (never mid-AddSegment),
+  /// so one trigger is always mined under exactly one placement.
+  const PlacementMap* placement = nullptr;
 
   /// True iff this shard owns `object` (always true for count <= 1).
   bool Owns(ObjectId object) const {
-    return count <= 1 || ShardOf(object, count) == index;
+    if (count <= 1) return true;
+    if (placement != nullptr) return placement->shard_of(object) == index;
+    return ShardOf(object, count) == index;
   }
 
   /// True iff this shard is the whole universe (the serial special case).

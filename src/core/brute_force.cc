@@ -64,6 +64,16 @@ void BruteForceMiner::AddSegment(const Segment& segment,
   ++stats_.segments_processed;
 }
 
+void BruteForceMiner::AddSegmentIndexOnly(const Segment& segment) {
+  // Migration backfill: store without mining. The oracle re-checks validity
+  // per stored segment on every trigger, so an old segment landing at the
+  // back of the deque is harmless.
+  watermark_ = std::max(watermark_, segment.end_time());
+  segments_.push_back(Stored{segment.stream(), segment.start_time(),
+                             segment.end_time(), segment.DistinctObjects()});
+  ++stats_.segments_indexed_only;
+}
+
 void BruteForceMiner::ForceMaintenance(Timestamp now) {
   while (!segments_.empty() && now - segments_.front().start > params_.tau) {
     segments_.pop_front();

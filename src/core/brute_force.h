@@ -25,6 +25,10 @@ class BruteForceMiner : public FcpMiner {
   /// Aborts if the segment has more than 20 distinct objects after the
   /// max_segment_objects cap (2^20 subsets is the oracle's practical limit).
   void AddSegment(const Segment& segment, std::vector<Fcp>* out) override;
+  void AddSegmentIndexOnly(const Segment& segment) override;
+  void SetPlacement(const PlacementMap* map) override {
+    shard_.placement = map;
+  }
   void AdvanceWatermark(Timestamp now) override {
     watermark_ = now > watermark_ ? now : watermark_;
   }

@@ -59,6 +59,30 @@ void CooMine::AddSegment(const Segment& segment, std::vector<Fcp>* out) {
   ++stats_.segments_processed;
 }
 
+void CooMine::AddSegmentIndexOnly(const Segment& segment) {
+  // Migration backfill: index the segment exactly as AddSegment's
+  // maintenance phase would — same watermark anchor, same periodic-sweep
+  // cadence — with SLCP and the Apriori pass skipped. The Fcp output is
+  // insensitive to Hlist chain order (streams are sorted and the window is
+  // a min/max), so inserting an old segment after newer ones is safe.
+  watermark_ = std::max(watermark_, segment.end_time());
+  const Timestamp now = watermark_;
+  FCP_TRACE_SPAN("coomine/index_backfill");
+  Stopwatch maint_timer;
+  if (options_.periodic_sweep &&
+      (last_sweep_ == kMinTimestamp ||
+       now - last_sweep_ >= params_.maintenance_interval)) {
+    if (last_sweep_ != kMinTimestamp) {
+      stats_.segments_expired += tree_.RemoveExpired(now, params_.tau);
+      ++stats_.maintenance_runs;
+    }
+    last_sweep_ = now;
+  }
+  tree_.Insert(segment);
+  stats_.maintenance_ns += maint_timer.ElapsedNanos();
+  ++stats_.segments_indexed_only;
+}
+
 void CooMine::ForceMaintenance(Timestamp now) {
   Stopwatch maint_timer;
   stats_.segments_expired += tree_.RemoveExpired(now, params_.tau);

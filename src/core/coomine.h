@@ -51,6 +51,10 @@ class CooMine : public FcpMiner {
                    const ShardSpec& shard = {});
 
   void AddSegment(const Segment& segment, std::vector<Fcp>* out) override;
+  void AddSegmentIndexOnly(const Segment& segment) override;
+  void SetPlacement(const PlacementMap* map) override {
+    shard_.placement = map;
+  }
   void AdvanceWatermark(Timestamp now) override {
     watermark_ = std::max(watermark_, now);
   }

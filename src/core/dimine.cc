@@ -47,6 +47,28 @@ void DiMine::AddSegment(const Segment& segment, std::vector<Fcp>* out) {
   ++stats_.segments_processed;
 }
 
+void DiMine::AddSegmentIndexOnly(const Segment& segment) {
+  // Migration backfill: index exactly as AddSegment's maintenance phase
+  // would (DiIndex::Insert keeps postings ascending when the backfilled id
+  // is older than existing entries), with the mining pass skipped.
+  watermark_ = std::max(watermark_, segment.end_time());
+  const Timestamp now = watermark_;
+  Stopwatch maint_timer;
+  {
+    FCP_TRACE_SPAN("dimine/index_backfill");
+    index_.Insert(segment);
+    if (last_sweep_ == kMinTimestamp) {
+      last_sweep_ = now;
+    } else if (now - last_sweep_ >= params_.maintenance_interval) {
+      stats_.segments_expired += index_.RemoveExpired(now, params_.tau);
+      ++stats_.maintenance_runs;
+      last_sweep_ = now;
+    }
+  }
+  stats_.maintenance_ns += maint_timer.ElapsedNanos();
+  ++stats_.segments_indexed_only;
+}
+
 void DiMine::ForceMaintenance(Timestamp now) {
   Stopwatch maint_timer;
   stats_.segments_expired += index_.RemoveExpired(now, params_.tau);

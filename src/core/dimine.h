@@ -33,6 +33,10 @@ class DiMine : public FcpMiner {
   explicit DiMine(const MiningParams& params, const ShardSpec& shard = {});
 
   void AddSegment(const Segment& segment, std::vector<Fcp>* out) override;
+  void AddSegmentIndexOnly(const Segment& segment) override;
+  void SetPlacement(const PlacementMap* map) override {
+    shard_.placement = map;
+  }
   void AdvanceWatermark(Timestamp now) override {
     watermark_ = std::max(watermark_, now);
   }

@@ -27,6 +27,10 @@ class MatrixMine : public FcpMiner {
   explicit MatrixMine(const MiningParams& params, const ShardSpec& shard = {});
 
   void AddSegment(const Segment& segment, std::vector<Fcp>* out) override;
+  void AddSegmentIndexOnly(const Segment& segment) override;
+  void SetPlacement(const PlacementMap* map) override {
+    shard_.placement = map;
+  }
   void AdvanceWatermark(Timestamp now) override {
     watermark_ = std::max(watermark_, now);
   }

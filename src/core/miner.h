@@ -25,6 +25,8 @@ namespace fcp {
 /// (Figs. 5(c)-(e) vs 6(a)-(b); their sum is the "total cost" of 6(c)-(d)).
 struct MinerStats {
   uint64_t segments_processed = 0;
+  uint64_t segments_indexed_only = 0;  ///< backfill deliveries (indexed, not
+                                       ///< mined) from shard migrations
   uint64_t fcps_emitted = 0;
   uint64_t candidates_checked = 0;
   uint64_t candidates_pruned = 0;  ///< candidates rejected before emission
@@ -86,6 +88,24 @@ class FcpMiner {
   /// the stream-time watermark — the maximum end time seen so far — so all
   /// miners make identical expiry decisions regardless of interleaving.
   virtual void AddSegment(const Segment& segment, std::vector<Fcp>* out) = 0;
+
+  /// Indexes `segment` WITHOUT mining it. This is the migration backfill
+  /// path: when an object moves to this shard, the router replays the live
+  /// segments containing it that this shard never received, so the index
+  /// holds every valid supporter before the first trigger mined under the
+  /// new placement arrives. The segment must be indexed exactly as
+  /// AddSegment would index it (same expiry anchor, same structure state);
+  /// only the mining phase is skipped. Bumps segments_indexed_only, not
+  /// segments_processed.
+  virtual void AddSegmentIndexOnly(const Segment& segment) = 0;
+
+  /// Swaps the ownership placement this miner filters patterns by. `map`
+  /// may be null (revert to the hash). The caller owns the snapshot's
+  /// lifetime and must call this only between AddSegment calls — the
+  /// ShardRouter ships the route-time snapshot with every delivery and the
+  /// shard loop applies it before mining, so each trigger is mined under
+  /// exactly one placement.
+  virtual void SetPlacement(const PlacementMap* map) = 0;
 
   /// Advances the miner's stream-time watermark to at least `now` without
   /// processing a segment. A sharded miner sees only a subset of the global

@@ -41,11 +41,31 @@ ParallelEngine::ParallelEngine(MinerKind kind, const MiningParams& params,
   FCP_CHECK(options.num_workers >= 1);
   FCP_CHECK(options.num_miner_shards >= 1);
   const uint32_t num_shards = options_.num_miner_shards;
-  router_ = std::make_unique<ShardRouter>(num_shards,
-                                          options_.shard_queue_capacity);
+  ShardRouterOptions router_options;
+  router_options.placement = options_.placement;
+  // Live migration needs the router's live set (backfill source); static
+  // placements do not pay for it.
+  router_options.track_live = options_.rebalance && num_shards > 1;
+  router_options.tau = params.tau;
+  router_ = std::make_unique<ShardRouter>(
+      num_shards, options_.shard_queue_capacity, std::move(router_options));
+  if (num_shards > 1) {
+    // Always measure (the imbalance gauge feeds dashboards); only move
+    // objects when rebalancing was requested.
+    RebalancerOptions rebalancer_options = options_.rebalancer;
+    rebalancer_options.apply_moves = options_.rebalance;
+    rebalancer_ = std::make_unique<Rebalancer>(num_shards, rebalancer_options);
+  }
   shard_mined_.resize(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
     shard_miners_.push_back(MakeMiner(kind, params, router_->spec(s)));
+    shard_runtime_.push_back(std::make_unique<ShardRuntime>());
+    // Seed the initial snapshot: deliveries carry it too, but setting it
+    // here keeps the miner's view correct even before its first delivery.
+    if (options_.placement != nullptr) {
+      shard_miners_.back()->SetPlacement(options_.placement.get());
+      shard_runtime_.back()->active_placement = options_.placement;
+    }
   }
   workers_.resize(options_.num_workers);
   for (uint32_t w = 0; w < options_.num_workers; ++w) {
@@ -82,6 +102,17 @@ void ParallelEngine::RegisterMetrics() {
       registry_->GetCounter("fcp_segments_completed_total");
   merge_stalls_ = registry_->GetCounter("fcp_merge_stalls_total");
   watermark_lag_ms_ = registry_->GetGauge("fcp_watermark_lag_ms");
+  rebalance_rounds_ = registry_->GetCounter("fcp_rebalance_rounds_total");
+  migrations_ = registry_->GetCounter("fcp_migrations_total");
+  backfill_deliveries_ =
+      registry_->GetCounter("fcp_backfill_deliveries_total");
+  segments_stolen_ = registry_->GetCounter("fcp_segments_stolen_total");
+  // max/mean per-shard deliveries over the last load interval, in permille
+  // (1000 = perfectly balanced). One definition, shared by dashboards and
+  // the rebalancer's trigger — both read the Rebalancer's computation.
+  imbalance_permille_ =
+      registry_->GetGauge("fcp_shard_load_imbalance_permille");
+  migration_latency_us_ = registry_->GetHistogram("fcp_migration_latency_us");
   shard_telemetry_.resize(options_.num_miner_shards);
   for (uint32_t s = 0; s < options_.num_miner_shards; ++s) {
     const std::string label =
@@ -275,6 +306,9 @@ void ParallelEngine::MergeLoop() {
   std::vector<std::optional<Segment>> heads(n);
   std::vector<bool> exhausted(n, false);
   SegmentIdGen final_ids;
+  uint64_t moves_published = 0;
+  uint64_t rounds_published = 0;
+  uint64_t backfills_published = 0;
 
   while (true) {
     // Refill empty head slots without blocking.
@@ -366,6 +400,42 @@ void ParallelEngine::MergeLoop() {
       FCP_TRACE_FLOW_BEGIN("segment", relabeled.id());
       router_->Route(relabeled);
     }
+    if (rebalancer_ != nullptr) {
+      rebalancer_->ObserveSegment(relabeled);
+      if (auto next = rebalancer_->MaybeRebalance(*router_)) {
+        // Migration: backfill the new owners' indexes through the delivery
+        // path, then switch routing to the successor snapshot. The span's
+        // duration is the routing-thread cost of the migration (backfill
+        // enqueues, possibly blocking on full shard queues).
+        FCP_TRACE_SPAN_FLOW("router/rebalance", next->version(),
+                            rebalancer_->stats().objects_moved);
+        Stopwatch migrate_timer;
+        router_->ApplyPlacement(std::move(next));
+        if (publish_) {
+          migration_latency_us_->Record(
+              static_cast<uint64_t>(migrate_timer.ElapsedNanos()) / 1000);
+        }
+      }
+      if (publish_) {
+        imbalance_permille_->Set(rebalancer_->imbalance_permille());
+        // Counters are monotone; publish the deltas since the last loop.
+        const RebalancerStats& rstats = rebalancer_->stats();
+        if (rstats.objects_moved > moves_published) {
+          migrations_->Increment(rstats.objects_moved - moves_published);
+          moves_published = rstats.objects_moved;
+        }
+        if (rstats.rounds_triggered > rounds_published) {
+          rebalance_rounds_->Increment(rstats.rounds_triggered -
+                                       rounds_published);
+          rounds_published = rstats.rounds_triggered;
+        }
+        const uint64_t backfills = router_->stats().backfill_deliveries;
+        if (backfills > backfills_published) {
+          backfill_deliveries_->Increment(backfills - backfills_published);
+          backfills_published = backfills;
+        }
+      }
+    }
     ++segments_completed_;
     if (publish_) {
       segments_completed_metric_->Increment();
@@ -377,53 +447,149 @@ void ParallelEngine::MergeLoop() {
   }
 }
 
+void ParallelEngine::ProcessDelivery(uint32_t shard_index,
+                                     ShardDelivery&& delivery, bool stolen) {
+  FcpMiner& miner = *shard_miners_[shard_index];
+  ShardRuntime& runtime = *shard_runtime_[shard_index];
+  ShardTelemetry& telemetry = shard_telemetry_[shard_index];
+  // The migration fence, consumer side: adopt the snapshot this delivery was
+  // routed under before any ownership decision. Placement flips strictly
+  // between deliveries, so one segment is never mined under two placements.
+  if (delivery.placement.get() != runtime.active_placement.get()) {
+    miner.SetPlacement(delivery.placement.get());
+    runtime.active_placement = delivery.placement;
+  }
+  // Adopt the router's global watermark before mining: a shard only sees
+  // the segments containing its objects, so its own max-end-time anchor
+  // can lag the merge's and would expire supporters later than a serial
+  // run (breaking shard-count invariance of the output).
+  miner.AdvanceWatermark(delivery.watermark);
+  if (delivery.index_only) {
+    // Migration backfill: this shard just became an owner of one of the
+    // segment's objects; index it so upcoming triggers see every valid
+    // supporter, but do not mine (its route-time owners already did).
+    FCP_TRACE_SPAN_FLOW("shard/index_backfill", delivery.trace_flow,
+                        shard_index);
+    miner.AddSegmentIndexOnly(delivery.segment);
+    if (publish_) {
+      telemetry.miner.PublishDelta(miner.stats(), &telemetry.published);
+      telemetry.miner.PublishIntrospection(miner.Introspect());
+    }
+    return;
+  }
+  std::vector<Fcp>& mined = runtime.mined_scratch;
+  mined.clear();
+  {
+    // The flow-end closes the arrow the merge thread began under the same
+    // id (the router-stamped trace_flow), tying this mine slice to the
+    // segment's route slice across the thread boundary — for stolen
+    // segments the arrow lands on the thief's thread track, which is how
+    // migrations of *work* (not ownership) show up in the trace.
+    FCP_TRACE_SPAN_FLOW(stolen ? "shard/steal" : "shard/mine",
+                        delivery.trace_flow, shard_index);
+    FCP_TRACE_FLOW_END("segment", delivery.trace_flow);
+    const int64_t slow_ns = trace::SlowOpThresholdNs();
+    if (slow_ns > 0) {
+      Stopwatch timer;
+      miner.AddSegment(delivery.segment, &mined);
+      const int64_t elapsed = timer.ElapsedNanos();
+      if (elapsed >= slow_ns) {
+        DumpSlowOp("shard/mine", delivery.segment, miner, shard_index,
+                   elapsed);
+      }
+    } else {
+      miner.AddSegment(delivery.segment, &mined);
+    }
+  }
+  std::vector<Fcp>& buffer = shard_mined_[shard_index];
+  for (Fcp& fcp : mined) buffer.push_back(std::move(fcp));
+  if (publish_) {
+    if (stolen) segments_stolen_->Increment();
+    // Segment->discovery latency: shard-queue wait + mining, measured
+    // from the router's enqueue stamp.
+    telemetry.discovery_latency_us->Record(
+        static_cast<uint64_t>(
+            std::max<int64_t>(0, SteadyNowNs() - delivery.routed_at_ns)) /
+        1000);
+    // The caller holds this shard's runtime mutex (or is its only thread),
+    // so delta-publishing the miner's plain-counter stats is race-free; the
+    // reporter only reads the atomics.
+    telemetry.miner.PublishDelta(miner.stats(), &telemetry.published);
+    telemetry.miner.PublishIntrospection(miner.Introspect());
+  }
+}
+
+bool ParallelEngine::TrySteal(uint32_t thief_index) {
+  const uint32_t num_shards = options_.num_miner_shards;
+  // Victim: the deepest queue above the threshold. Depth reads are racy
+  // snapshots — fine, a stale pick just steals slightly less optimally.
+  uint32_t victim = num_shards;
+  size_t best_depth = options_.steal_min_depth - 1;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (s == thief_index) continue;
+    const size_t depth = router_->queue(s).depth();
+    if (depth > best_depth) {
+      victim = s;
+      best_depth = depth;
+    }
+  }
+  if (victim == num_shards) return false;
+  ShardRuntime& runtime = *shard_runtime_[victim];
+  // try_lock, not lock: if the victim (or another thief) is mid-segment the
+  // queue is already being drained — blocking here would serialize thieves
+  // behind work that is not theirs.
+  std::unique_lock<std::mutex> lock(runtime.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  auto delivery = router_->queue(victim).TryPop();
+  if (!delivery.has_value()) return false;
+  // Mine with the VICTIM's miner under its mutex: ownership filtering,
+  // index state and output buffer all stay the victim shard's — stealing
+  // moves work between threads, never patterns between shards.
+  ProcessDelivery(victim, std::move(*delivery), /*stolen=*/true);
+  return true;
+}
+
 void ParallelEngine::ShardLoop(uint32_t shard_index) {
   char thread_name[32];
   std::snprintf(thread_name, sizeof(thread_name), "shard-%u", shard_index);
   trace::SetThreadName(thread_name);
-  FcpMiner& miner = *shard_miners_[shard_index];
-  std::vector<Fcp>& buffer = shard_mined_[shard_index];
-  ShardTelemetry& telemetry = shard_telemetry_[shard_index];
-  std::vector<Fcp> mined;
   BoundedQueue<ShardDelivery>& queue = router_->queue(shard_index);
-  while (auto delivery = queue.Pop()) {
-    // Adopt the router's global watermark before mining: a shard only sees
-    // the segments containing its objects, so its own max-end-time anchor
-    // can lag the merge's and would expire supporters later than a serial
-    // run (breaking shard-count invariance of the output).
-    miner.AdvanceWatermark(delivery->watermark);
-    mined.clear();
-    {
-      // The flow-end closes the arrow the merge thread began under the same
-      // id (the router-stamped trace_flow), tying this shard's mine slice to
-      // the segment's route slice across the thread boundary.
-      FCP_TRACE_SPAN_FLOW("shard/mine", delivery->trace_flow, shard_index);
-      FCP_TRACE_FLOW_END("segment", delivery->trace_flow);
-      const int64_t slow_ns = trace::SlowOpThresholdNs();
-      if (slow_ns > 0) {
-        Stopwatch timer;
-        miner.AddSegment(delivery->segment, &mined);
-        const int64_t elapsed = timer.ElapsedNanos();
-        if (elapsed >= slow_ns) {
-          DumpSlowOp("shard/mine", delivery->segment, miner, shard_index,
-                     elapsed);
-        }
-      } else {
-        miner.AddSegment(delivery->segment, &mined);
-      }
+
+  if (!options_.steal) {
+    // No thieves: this thread is the only one touching the shard's miner,
+    // queue consumer side and runtime, so pop blocking and skip the mutex.
+    while (auto delivery = queue.Pop()) {
+      ProcessDelivery(shard_index, std::move(*delivery), /*stolen=*/false);
     }
-    for (Fcp& fcp : mined) buffer.push_back(std::move(fcp));
-    if (publish_) {
-      // Segment->discovery latency: shard-queue wait + mining, measured
-      // from the router's enqueue stamp.
-      telemetry.discovery_latency_us->Record(
-          static_cast<uint64_t>(
-              std::max<int64_t>(0, SteadyNowNs() - delivery->routed_at_ns)) /
-          1000);
-      // This thread owns the miner, so delta-publishing its plain-counter
-      // stats here is race-free; the reporter only reads the atomics.
-      telemetry.miner.PublishDelta(miner.stats(), &telemetry.published);
-      telemetry.miner.PublishIntrospection(miner.Introspect());
+    return;
+  }
+
+  // Stealing: every (pop, mine) pair happens under the owning shard's
+  // runtime mutex so owner and thieves serialize and per-shard FIFO order
+  // is preserved. WaitNonEmptyFor paces the loop off the queue's condition
+  // variable (its timeout is also the idle/drain polling cadence — no
+  // spinning).
+  constexpr int64_t kIdleWaitUs = 200;
+  while (true) {
+    if (queue.WaitNonEmptyFor(kIdleWaitUs)) {
+      std::lock_guard<std::mutex> lock(shard_runtime_[shard_index]->mutex);
+      if (auto delivery = queue.TryPop()) {
+        ProcessDelivery(shard_index, std::move(*delivery), /*stolen=*/false);
+      }
+      continue;
+    }
+    // Own queue empty right now: help the most-loaded shard instead of
+    // sleeping through the skew.
+    if (TrySteal(shard_index)) continue;
+    if (queue.closed() && queue.depth() == 0) {
+      // Own work is finished for good; exit once nothing is left to steal
+      // anywhere (the WaitNonEmptyFor timeout above paces this check).
+      bool all_done = true;
+      for (uint32_t s = 0; s < options_.num_miner_shards && all_done; ++s) {
+        BoundedQueue<ShardDelivery>& other = router_->queue(s);
+        all_done = other.closed() && other.depth() == 0;
+      }
+      if (all_done) break;
     }
   }
 }

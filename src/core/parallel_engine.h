@@ -31,16 +31,19 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "common/params.h"
+#include "common/placement.h"
 #include "common/types.h"
 #include "core/engine_metrics.h"
 #include "core/miner.h"
 #include "core/result_collector.h"
 #include "stream/bounded_queue.h"
+#include "stream/rebalancer.h"
 #include "stream/segment.h"
 #include "stream/segmenter.h"
 #include "stream/shard_router.h"
@@ -68,6 +71,22 @@ struct ParallelEngineOptions {
   telemetry::MetricRegistry* metrics = nullptr;
   /// Benches flip this off to measure record-path overhead.
   bool publish_metrics = true;
+  /// Initial object->shard placement snapshot (null = Mix64 hash). Built by
+  /// callers (fcpmine --placement=freq) via BuildGreedyPlacement over an
+  /// observation pass.
+  std::shared_ptr<const PlacementMap> placement;
+  /// Live rebalancing: the merge thread closes load intervals and migrates
+  /// hot objects between shards through the router's backfill fence. The
+  /// imbalance gauge is published for S > 1 regardless; this flag only
+  /// controls whether placements actually change.
+  bool rebalance = false;
+  RebalancerOptions rebalancer;  ///< cadence/thresholds when rebalancing
+  /// Work stealing: a shard thread whose queue is empty mines queued
+  /// segments of the most-loaded other shard, using that shard's miner
+  /// under its mutex (output is unchanged — only which thread runs it).
+  bool steal = false;
+  /// Minimum victim queue depth before a steal is attempted.
+  size_t steal_min_depth = 2;
 };
 
 class ParallelEngine {
@@ -112,6 +131,10 @@ class ParallelEngine {
   }
   const ShardRouterStats& router_stats() const { return router_->stats(); }
 
+  /// Rebalancer counters + last imbalance (null when S == 1). Only safe to
+  /// read after Finish().
+  const Rebalancer* rebalancer() const { return rebalancer_.get(); }
+
   uint64_t segments_completed() const { return segments_completed_; }
   uint64_t events_pushed() const { return events_pushed_; }
 
@@ -127,6 +150,15 @@ class ParallelEngine {
   void WorkerLoop(uint32_t worker_index);
   void MergeLoop();
   void ShardLoop(uint32_t shard_index);
+  /// Applies the delivery's placement snapshot, advances the watermark and
+  /// mines (or index-backfills) it with shard `shard_index`'s miner. When
+  /// stealing is enabled the caller must hold that shard's runtime mutex.
+  void ProcessDelivery(uint32_t shard_index, ShardDelivery&& delivery,
+                       bool stolen);
+  /// Pops and processes one queued delivery of the most-loaded other shard
+  /// (depth >= steal_min_depth) with that shard's miner, if its mutex is
+  /// free. Returns false when there was nothing to steal.
+  bool TrySteal(uint32_t thief_index);
   void RegisterMetrics();
   void RefreshGauges();
 
@@ -147,8 +179,25 @@ class ParallelEngine {
   std::thread merge_thread_;
 
   std::unique_ptr<ShardRouter> router_;
+  /// Per-interval load measurement + migration decisions; owned by the
+  /// merge thread, created for S > 1 (measure-only unless options_.rebalance).
+  std::unique_ptr<Rebalancer> rebalancer_;
   std::vector<std::unique_ptr<FcpMiner>> shard_miners_;
   std::vector<std::thread> shard_threads_;
+  /// Per-shard state shared between the owning shard thread and thieves.
+  /// The mutex serializes (pop, mine) pairs against the shard's queue and
+  /// miner, which keeps per-shard FIFO processing order — segment ids must
+  /// reach an index in increasing order — and makes the miners' single-
+  /// threaded assumption hold under stealing. unique_ptr for address
+  /// stability (mutexes are immovable).
+  struct ShardRuntime {
+    std::mutex mutex;
+    /// The snapshot the shard's miner currently filters by (keeps the
+    /// shared_ptr alive between deliveries that carry the same snapshot).
+    std::shared_ptr<const PlacementMap> active_placement;
+    std::vector<Fcp> mined_scratch;
+  };
+  std::vector<std::unique_ptr<ShardRuntime>> shard_runtime_;
   // Per-shard output buffers, written only by the owning shard thread while
   // it runs; merged into collector_ by Finish() after the joins.
   std::vector<std::vector<Fcp>> shard_mined_;
@@ -183,6 +232,12 @@ class ParallelEngine {
   telemetry::Counter* segments_completed_metric_ = nullptr;
   telemetry::Counter* merge_stalls_ = nullptr;
   telemetry::Gauge* watermark_lag_ms_ = nullptr;
+  telemetry::Counter* rebalance_rounds_ = nullptr;
+  telemetry::Counter* migrations_ = nullptr;
+  telemetry::Counter* backfill_deliveries_ = nullptr;
+  telemetry::Counter* segments_stolen_ = nullptr;
+  telemetry::Gauge* imbalance_permille_ = nullptr;
+  telemetry::LatencyHistogram* migration_latency_us_ = nullptr;
   std::vector<ShardTelemetry> shard_telemetry_;
   std::vector<WorkerTelemetry> worker_telemetry_;
 };

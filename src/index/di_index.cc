@@ -21,9 +21,20 @@ void DiIndex::Insert(const Segment& segment) {
       std::unique(distinct_scratch_.begin(), distinct_scratch_.end()),
       distinct_scratch_.end());
   for (ObjectId object : distinct_scratch_) {
-    std::vector<SegmentId>& posting = postings_[object];
+    PooledVec<SegmentId>& posting = postings_[object];
     if (posting.empty()) ++nonempty_postings_;
-    posting.push_back(segment.id());
+    if (posting.empty() || posting.back() < segment.id()) {
+      posting.push_back(segment.id(), posting_arena_);
+    } else {
+      // Migration backfill replays segments with ids older than entries
+      // already present; keep the list ascending so intersections stay
+      // correct. Never taken outside backfill.
+      posting.push_back(segment.id(), posting_arena_);
+      SegmentId* pos = std::lower_bound(posting.begin(), posting.end() - 1,
+                                        segment.id());
+      std::copy_backward(pos, posting.end() - 1, posting.end());
+      *pos = segment.id();
+    }
     ++total_entries_;
   }
   ++stats_.segments_inserted;
@@ -32,9 +43,9 @@ void DiIndex::Insert(const Segment& segment) {
 void DiIndex::ValidSegmentsInto(ObjectId object, Timestamp now, DurationMs tau,
                                 std::vector<SegmentId>* out) {
   out->clear();
-  std::vector<SegmentId>* posting_ptr = postings_.Find(object);
+  PooledVec<SegmentId>* posting_ptr = postings_.Find(object);
   if (posting_ptr == nullptr || posting_ptr->empty()) return;
-  std::vector<SegmentId>& posting = *posting_ptr;
+  PooledVec<SegmentId>& posting = *posting_ptr;
 
   // One pass: keep valid ids, compact away expired ones. Expired segments
   // stay in the registry until the full sweep retires them everywhere (only
@@ -49,8 +60,13 @@ void DiIndex::ValidSegmentsInto(ObjectId object, Timestamp now, DurationMs tau,
     out->push_back(id);
   }
   total_entries_ -= posting.size() - write;
-  posting.resize(write);
-  if (write == 0) --nonempty_postings_;
+  posting.count = static_cast<uint32_t>(write);
+  if (write == 0) {
+    // Hand the chunk back: capacity lives in the arena keyed by size, so the
+    // next object that needs it — whichever that is — reuses it heap-free.
+    posting.Reset(posting_arena_);
+    --nonempty_postings_;
+  }
 }
 
 std::vector<SegmentId> DiIndex::ValidSegments(ObjectId object, Timestamp now,
@@ -75,7 +91,8 @@ size_t DiIndex::RemoveExpired(Timestamp now, DurationMs tau) {
   std::sort(expired_scratch_.begin(), expired_scratch_.end());
 
   // Pass 2: scrub every posting list (this is the O(n * p) cost the paper
-  // measures in Fig. 5(c)-(e)). Drained lists keep their capacity.
+  // measures in Fig. 5(c)-(e)). Drained lists return their chunk to the
+  // arena's free lists for any object to reuse.
   for (auto& [object, posting] : postings_) {
     (void)object;
     if (posting.empty()) continue;
@@ -88,8 +105,11 @@ size_t DiIndex::RemoveExpired(Timestamp now, DurationMs tau) {
       }
     }
     total_entries_ -= posting.size() - write;
-    posting.resize(write);
-    if (write == 0) --nonempty_postings_;
+    posting.count = static_cast<uint32_t>(write);
+    if (write == 0) {
+      posting.Reset(posting_arena_);
+      --nonempty_postings_;
+    }
   }
 
   // Pass 3: retire from the registry.
@@ -100,7 +120,9 @@ size_t DiIndex::RemoveExpired(Timestamp now, DurationMs tau) {
 
 size_t DiIndex::MemoryUsage() const {
   size_t bytes = postings_.MemoryUsage();
-  bytes += total_entries_ * sizeof(SegmentId);
+  // The arena's slabs ARE the posting storage (live, free-listed and unused
+  // space alike), so count them instead of the logical entry bytes.
+  bytes += posting_arena_.SlabBytes() + posting_arena_.FreeListBytes();
   bytes += registry_.MemoryUsage();
   return bytes;
 }

@@ -7,11 +7,15 @@
 // implement the paper's scheme: postings touched by mining are compacted
 // opportunistically, and a periodic full sweep scans all entries.
 //
-// Posting lists live in a FlatMap and are *kept* when they drain empty
-// (their capacity is the warm buffer the next occurrence of the object
-// appends into), so a steady-state index performs no heap allocations:
-// erase-on-empty would free the vector and re-pay the allocation on every
-// recurrence of a cyclic object.
+// Posting lists are PooledVecs backed by one ChunkArena: growth takes a
+// power-of-two chunk from the arena's free lists instead of the heap, and a
+// drained list hands its chunk back for ANY object to reuse. This keeps the
+// steady state allocation-free like the previous keep-empty-vector policy,
+// but it also keeps the per-miner allocation count flat in the shard count:
+// S shard replicas each rebuild the same object universe, and with heap
+// vectors every replica re-paid every posting's doubling chain (the per-op
+// allocation growth visible in bench_hotpath_alloc at S=8), while an arena
+// amortizes them all into a few slabs.
 
 #ifndef FCP_INDEX_DI_INDEX_H_
 #define FCP_INDEX_DI_INDEX_H_
@@ -22,6 +26,7 @@
 #include "common/types.h"
 #include "index/segment_registry.h"
 #include "stream/segment.h"
+#include "util/arena.h"
 #include "util/flat_map.h"
 
 namespace fcp {
@@ -76,7 +81,8 @@ class DiIndex {
   size_t MemoryUsage() const;
 
  private:
-  FlatMap<ObjectId, std::vector<SegmentId>> postings_;
+  FlatMap<ObjectId, PooledVec<SegmentId>> postings_;
+  ChunkArena<SegmentId> posting_arena_;
   SegmentRegistry registry_;
   uint64_t total_entries_ = 0;
   size_t nonempty_postings_ = 0;

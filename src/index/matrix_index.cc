@@ -25,7 +25,14 @@ void MatrixIndex::Insert(const Segment& segment) {
       std::vector<SegmentId>& cell =
           cells_[PackKey(distinct_scratch_[i], distinct_scratch_[j])];
       if (cell.empty()) ++nonempty_cells_;
-      cell.push_back(segment.id());
+      if (cell.empty() || cell.back() < segment.id()) {
+        cell.push_back(segment.id());
+      } else {
+        // Migration backfill replays old ids after newer ones; keep the
+        // cell ascending (see di_index.cc).
+        cell.insert(std::lower_bound(cell.begin(), cell.end(), segment.id()),
+                    segment.id());
+      }
       ++total_entries_;
     }
   }

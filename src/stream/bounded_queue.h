@@ -114,6 +114,20 @@ class BoundedQueue {
     return PopLockedOrNull(lock);
   }
 
+  /// Waits until the queue is non-empty or `timeout_us` elapses, WITHOUT
+  /// popping; returns true iff non-empty on return. Work stealing needs the
+  /// wait and the pop split: the owning shard thread learns work exists
+  /// here, then pops under its miner mutex, so owner and thieves serialize
+  /// on the same lock and per-shard FIFO processing order is preserved.
+  /// Deliberately does NOT wake on close: a closed empty queue times out,
+  /// which paces the caller's drain/steal loop instead of spinning it.
+  bool WaitNonEmptyFor(int64_t timeout_us) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
+                 [&] { return !items_.empty(); });
+    return !items_.empty();
+  }
+
   /// Marks the queue closed; producers fail, consumers drain then see eof.
   void Close() {
     {

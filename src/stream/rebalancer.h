@@ -1,0 +1,115 @@
+// Rebalancer: turns observed per-shard load into placement changes.
+//
+// The routing thread feeds it every routed segment (ObserveSegment) and
+// periodically asks for a decision (MaybeRebalance). Every
+// `interval_segments` routed segments the rebalancer closes an *interval*:
+// it reads the router's per-shard delivery counters, computes the interval
+// imbalance (max/mean deliveries — the same definition the
+// `fcp_shard_load_imbalance_permille` gauge publishes), and, when the
+// imbalance exceeds the threshold, proposes a successor PlacementMap that
+// moves the hottest objects onto the shards that have paid the least
+// *cumulative modeled cost* — per-object decayed frequency squared,
+// attributed each interval to the object's owner. Squared, because the
+// owner of object w pays O(f_w²) of the pairwise probe-vs-chain work;
+// delivery counts anti-correlate with that cost at high skew (the hot
+// object's owner owns little else and so receives fewer deliveries than
+// the tail shards), which is why the destination model must use cost.
+//
+// Choosing destinations by cumulative cost is what breaks the skew ceiling:
+// a single object hot enough to dominate mining cost cannot be split within
+// one interval (its pairwise work is inherently serial per trigger), but
+// because its current owner accumulates cost fastest, the argmin-cumulative
+// rule hands it to a different shard each round — over the run every shard
+// pays ~1/S of the hot object's total cost, which is exactly the LPT bound
+// a static placement can never reach. Cold objects stay put: only objects
+// whose decayed interval count clears `min_move_weight` are candidates.
+//
+// Single-threaded: lives on the routing thread, next to the ShardRouter it
+// observes. Placement changes are applied by the caller via
+// ShardRouter::ApplyPlacement (see shard_router.h for the fence protocol).
+
+#ifndef FCP_STREAM_REBALANCER_H_
+#define FCP_STREAM_REBALANCER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/placement.h"
+#include "common/types.h"
+#include "stream/segment.h"
+#include "util/flat_map.h"
+
+namespace fcp {
+
+class ShardRouter;
+
+struct RebalancerOptions {
+  /// Decision cadence: close an interval every this many routed segments.
+  uint32_t interval_segments = 1024;
+  /// Interval imbalance (max/mean per-shard deliveries) that triggers moves.
+  double imbalance_threshold = 1.15;
+  /// At most this many objects move per round.
+  uint32_t max_moves_per_round = 4;
+  /// Objects with a smaller decayed count than this are never moved (the
+  /// tail is already spread fine by the hash / initial placement).
+  uint64_t min_move_weight = 8;
+  /// Per-round right-shift applied to all object counts, so the weights
+  /// track the recent window instead of the whole run.
+  uint32_t decay_shift = 1;
+  /// When false the rebalancer only measures (the imbalance gauge stays
+  /// live) and MaybeRebalance never proposes a placement. This is how the
+  /// engine shares one imbalance definition between dashboards and the
+  /// rebalancer even when --rebalance is off.
+  bool apply_moves = true;
+};
+
+/// Counters describing rebalancing activity (single-threaded, read after the
+/// run or from the owning thread).
+struct RebalancerStats {
+  uint64_t rounds = 0;           ///< intervals closed (gauge refreshes)
+  uint64_t rounds_triggered = 0; ///< intervals that produced a new placement
+  uint64_t objects_moved = 0;    ///< total moves across all rounds
+};
+
+class Rebalancer {
+ public:
+  Rebalancer(uint32_t num_shards, RebalancerOptions options = {});
+
+  Rebalancer(const Rebalancer&) = delete;
+  Rebalancer& operator=(const Rebalancer&) = delete;
+
+  /// Accounts one routed segment toward the current interval (and, when
+  /// moves are enabled, its objects toward the hot-object weights).
+  void ObserveSegment(const Segment& segment);
+
+  /// Closes the interval if due. Returns the successor placement to apply
+  /// (router->ApplyPlacement), or null when the interval is still open, the
+  /// load is balanced, or apply_moves is off. Reads `router`'s per-shard
+  /// delivery counters and current placement; does not mutate the router.
+  std::shared_ptr<const PlacementMap> MaybeRebalance(const ShardRouter& router);
+
+  /// max/mean per-shard deliveries of the last closed interval, in permille
+  /// (1000 = perfectly balanced). Valid after the first round.
+  int64_t imbalance_permille() const { return imbalance_permille_; }
+
+  const RebalancerStats& stats() const { return stats_; }
+
+ private:
+  const uint32_t num_shards_;
+  const RebalancerOptions options_;
+  FlatMap<ObjectId, uint64_t> counts_;  ///< decayed per-object delivery load
+  std::vector<uint64_t> last_routed_;   ///< router counters at interval open
+  std::vector<uint64_t> cumulative_;    ///< per-shard deliveries since start
+  std::vector<uint64_t> cumulative_cost_;  ///< per-shard modeled cost (Σf²)
+  std::vector<uint64_t> model_load_;    ///< scratch: cost model during moves
+  uint64_t observed_since_round_ = 0;
+  int64_t imbalance_permille_ = 1000;
+  RebalancerStats stats_;
+  std::vector<std::pair<uint64_t, ObjectId>> hot_scratch_;
+  std::vector<std::pair<ObjectId, uint32_t>> moves_scratch_;
+};
+
+}  // namespace fcp
+
+#endif  // FCP_STREAM_REBALANCER_H_

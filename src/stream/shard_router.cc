@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "common/check.h"
 
@@ -14,12 +15,28 @@ int64_t SteadyNowNs() {
       .count();
 }
 
+// Live-set compaction cadence: a full scan every this many Route() calls
+// keeps the amortized prune cost O(1) per segment while bounding how long an
+// expired copy can linger (segments complete out of start order, so a simple
+// pop-from-front would stall on one late-starting segment).
+constexpr uint64_t kCompactEvery = 256;
+
 }  // namespace
 
-ShardRouter::ShardRouter(uint32_t num_shards, size_t queue_capacity)
+ShardRouter::ShardRouter(uint32_t num_shards, size_t queue_capacity,
+                         ShardRouterOptions options)
     : num_shards_(num_shards),
-      routed_to_(new std::atomic<uint64_t>[num_shards]) {
+      options_(std::move(options)),
+      routed_to_(new std::atomic<uint64_t>[num_shards]),
+      placement_(options_.placement) {
   FCP_CHECK(num_shards >= 1);
+  if (options_.track_live) {
+    // LiveEntry::delivered is a 64-bit shard bitmask.
+    FCP_CHECK(num_shards <= 64);
+  }
+  if (placement_ != nullptr) {
+    FCP_CHECK(placement_->num_shards() == num_shards);
+  }
   queues_.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
     queues_.push_back(
@@ -35,34 +52,52 @@ uint32_t ShardRouter::Route(const Segment& segment) {
   const int64_t now_ns = SteadyNowNs();
 
   uint32_t delivered = 0;
+  uint64_t delivered_mask = 0;
   if (num_shards_ == 1) {
-    if (queues_[0]->Push(
-            ShardDelivery{segment, watermark_, now_ns, segment.id()})) {
+    if (queues_[0]->Push(ShardDelivery{segment, watermark_, now_ns,
+                                       segment.id(), placement_,
+                                       /*index_only=*/false})) {
       routed_to_[0].fetch_add(1, std::memory_order_relaxed);
       ++delivered;
+      delivered_mask = 1;
     }
   } else {
     // Mark each shard owning >= 1 entry object. Entries suffice (duplicates
     // just re-mark); no distinct-object vector is materialized.
     std::fill(target_scratch_.begin(), target_scratch_.end(), 0);
     for (const SegmentEntry& entry : segment.entries()) {
-      target_scratch_[ShardOf(entry.object, num_shards_)] = 1;
+      target_scratch_[TargetShard(entry.object)] = 1;
     }
     for (uint32_t s = 0; s < num_shards_; ++s) {
       if (!target_scratch_[s]) continue;
-      if (queues_[s]->Push(
-              ShardDelivery{segment, watermark_, now_ns, segment.id()})) {
+      if (queues_[s]->Push(ShardDelivery{segment, watermark_, now_ns,
+                                         segment.id(), placement_,
+                                         /*index_only=*/false})) {
         routed_to_[s].fetch_add(1, std::memory_order_relaxed);
         ++delivered;
+        delivered_mask |= uint64_t{1} << s;
       }
     }
   }
   stats_.deliveries += delivered;
+  if (options_.track_live && delivered > 0) {
+    live_.push_back(LiveEntry{segment, delivered_mask});
+    if (++routes_since_compact_ >= kCompactEvery) CompactLive();
+  }
   return delivered;
 }
 
 uint64_t ShardRouter::RouteBatch(const Segment* segments, size_t count) {
   if (count == 0) return 0;
+  // The live set needs one delivered-mask per segment; the batch staging
+  // below only keeps per-shard buffers, so the tracking variant just routes
+  // one at a time (migration runs care about adaptivity, not the last few
+  // percent of routing throughput).
+  if (options_.track_live) {
+    uint64_t delivered = 0;
+    for (size_t k = 0; k < count; ++k) delivered += Route(segments[k]);
+    return delivered;
+  }
   const int64_t now_ns = SteadyNowNs();
   // Stage the deliveries per shard first — the watermark must advance
   // cumulatively in segment order (delivery k ships the max end time over
@@ -74,18 +109,20 @@ uint64_t ShardRouter::RouteBatch(const Segment* segments, size_t count) {
     watermark_ = std::max(watermark_, segment.end_time());
     ++stats_.segments_routed;
     if (num_shards_ == 1) {
-      batch_scratch_[0].push_back(
-          ShardDelivery{segment, watermark_, now_ns, segment.id()});
+      batch_scratch_[0].push_back(ShardDelivery{segment, watermark_, now_ns,
+                                                segment.id(), placement_,
+                                                /*index_only=*/false});
       continue;
     }
     std::fill(target_scratch_.begin(), target_scratch_.end(), 0);
     for (const SegmentEntry& entry : segment.entries()) {
-      target_scratch_[ShardOf(entry.object, num_shards_)] = 1;
+      target_scratch_[TargetShard(entry.object)] = 1;
     }
     for (uint32_t s = 0; s < num_shards_; ++s) {
       if (!target_scratch_[s]) continue;
-      batch_scratch_[s].push_back(
-          ShardDelivery{segment, watermark_, now_ns, segment.id()});
+      batch_scratch_[s].push_back(ShardDelivery{segment, watermark_, now_ns,
+                                                segment.id(), placement_,
+                                                /*index_only=*/false});
     }
   }
   uint64_t delivered = 0;
@@ -97,6 +134,57 @@ uint64_t ShardRouter::RouteBatch(const Segment* segments, size_t count) {
   }
   stats_.deliveries += delivered;
   return delivered;
+}
+
+void ShardRouter::CompactLive() {
+  routes_since_compact_ = 0;
+  while (!live_.empty() &&
+         watermark_ - live_.front().segment.start_time() > options_.tau) {
+    live_.pop_front();
+  }
+  // Segments complete out of start order, so expired entries can hide behind
+  // a long-lived front; erase-remove the stragglers in one pass.
+  if (!live_.empty()) {
+    live_.erase(std::remove_if(live_.begin(), live_.end(),
+                               [&](const LiveEntry& e) {
+                                 return watermark_ - e.segment.start_time() >
+                                        options_.tau;
+                               }),
+                live_.end());
+  }
+}
+
+uint64_t ShardRouter::ApplyPlacement(std::shared_ptr<const PlacementMap> next) {
+  FCP_CHECK(options_.track_live);
+  FCP_CHECK(next != nullptr && next->num_shards() == num_shards_);
+  const int64_t now_ns = SteadyNowNs();
+  CompactLive();
+  uint64_t backfills = 0;
+  for (LiveEntry& entry : live_) {
+    // Shards owning >= 1 object of this segment under the NEW placement but
+    // that never received it: their index would miss a valid supporter of a
+    // pattern they are about to own, so replay it index-only. FIFO order
+    // guarantees the replay lands before any trigger routed under `next`.
+    uint64_t need = 0;
+    for (const SegmentEntry& e : entry.segment.entries()) {
+      need |= uint64_t{1} << next->shard_of(e.object);
+    }
+    need &= ~entry.delivered;
+    if (need == 0) continue;
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      if (!(need & (uint64_t{1} << s))) continue;
+      if (queues_[s]->Push(ShardDelivery{entry.segment, watermark_, now_ns,
+                                         entry.segment.id(), next,
+                                         /*index_only=*/true})) {
+        ++backfills;
+      }
+    }
+    entry.delivered |= need;
+  }
+  placement_ = std::move(next);
+  stats_.backfill_deliveries += backfills;
+  ++stats_.placements_applied;
+  return backfills;
 }
 
 void ShardRouter::Close() {

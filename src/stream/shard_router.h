@@ -14,15 +14,29 @@
 // segment stream, so its own max-end-time would lag the pipeline's and
 // expire supporters later than the serial miner does. Miners call
 // AdvanceWatermark(delivery.watermark) before AddSegment to stay aligned.
+//
+// Live migration (DESIGN.md §2.6) rides the same delivery path. The router
+// targets shards through an immutable PlacementMap snapshot and stamps the
+// route-time snapshot on every delivery — that is the fence: a trigger is
+// mined under exactly one placement on every shard that receives it, so the
+// per-trigger ownership partition stays complete and disjoint no matter how
+// many times placement changes. ApplyPlacement() switches to a successor
+// snapshot after enqueuing *index-only backfill* deliveries: every still-
+// valid segment is replayed to the shards that own one of its objects under
+// the new placement but never received it. Per-shard FIFO order then
+// guarantees the new owner's index holds every valid supporter before the
+// first trigger routed under the new snapshot arrives.
 
 #ifndef FCP_STREAM_SHARD_ROUTER_H_
 #define FCP_STREAM_SHARD_ROUTER_H_
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
+#include "common/placement.h"
 #include "common/shard.h"
 #include "common/types.h"
 #include "stream/bounded_queue.h"
@@ -45,6 +59,14 @@ struct ShardDelivery {
   /// chain in Perfetto. Stamped unconditionally (one uint64 store) so the
   /// router stays independent of the recorder's enabled state.
   uint64_t trace_flow = 0;
+  /// The placement snapshot in force when this delivery was enqueued (null =
+  /// hash placement). The consuming shard applies it to its miner before
+  /// processing, so ownership decisions for this segment match the routing
+  /// decision that produced the delivery — the migration fence.
+  std::shared_ptr<const PlacementMap> placement;
+  /// Migration backfill: index the segment (AddSegmentIndexOnly), do not
+  /// mine it. The segment was already mined by its route-time owners.
+  bool index_only = false;
 };
 
 /// Routing counters (racy snapshots while the pipeline runs; exact after
@@ -52,12 +74,27 @@ struct ShardDelivery {
 struct ShardRouterStats {
   uint64_t segments_routed = 0;  ///< Route() calls
   uint64_t deliveries = 0;       ///< sum over shards of segments enqueued
+  uint64_t backfill_deliveries = 0;  ///< index-only migration replays
+  uint64_t placements_applied = 0;   ///< ApplyPlacement() calls
+};
+
+/// Optional router behaviour; the defaults reproduce static hash routing.
+struct ShardRouterOptions {
+  /// Initial placement snapshot (null = Mix64 hash).
+  std::shared_ptr<const PlacementMap> placement;
+  /// Keep the live-segment set (with per-shard delivered masks) required by
+  /// ApplyPlacement. Costs one segment copy per Route; requires
+  /// num_shards <= 64 and a valid `tau`.
+  bool track_live = false;
+  /// Validity window for the live set (same tau the miners use).
+  DurationMs tau = 0;
 };
 
 class ShardRouter {
  public:
   /// `num_shards >= 1`; `queue_capacity` bounds each per-shard queue.
-  ShardRouter(uint32_t num_shards, size_t queue_capacity);
+  ShardRouter(uint32_t num_shards, size_t queue_capacity,
+              ShardRouterOptions options = {});
 
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
@@ -74,6 +111,19 @@ class ShardRouter {
   /// sequence of Route() calls would have shipped — sharded output stays
   /// byte-identical to serial. Returns the total deliveries enqueued.
   uint64_t RouteBatch(const Segment* segments, size_t count);
+
+  /// Switches routing to `next` (a successor snapshot, normally produced by
+  /// Rebalancer / PlacementMap::WithMoves) after enqueuing index-only
+  /// backfill deliveries for every still-valid segment a new owner lacks.
+  /// Requires ShardRouterOptions::track_live. Must be called from the
+  /// routing thread (the router is single-producer). Returns the number of
+  /// backfill deliveries enqueued.
+  uint64_t ApplyPlacement(std::shared_ptr<const PlacementMap> next);
+
+  /// The placement snapshot currently in force (null = hash).
+  const std::shared_ptr<const PlacementMap>& placement() const {
+    return placement_;
+  }
 
   /// Closes every shard queue; consumers drain then see end-of-stream.
   void Close();
@@ -101,13 +151,35 @@ class ShardRouter {
   }
 
  private:
+  /// One still-valid routed segment plus the set of shards (bitmask) it has
+  /// been delivered to, mined or backfilled. ApplyPlacement compares the
+  /// mask against the new placement's target set to find owed backfills.
+  struct LiveEntry {
+    Segment segment;
+    uint64_t delivered = 0;
+  };
+
+  /// The shard `object` routes to under the current placement.
+  uint32_t TargetShard(ObjectId object) const {
+    if (placement_ != nullptr) return placement_->shard_of(object);
+    return ShardOf(object, num_shards_);
+  }
+
+  /// Drops expired entries (watermark anchored, same predicate as the
+  /// miners) from the live set.
+  void CompactLive();
+
   const uint32_t num_shards_;
+  ShardRouterOptions options_;
   std::vector<std::unique_ptr<BoundedQueue<ShardDelivery>>> queues_;
   std::unique_ptr<std::atomic<uint64_t>[]> routed_to_;  ///< per-shard count
   Timestamp watermark_ = kMinTimestamp;
+  std::shared_ptr<const PlacementMap> placement_;  ///< null = hash
   std::vector<uint8_t> target_scratch_;  ///< per-shard "owns an object" flags
   /// RouteBatch's per-shard staging buffers (capacity reused across calls).
   std::vector<std::vector<ShardDelivery>> batch_scratch_;
+  std::deque<LiveEntry> live_;     ///< valid routed segments (track_live)
+  uint64_t routes_since_compact_ = 0;
   ShardRouterStats stats_;
 };
 

@@ -12,11 +12,14 @@
 
 #include "util/alloc_counter.h"  // must be first: defines operator new/delete
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/shard.h"
 #include "core/engine_metrics.h"
 #include "core/miner.h"
 #include "index/seg_tree.h"
@@ -125,6 +128,56 @@ TEST(AllocRegressionTest, DiMineSteadyStateAddSegmentIsAllocationFree) {
 
 TEST(AllocRegressionTest, MatrixMineSteadyStateAddSegmentIsAllocationFree) {
   EXPECT_EQ(SteadyStateAllocations(MinerKind::kMatrixMine), 0u);
+}
+
+// The sharded deployment must not scale allocations with the shard count:
+// S replicas each index the full closed universe, so any per-posting heap
+// growth (the doubling chain a plain std::vector pays per object) is paid S
+// times over. With arena-pooled postings every replica converges during the
+// warm cycles and the steady-state half must be allocation-free — the same
+// zero the serial miner achieves, not merely "small".
+TEST(AllocRegressionTest, ShardedDiMineSteadyStateIsAllocationFree) {
+  constexpr uint32_t kShards = 4;
+  const MiningParams params = SteadyParams();
+  Rng rng(42);
+  const std::vector<Segment> trace =
+      BuildCyclicTrace(BuildSegmentPool(400, rng), /*cycles=*/6, params);
+
+  std::vector<std::unique_ptr<FcpMiner>> miners;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    miners.push_back(MakeMiner(MinerKind::kDiMine, params,
+                               ShardSpec{s, kShards}));
+  }
+  std::vector<Fcp> sink;
+  sink.reserve(64);
+  std::vector<uint32_t> targets;
+  targets.reserve(kShards);
+  auto deliver = [&](const Segment& segment) {
+    targets.clear();
+    // Route off the raw entries (DistinctObjects() allocates a fresh vector,
+    // which would charge the harness's own routing to the miners).
+    for (const SegmentEntry& entry : segment.entries()) {
+      const uint32_t shard = ShardOf(entry.object, kShards);
+      if (std::find(targets.begin(), targets.end(), shard) == targets.end()) {
+        targets.push_back(shard);
+      }
+    }
+    for (uint32_t target : targets) {
+      miners[target]->AdvanceWatermark(segment.end_time());
+      sink.clear();
+      miners[target]->AddSegment(segment, &sink);
+    }
+  };
+
+  const size_t warm = trace.size() / 2;
+  for (size_t i = 0; i < warm; ++i) deliver(trace[i]);
+
+  const uint64_t before = alloc_counter::allocations();
+  for (size_t i = warm; i < trace.size(); ++i) deliver(trace[i]);
+  const uint64_t allocations = alloc_counter::allocations() - before;
+  EXPECT_EQ(allocations, 0u)
+      << "sharded (S=" << kShards << ") DiMine steady state performed "
+      << allocations << " heap allocations";
 }
 
 // The SIMD kernel layer must not disturb the invariant at any dispatch

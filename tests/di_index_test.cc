@@ -93,11 +93,13 @@ TEST(DiIndexTest, MemoryTracksEntries) {
   EXPECT_GT(full, empty);
   // The registry's flat table retains its capacity after expiry (that is
   // what makes steady-state churn allocation-free), so the drained index
-  // does not fall back to `empty` — but it must not exceed the peak, and a
-  // refill of the same shape must reuse the retained capacity.
+  // does not fall back to `empty` — but it must not exceed the peak beyond
+  // the posting arena's free-list bookkeeping, whose vectors only acquire
+  // capacity when the first drain hands chunks back (a one-time, bounded
+  // cost). A refill of the same shape must reuse the retained capacity.
   index.RemoveExpired(1000000, kTau);
   const size_t drained = index.MemoryUsage();
-  EXPECT_LE(drained, full);
+  EXPECT_LE(drained, full + 256);
   for (SegmentId id = 100; id < 150; ++id) {
     index.Insert(MakeSegment(id, 0, {static_cast<ObjectId>(id % 7)},
                              static_cast<Timestamp>(1000000 + id)));

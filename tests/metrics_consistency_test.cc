@@ -208,6 +208,77 @@ TEST(MetricsConsistencyQueueTest, QueueGaugesBoundedUnderConcurrentSampling) {
   }
 }
 
+TEST(MetricsConsistencyRebalanceTest, ImbalanceGaugeMatchesRebalancerValue) {
+  // One imbalance definition, two consumers: the
+  // fcp_shard_load_imbalance_permille gauge a dashboard scrapes and the
+  // Rebalancer's trigger input must be the same number — both are the
+  // Rebalancer's max/mean-per-interval computation, published verbatim.
+  const std::vector<ObjectEvent> events = Trace();
+  ParallelEngineOptions options;
+  options.num_workers = 1;
+  options.num_miner_shards = 4;
+  options.rebalancer.interval_segments = 64;  // cadence only; no moves
+  ParallelEngine engine(MinerKind::kCooMine, Params(), options);
+  for (const ObjectEvent& event : events) engine.Push(event);
+  engine.Finish();
+
+  // Rebalancing was NOT requested, but S > 1 keeps the gauge live
+  // (measure-only mode) so dashboards see skew before anyone opts into
+  // moving objects.
+  ASSERT_NE(engine.rebalancer(), nullptr);
+  EXPECT_GT(engine.rebalancer()->stats().rounds, 0u)
+      << "no load interval closed — shrink interval_segments or grow the "
+         "trace";
+  const auto samples = engine.SnapshotMetrics();
+  EXPECT_EQ(Find(samples, "fcp_shard_load_imbalance_permille").gauge_value,
+            engine.rebalancer()->imbalance_permille());
+  // A balanced-or-worse ratio is >= 1 by construction.
+  EXPECT_GE(engine.rebalancer()->imbalance_permille(), 1000);
+  // Measure-only mode must not have moved anything.
+  EXPECT_EQ(engine.rebalancer()->stats().objects_moved, 0u);
+  EXPECT_EQ(Find(samples, "fcp_migrations_total").counter_value, 0u);
+  EXPECT_EQ(Find(samples, "fcp_backfill_deliveries_total").counter_value, 0u);
+}
+
+TEST(MetricsConsistencyRebalanceTest, MigrationCountersMirrorEngineState) {
+  const std::vector<ObjectEvent> events = Trace();
+  ParallelEngineOptions options;
+  options.num_workers = 1;
+  options.num_miner_shards = 4;
+  options.rebalance = true;
+  options.rebalancer.interval_segments = 32;
+  options.rebalancer.imbalance_threshold = 1.0;
+  options.rebalancer.min_move_weight = 2;
+  ParallelEngine engine(MinerKind::kCooMine, Params(), options);
+  for (const ObjectEvent& event : events) engine.Push(event);
+  engine.Finish();
+
+  ASSERT_NE(engine.rebalancer(), nullptr);
+  const RebalancerStats& stats = engine.rebalancer()->stats();
+  ASSERT_GT(stats.rounds_triggered, 0u)
+      << "rebalancing never triggered — the counters went unexercised";
+  const auto samples = engine.SnapshotMetrics();
+  EXPECT_EQ(Find(samples, "fcp_rebalance_rounds_total").counter_value,
+            stats.rounds_triggered);
+  EXPECT_EQ(Find(samples, "fcp_migrations_total").counter_value,
+            stats.objects_moved);
+  EXPECT_EQ(Find(samples, "fcp_backfill_deliveries_total").counter_value,
+            engine.router_stats().backfill_deliveries);
+  // Every migration round was timed into the latency histogram.
+  EXPECT_EQ(Find(samples, "fcp_migration_latency_us").histogram.total,
+            engine.router_stats().placements_applied);
+  // Backfills land in the per-shard miners as index-only segments; the
+  // mined counters still reconcile exactly with routed deliveries.
+  uint64_t mined = 0;
+  uint64_t backfilled = 0;
+  for (uint32_t s = 0; s < options.num_miner_shards; ++s) {
+    mined += engine.shard_miner(s).stats().segments_processed;
+    backfilled += engine.shard_miner(s).stats().segments_indexed_only;
+  }
+  EXPECT_EQ(mined, engine.router_stats().deliveries);
+  EXPECT_EQ(backfilled, engine.router_stats().backfill_deliveries);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllMinersAllShardCounts, MetricsConsistencyTest,
     ::testing::Combine(::testing::Values(MinerKind::kCooMine,

@@ -1,0 +1,191 @@
+// Rebalancer decision logic, driven through a real ShardRouter: interval
+// imbalance measurement (the one definition the gauge publishes), hot-object
+// move proposals, gauge-only mode, and the argmin-cumulative rotation that
+// time-slices a single dominant object across shards.
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/placement.h"
+#include "stream/rebalancer.h"
+#include "stream/segment.h"
+#include "stream/shard_router.h"
+#include "test_util.h"
+
+namespace fcp {
+namespace {
+
+using testing::MakeSegment;
+
+constexpr uint32_t kShards = 4;
+
+std::unique_ptr<ShardRouter> MakeRouter() {
+  ShardRouterOptions options;
+  options.track_live = true;
+  options.tau = Minutes(10);
+  return std::make_unique<ShardRouter>(kShards, /*queue_capacity=*/65536,
+                                       std::move(options));
+}
+
+// Routes a run of single-object segments for `object`, observing each.
+void RouteHot(ShardRouter& router, Rebalancer& rebalancer, ObjectId object,
+              uint32_t count, SegmentId& next_id, Timestamp& time) {
+  for (uint32_t i = 0; i < count; ++i) {
+    const Segment segment =
+        MakeSegment(next_id++, /*stream=*/0, {object}, time += 10);
+    router.Route(segment);
+    rebalancer.ObserveSegment(segment);
+  }
+}
+
+TEST(RebalancerTest, BalancedLoadNeverTriggers) {
+  auto router_ptr = MakeRouter();
+  ShardRouter& router = *router_ptr;
+  RebalancerOptions options;
+  options.interval_segments = 64;
+  options.min_move_weight = 2;
+  Rebalancer rebalancer(kShards, options);
+  SegmentId id = 1;
+  Timestamp time = 0;
+  // One segment per shard per step: every interval is perfectly balanced.
+  std::vector<ObjectId> per_shard(kShards);
+  {
+    const PlacementMap hash(kShards);
+    uint32_t found = 0;
+    for (ObjectId o = 0; found < kShards && o < 1000; ++o) {
+      const uint32_t s = hash.shard_of(o);
+      if (per_shard[s] == 0 && o != 0) {
+        per_shard[s] = o;
+        ++found;
+      }
+    }
+  }
+  std::shared_ptr<const PlacementMap> proposed;
+  for (uint32_t step = 0; step < 64; ++step) {
+    for (ObjectId object : per_shard) {
+      RouteHot(router, rebalancer, object, 1, id, time);
+      if (auto next = rebalancer.MaybeRebalance(router)) proposed = next;
+    }
+  }
+  EXPECT_EQ(proposed, nullptr);
+  EXPECT_GT(rebalancer.stats().rounds, 0u);
+  EXPECT_EQ(rebalancer.stats().rounds_triggered, 0u);
+  // max/mean == 1 exactly.
+  EXPECT_EQ(rebalancer.imbalance_permille(), 1000);
+}
+
+TEST(RebalancerTest, SkewTriggersMoveOffTheHotShard) {
+  auto router_ptr = MakeRouter();
+  ShardRouter& router = *router_ptr;
+  RebalancerOptions options;
+  options.interval_segments = 100;
+  options.imbalance_threshold = 1.15;
+  options.min_move_weight = 8;
+  Rebalancer rebalancer(kShards, options);
+  SegmentId id = 1;
+  Timestamp time = 0;
+  constexpr ObjectId kHot = 7;
+  const uint32_t hot_home = PlacementMap(kShards).shard_of(kHot);
+
+  // 100 deliveries, ~all to the hot object's shard: imbalance ~= S.
+  RouteHot(router, rebalancer, kHot, 100, id, time);
+  auto next = rebalancer.MaybeRebalance(router);
+  ASSERT_NE(next, nullptr);
+  EXPECT_GT(rebalancer.imbalance_permille(), 3000);
+  EXPECT_EQ(rebalancer.stats().rounds_triggered, 1u);
+  EXPECT_GE(rebalancer.stats().objects_moved, 1u);
+  // The hot object left its home shard.
+  EXPECT_NE(next->shard_of(kHot), hot_home);
+  EXPECT_EQ(next->version(), 1u);
+}
+
+TEST(RebalancerTest, GaugeOnlyModeMeasuresButNeverMoves) {
+  auto router_ptr = MakeRouter();
+  ShardRouter& router = *router_ptr;
+  RebalancerOptions options;
+  options.interval_segments = 50;
+  options.apply_moves = false;
+  Rebalancer rebalancer(kShards, options);
+  SegmentId id = 1;
+  Timestamp time = 0;
+  RouteHot(router, rebalancer, /*object=*/3, 50, id, time);
+  EXPECT_EQ(rebalancer.MaybeRebalance(router), nullptr);
+  // The gauge is still live: maximal skew reads ~S * 1000.
+  EXPECT_EQ(rebalancer.imbalance_permille(), 4000);
+  EXPECT_EQ(rebalancer.stats().rounds_triggered, 0u);
+}
+
+TEST(RebalancerTest, HotObjectRotatesAcrossShardsOverRounds) {
+  // The skew-ceiling breaker: one object dominating every interval must not
+  // stay pinned to one shard. Applying each proposed placement back to the
+  // router, the hot object's owner changes round over round, visiting
+  // several shards — time-sliced LPT.
+  auto router_ptr = MakeRouter();
+  ShardRouter& router = *router_ptr;
+  RebalancerOptions options;
+  options.interval_segments = 64;
+  options.imbalance_threshold = 1.05;
+  options.min_move_weight = 4;
+  Rebalancer rebalancer(kShards, options);
+  SegmentId id = 1;
+  Timestamp time = 0;
+  constexpr ObjectId kHot = 11;
+
+  std::set<uint32_t> owners_seen;
+  owners_seen.insert(PlacementMap(kShards).shard_of(kHot));
+  for (uint32_t round = 0; round < 8; ++round) {
+    RouteHot(router, rebalancer, kHot, 64, id, time);
+    if (auto next = rebalancer.MaybeRebalance(router)) {
+      owners_seen.insert(next->shard_of(kHot));
+      router.ApplyPlacement(std::move(next));
+    }
+    // Drain the hot shard's queue so capacity never backpressures the test.
+    for (uint32_t s = 0; s < kShards; ++s) {
+      while (router.queue(s).TryPop().has_value()) {
+      }
+    }
+  }
+  EXPECT_GE(owners_seen.size(), 3u)
+      << "hot object stayed pinned instead of rotating";
+  EXPECT_GE(rebalancer.stats().rounds_triggered, 4u);
+}
+
+TEST(RebalancerTest, ColdObjectsBelowMinWeightNeverMove) {
+  auto router_ptr = MakeRouter();
+  ShardRouter& router = *router_ptr;
+  RebalancerOptions options;
+  options.interval_segments = 40;
+  options.imbalance_threshold = 1.05;
+  options.min_move_weight = 1000;  // nothing can clear this
+  Rebalancer rebalancer(kShards, options);
+  SegmentId id = 1;
+  Timestamp time = 0;
+  RouteHot(router, rebalancer, /*object=*/5, 40, id, time);
+  // Skewed, but no candidate clears the weight floor: no proposal.
+  EXPECT_EQ(rebalancer.MaybeRebalance(router), nullptr);
+  EXPECT_GT(rebalancer.imbalance_permille(), 3000);
+  EXPECT_EQ(rebalancer.stats().objects_moved, 0u);
+}
+
+TEST(RebalancerTest, IntervalGateHoldsUntilEnoughSegments) {
+  auto router_ptr = MakeRouter();
+  ShardRouter& router = *router_ptr;
+  RebalancerOptions options;
+  options.interval_segments = 100;
+  Rebalancer rebalancer(kShards, options);
+  SegmentId id = 1;
+  Timestamp time = 0;
+  RouteHot(router, rebalancer, /*object=*/2, 99, id, time);
+  EXPECT_EQ(rebalancer.MaybeRebalance(router), nullptr);
+  EXPECT_EQ(rebalancer.stats().rounds, 0u);
+  RouteHot(router, rebalancer, /*object=*/2, 1, id, time);
+  rebalancer.MaybeRebalance(router);
+  EXPECT_EQ(rebalancer.stats().rounds, 1u);
+}
+
+}  // namespace
+}  // namespace fcp

@@ -40,6 +40,20 @@
 //                         invariant in S; alerts print after the run drains.
 //   --workers=W           parallel ingestion workers (default 2; needs
 //                         --shards >= 1)
+//   --placement=hash|freq initial object->shard placement (default hash).
+//                         freq runs an offline frequency pre-pass over the
+//                         trace and seeds a greedy (LPT) placement, so hot
+//                         objects spread across shards instead of landing
+//                         wherever the hash says. Results are invariant.
+//   --rebalance           watch per-shard load while mining and migrate hot
+//                         objects between shards through the router's
+//                         backfill fence (needs --shards >= 2). Results are
+//                         invariant; the imbalance gauge and migration
+//                         counters land in --metrics output.
+//   --steal               idle shard threads mine queued segments of the
+//                         most-loaded shard (that shard's miner, under its
+//                         mutex). Results are invariant; only thread
+//                         assignment changes.
 //   --trace=<path>[,ring_kb]   record a flight-recorder trace of the run and
 //                         write Chrome trace-event JSON to <path> (open in
 //                         Perfetto / chrome://tracing). ring_kb sizes each
@@ -58,7 +72,10 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/placement.h"
 #include "core/mining_engine.h"
 #include "core/parallel_engine.h"
 #include "core/pattern_report.h"
@@ -213,6 +230,35 @@ int main(int argc, char** argv) {
   if (shards < 0) return Fail("--shards must be >= 0 (0 = serial engine)");
   if (shards > 0 && workers < 1) return Fail("--workers must be >= 1");
 
+  const std::string placement_mode = flags.GetString("placement", "hash");
+  const bool rebalance = flags.GetBool("rebalance", false);
+  const bool steal = flags.GetBool("steal", false);
+  if (placement_mode != "hash" && placement_mode != "freq") {
+    return Fail("unknown --placement '" + placement_mode +
+                "' (want hash or freq)");
+  }
+  if ((placement_mode == "freq" || rebalance || steal) && shards < 1) {
+    return Fail("--placement=freq/--rebalance/--steal need --shards >= 1");
+  }
+  std::shared_ptr<const fcp::PlacementMap> placement;
+  if (placement_mode == "freq" && shards > 1) {
+    // Offline pre-pass: observed per-object frequencies seed a greedy (LPT)
+    // placement. Ownership is placement-agnostic, so this only moves load —
+    // the mined output is identical.
+    std::vector<uint64_t> counts;
+    for (const fcp::ObjectEvent& event : events) {
+      if (event.object >= counts.size()) counts.resize(event.object + 1, 0);
+      ++counts[event.object];
+    }
+    std::vector<std::pair<fcp::ObjectId, uint64_t>> weights;
+    weights.reserve(counts.size());
+    for (fcp::ObjectId object = 0; object < counts.size(); ++object) {
+      if (counts[object] > 0) weights.push_back({object, counts[object]});
+    }
+    placement =
+        fcp::BuildGreedyPlacement(weights, static_cast<uint32_t>(shards));
+  }
+
   const fcp::DurationMs suppression =
       fcp::Seconds(flags.GetInt("suppress", params.tau / 1000));
   const std::string report = flags.GetString("report", "stream");
@@ -246,6 +292,9 @@ int main(int argc, char** argv) {
     poptions.num_miner_shards = static_cast<uint32_t>(shards);
     poptions.suppression_window = suppression;
     poptions.metrics = &fcp::telemetry::MetricRegistry::Global();
+    poptions.placement = placement;
+    poptions.rebalance = rebalance;
+    poptions.steal = steal;
     fcp::ParallelEngine engine(kind, params, poptions);
     if (batch <= 1) {
       for (const fcp::ObjectEvent& event : events) engine.Push(event);
