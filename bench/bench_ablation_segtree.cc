@@ -93,14 +93,14 @@ void AblateLazyDeletion(const std::vector<ObjectEvent>& events,
     CooMine miner(p, options);
     std::vector<Fcp> sink;
     StreamMux mux(p.xi);
-    std::vector<Segment> scratch;
+    std::vector<SegmentRef> scratch;
     Stopwatch clock;
     for (const ObjectEvent& event : events) {
       scratch.clear();
       mux.Push(event, &scratch);
-      for (const Segment& segment : scratch) {
+      for (const SegmentRef& segment : scratch) {
         sink.clear();
-        miner.AddSegment(segment, &sink);
+        miner.AddSegment(*segment, &sink);
       }
     }
     table->AddRow(

@@ -28,7 +28,7 @@ void RunDataset(Dataset dataset, const BenchScale& scale,
 
   SegTree tree;
   StreamMux mux(params.xi);
-  std::vector<Segment> scratch;
+  std::vector<SegmentRef> scratch;
   Timestamp watermark = kMinTimestamp;
   Timestamp last_sweep = kMinTimestamp;
 
@@ -39,7 +39,8 @@ void RunDataset(Dataset dataset, const BenchScale& scale,
   for (size_t i = 0; i < events.size(); ++i) {
     scratch.clear();
     mux.Push(events[i], &scratch);
-    for (const Segment& segment : scratch) {
+    for (const SegmentRef& ref : scratch) {
+      const Segment& segment = *ref;
       tree.Insert(segment);
       watermark = std::max(watermark, segment.end_time());
       if (last_sweep == kMinTimestamp) last_sweep = watermark;

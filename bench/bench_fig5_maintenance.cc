@@ -34,7 +34,8 @@ class TimedTrio {
   void PushEvent(const ObjectEvent& event) {
     scratch_.clear();
     mux_.Push(event, &scratch_);
-    for (const Segment& segment : scratch_) {
+    for (const SegmentRef& ref : scratch_) {
+      const Segment& segment = *ref;
       watermark_ = std::max(watermark_, segment.end_time());
       {
         Stopwatch timer;
@@ -84,7 +85,7 @@ class TimedTrio {
   SegTree tree_;
   DiIndex di_;
   MatrixIndex matrix_;
-  std::vector<Segment> scratch_;
+  std::vector<SegmentRef> scratch_;
   Timestamp watermark_ = kMinTimestamp;
   Timestamp last_sweep_ = kMinTimestamp;
   int64_t tree_ns_ = 0;

@@ -31,7 +31,8 @@ class IndexTrio {
   void PushEvent(const ObjectEvent& event, bool auto_sweep) {
     scratch_.clear();
     mux_.Push(event, &scratch_);
-    for (const Segment& segment : scratch_) {
+    for (const SegmentRef& ref : scratch_) {
+      const Segment& segment = *ref;
       tree_.Insert(segment);
       di_.Insert(segment);
       matrix_.Insert(segment);
@@ -63,7 +64,7 @@ class IndexTrio {
   SegTree tree_;
   DiIndex di_;
   MatrixIndex matrix_;
-  std::vector<Segment> scratch_;
+  std::vector<SegmentRef> scratch_;
   Timestamp watermark_ = kMinTimestamp;
   Timestamp last_sweep_ = kMinTimestamp;
 };

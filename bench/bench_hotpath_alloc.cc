@@ -31,6 +31,8 @@
 #include "common/shard.h"
 #include "core/engine_metrics.h"
 #include "core/miner.h"
+#include "stream/segment_ref.h"
+#include "stream/shard_router.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
 #include "util/flags.h"
@@ -175,6 +177,60 @@ OpCost MeasureShardedAddSegment(MinerKind kind, const MiningParams& params,
   return cost;
 }
 
+// Router-path cost of the zero-copy segment fabric: a real ShardRouter
+// (live tracking on, as under --rebalance) multicasting refcounted slabs,
+// with every delivery drained and dropped right after its Route so the
+// measurement covers the delivery's full life — multicast refcount bumps,
+// queue churn, live-ring upkeep, final release. The refs are adopted once
+// before the timed region; steady state must stay at (essentially) zero
+// allocations per delivery for every fan-out, because a delivery is a
+// refcount increment, never an entry-vector copy.
+struct RouterCost {
+  OpCost op;
+  double bytes_per_op = 0;
+};
+
+RouterCost MeasureRouterPath(const std::vector<Segment>& segments,
+                             DurationMs tau, uint32_t num_shards) {
+  ShardRouterOptions options;
+  options.track_live = true;
+  options.tau = tau;
+  ShardRouter router(num_shards, /*queue_capacity=*/4096, std::move(options));
+  std::vector<SegmentRef> refs;
+  refs.reserve(segments.size());
+  for (const Segment& segment : segments) {
+    refs.push_back(SegmentRef::Adopt(Segment(segment)));
+  }
+
+  uint64_t deliveries = 0;
+  auto replay = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      router.Route(refs[i]);
+      for (uint32_t s = 0; s < num_shards; ++s) {
+        while (router.queue(s).TryPop()) ++deliveries;
+      }
+    }
+  };
+  const size_t warm = segments.size() / 2;
+  replay(0, warm);
+
+  deliveries = 0;
+  const uint64_t allocs_before = alloc_counter::allocations();
+  const uint64_t bytes_before = alloc_counter::bytes_allocated();
+  Stopwatch timer;
+  replay(warm, segments.size());
+  const int64_t elapsed_ns = timer.ElapsedNanos();
+  const uint64_t allocs = alloc_counter::allocations() - allocs_before;
+  const uint64_t bytes = alloc_counter::bytes_allocated() - bytes_before;
+
+  const double ops = static_cast<double>(deliveries);
+  RouterCost cost;
+  cost.op.ns_per_op = static_cast<double>(elapsed_ns) / ops;
+  cost.op.allocs_per_op = static_cast<double>(allocs) / ops;
+  cost.bytes_per_op = static_cast<double>(bytes) / ops;
+  return cost;
+}
+
 int Run(int argc, char** argv) {
   const Flags flags(argc, argv);
   const BenchScale scale(flags);
@@ -267,6 +323,26 @@ int Run(int argc, char** argv) {
     std::printf("%-24s %14.1f %14.3f %12.1f\n", record.name.c_str(),
                 record.ns_per_op, record.allocs_per_op,
                 static_cast<double>(record.rss_bytes) / (1024.0 * 1024.0));
+    records.push_back(record);
+  }
+  // Zero-copy router path (Issue 7 satellite): allocations and bytes per
+  // delivery through a live-tracking ShardRouter. The fan-out grows with S
+  // but a delivery stays a refcount bump, so both columns must hold
+  // near-zero at every shard count.
+  std::printf("\n%-24s %14s %14s %12s\n", "router path", "ns/op", "allocs/op",
+              "bytes/op");
+  for (const uint32_t num_shards : {2u, 4u, 8u}) {
+    const RouterCost cost =
+        MeasureRouterPath(segments, zipf_params.tau, num_shards);
+    JsonRecord record;
+    record.name = "router/zipf/S" + std::to_string(num_shards) + kernel_suffix;
+    record.ns_per_op = cost.op.ns_per_op;
+    record.allocs_per_op = cost.op.allocs_per_op;
+    record.rss_bytes = CurrentRssBytes();
+    record.AddExtra("num_shards", static_cast<double>(num_shards));
+    record.AddExtra("bytes_per_op", cost.bytes_per_op);
+    std::printf("%-24s %14.1f %14.3f %12.1f\n", record.name.c_str(),
+                record.ns_per_op, record.allocs_per_op, cost.bytes_per_op);
     records.push_back(record);
   }
   // Telemetry overhead datapoint: per-segment publish sequence on vs.

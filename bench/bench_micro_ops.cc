@@ -56,8 +56,9 @@ const std::vector<Segment>& TrafficSegments() {
 void BM_SegmenterPush(benchmark::State& state) {
   const auto& events = TrafficEvents();
   SegmentIdGen ids;
-  Segmenter segmenter(0, Seconds(60), &ids);
-  std::vector<Segment> out;
+  SegmentPool pool;
+  Segmenter segmenter(0, Seconds(60), &ids, &pool);
+  std::vector<SegmentRef> out;
   size_t i = 0;
   for (auto _ : state) {
     const ObjectEvent& e = events[i];

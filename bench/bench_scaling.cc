@@ -115,6 +115,7 @@ struct ShardedCost {
   double sum_shard_ms = 0;  ///< total work across shards (duplication cost)
   uint64_t deliveries = 0;
   uint64_t allocs = 0;
+  uint64_t bytes = 0;       ///< heap bytes allocated (memory bandwidth proxy)
   MinerStats stats;         ///< summed across shards
   std::vector<Fcp> output;  ///< union of all shard discoveries
 };
@@ -147,6 +148,7 @@ ShardedCost RunSharded(MinerKind kind, const MiningParams& params,
     for (uint32_t s = 0; s < num_shards; ++s) {
       const auto miner = MakeMiner(kind, params, ShardSpec{s, num_shards});
       const uint64_t allocs_before = alloc_counter::allocations();
+      const uint64_t bytes_before = alloc_counter::bytes_allocated();
       Stopwatch timer;
       for (const uint32_t i : plan.per_shard[s]) {
         miner->AdvanceWatermark(plan.watermark[i]);
@@ -160,6 +162,7 @@ ShardedCost RunSharded(MinerKind kind, const MiningParams& params,
       best_ms[s] = std::min(best_ms[s], ms);
       if (rep == 0) {
         cost.allocs += alloc_counter::allocations() - allocs_before;
+        cost.bytes += alloc_counter::bytes_allocated() - bytes_before;
         AccumulateStats(miner->stats(), &cost.stats);
       }
     }
@@ -231,7 +234,9 @@ RecordedPlan RecordPlan(const std::vector<Segment>& segments,
     }
   };
   for (const Segment& segment : segments) {
-    router.Route(segment);
+    // One pooled-slab wrap per segment, outside the timed replay; every
+    // shard delivery (backfills included) shares this one allocation.
+    router.Route(SegmentRef::Adopt(segment));
     if (rebalancer != nullptr) {
       rebalancer->ObserveSegment(segment);
       if (auto next = rebalancer->MaybeRebalance(router)) {
@@ -263,6 +268,7 @@ ShardedCost ReplayPlan(MinerKind kind, const MiningParams& params,
       const auto miner = MakeMiner(kind, params, ShardSpec{s, num_shards});
       const PlacementMap* active = nullptr;
       const uint64_t allocs_before = alloc_counter::allocations();
+      const uint64_t bytes_before = alloc_counter::bytes_allocated();
       Stopwatch timer;
       for (const ShardDelivery& delivery : plan.per_shard[s]) {
         if (delivery.placement.get() != active) {
@@ -284,6 +290,7 @@ ShardedCost ReplayPlan(MinerKind kind, const MiningParams& params,
       best_ms[s] = std::min(best_ms[s], ms);
       if (rep == 0) {
         cost.allocs += alloc_counter::allocations() - allocs_before;
+        cost.bytes += alloc_counter::bytes_allocated() - bytes_before;
         AccumulateStats(miner->stats(), &cost.stats);
       }
     }
@@ -421,8 +428,9 @@ int Run(int argc, char** argv) {
     MaybeAppendBenchJson(flags, "bench_scaling", label, records);
     return outputs_match ? 0 : 1;
   }
-  std::printf("\n%-30s %10s %10s %12s %8s %9s\n", "skew sweep (CooMine)",
-              "crit(ms)", "sum(ms)", "ns/trigger", "speedup", "backfills");
+  std::printf("\n%-30s %10s %10s %12s %8s %9s %10s\n",
+              "skew sweep (CooMine)", "crit(ms)", "sum(ms)", "ns/trigger",
+              "speedup", "backfills", "B/trigger");
   for (const double skew : {0.6, 1.0, 1.4}) {
     TwitterConfig sweep_config = twitter;
     sweep_config.zipf_s = skew;
@@ -482,10 +490,15 @@ int Run(int argc, char** argv) {
                       static_cast<double>(mode.plan.rounds_triggered));
       record.AddExtra("objects_moved",
                       static_cast<double>(mode.plan.objects_moved));
-      std::printf("%-30s %10.1f %10.1f %12.1f %7.2fx %9" PRIu64 "\n",
+      // Memory-bandwidth proxy: heap bytes allocated per trigger across the
+      // replay (0 at steady state now that deliveries share one slab).
+      record.AddExtra("bytes_per_trigger",
+                      static_cast<double>(cost.bytes) / triggers);
+      std::printf("%-30s %10.1f %10.1f %12.1f %7.2fx %9" PRIu64 " %10.1f\n",
                   record.name.c_str(), cost.max_shard_ms, cost.sum_shard_ms,
                   ns_per_trigger, baseline_ns / ns_per_trigger,
-                  mode.plan.backfills);
+                  mode.plan.backfills,
+                  static_cast<double>(cost.bytes) / triggers);
       records.push_back(record);
     }
   }

@@ -22,7 +22,7 @@ void MinerDriver::PushEvents(const std::vector<ObjectEvent>& events,
   for (size_t i = begin; i < end; ++i) {
     scratch_.clear();
     mux_.Push(events[i], &scratch_);
-    for (const Segment& segment : scratch_) {
+    for (const SegmentRef& segment : scratch_) {
       sink_.clear();
       miner_->AddSegment(segment, &sink_);
       ++segments_completed_;
@@ -132,9 +132,14 @@ std::vector<ObjectEvent> GenerateEvents(Dataset dataset, uint64_t total_events,
 std::vector<Segment> SegmentTrace(const std::vector<ObjectEvent>& events,
                                   DurationMs xi) {
   StreamMux mux(xi);
+  std::vector<SegmentRef> refs;
+  for (const ObjectEvent& event : events) mux.Push(event, &refs);
+  mux.FlushAll(&refs);
+  // Copy out of the pool-backed slabs: index/miner benches want plain
+  // segments they can hold past the mux's lifetime.
   std::vector<Segment> segments;
-  for (const ObjectEvent& event : events) mux.Push(event, &segments);
-  mux.FlushAll(&segments);
+  segments.reserve(refs.size());
+  for (const SegmentRef& ref : refs) segments.push_back(*ref);
   return segments;
 }
 

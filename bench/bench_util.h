@@ -21,6 +21,7 @@
 #include "datagen/traffic_gen.h"
 #include "datagen/twitter_gen.h"
 #include "stream/segment.h"
+#include "stream/segment_ref.h"
 #include "stream/stream_mux.h"
 #include "util/flags.h"
 
@@ -98,7 +99,7 @@ class MinerDriver {
  private:
   StreamMux mux_;
   std::unique_ptr<FcpMiner> miner_;
-  std::vector<Segment> scratch_;
+  std::vector<SegmentRef> scratch_;
   std::vector<Fcp> sink_;
   uint64_t segments_completed_ = 0;
 };

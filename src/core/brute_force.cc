@@ -19,7 +19,7 @@ void BruteForceMiner::AddSegment(const Segment& segment,
   watermark_ = std::max(watermark_, segment.end_time());
   const Timestamp now = watermark_;
   segments_.push_back(Stored{segment.stream(), segment.start_time(),
-                             segment.end_time(), segment.DistinctObjects()});
+                             segment.end_time(), segment.distinct_objects()});
 
   const std::vector<ObjectId> objects =
       DistinctObjectsCapped(segment, params_.max_segment_objects);
@@ -70,7 +70,7 @@ void BruteForceMiner::AddSegmentIndexOnly(const Segment& segment) {
   // back of the deque is harmless.
   watermark_ = std::max(watermark_, segment.end_time());
   segments_.push_back(Stored{segment.stream(), segment.start_time(),
-                             segment.end_time(), segment.DistinctObjects()});
+                             segment.end_time(), segment.distinct_objects()});
   ++stats_.segments_indexed_only;
 }
 

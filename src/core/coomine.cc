@@ -119,13 +119,10 @@ void CooMine::MineFromLcps(const Segment& segment, const LcpTable& lcp,
                            std::vector<Fcp>* out) {
   MiningScratch& s = scratch_;
 
-  // Distinct probe objects, capped — the same result as
-  // DistinctObjectsCapped, built in scratch.
-  s.objects.clear();
-  for (const SegmentEntry& e : segment.entries()) s.objects.push_back(e.object);
-  std::sort(s.objects.begin(), s.objects.end());
-  s.objects.erase(std::unique(s.objects.begin(), s.objects.end()),
-                  s.objects.end());
+  // Distinct probe objects, capped — the construction-time cache, same
+  // result as DistinctObjectsCapped, copied into scratch.
+  const std::vector<ObjectId>& distinct = segment.distinct_objects();
+  s.objects.assign(distinct.begin(), distinct.end());
   if (params_.max_segment_objects > 0 &&
       s.objects.size() > params_.max_segment_objects) {
     s.objects.resize(params_.max_segment_objects);

@@ -12,8 +12,13 @@ namespace fcp {
 
 std::vector<ObjectId> DistinctObjectsCapped(const Segment& segment,
                                             uint32_t cap) {
-  std::vector<ObjectId> objects = segment.DistinctObjects();
-  if (cap > 0 && objects.size() > cap) objects.resize(cap);
+  // The distinct set is cached at segment construction; this helper only
+  // pays for the copy (and the cap truncation) callers asked for.
+  const std::vector<ObjectId>& distinct = segment.distinct_objects();
+  std::vector<ObjectId> objects(
+      distinct.begin(),
+      cap > 0 && distinct.size() > cap ? distinct.begin() + cap
+                                       : distinct.end());
   return objects;
 }
 

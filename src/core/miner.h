@@ -16,6 +16,7 @@
 #include "common/types.h"
 #include "core/fcp.h"
 #include "stream/segment.h"
+#include "stream/segment_ref.h"
 
 namespace fcp {
 
@@ -143,6 +144,20 @@ class FcpMiner {
 
   /// "CooMine", "DIMine", "MatrixMine", "BruteForce".
   virtual std::string_view name() const = 0;
+
+  /// SegmentRef conveniences for the refcounted pipeline: engines hold
+  /// shared slabs and deref at the miner boundary. Non-virtual on purpose —
+  /// implementations only ever see `const Segment&`. (These are hidden when
+  /// calling through a derived type; pipelines call via FcpMiner&.)
+  void AddSegment(const SegmentRef& segment, std::vector<Fcp>* out) {
+    AddSegment(*segment, out);
+  }
+  void AddSegmentIndexOnly(const SegmentRef& segment) {
+    AddSegmentIndexOnly(*segment);
+  }
+  void PrefetchSegment(const SegmentRef& segment) const {
+    PrefetchSegment(*segment);
+  }
 };
 
 /// Which algorithm to instantiate.

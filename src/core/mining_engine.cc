@@ -27,6 +27,12 @@ MiningEngine::MiningEngine(MinerKind kind, const MiningParams& params,
       registry_->GetCounter("fcp_segments_completed_total");
   fcps_accepted_ = registry_->GetCounter("fcp_fcps_accepted_total");
   mine_latency_us_ = registry_->GetHistogram("fcp_segment_mine_latency_us");
+  pool_live_refs_ = registry_->GetGauge("fcp_segment_pool_live_refs");
+  pool_hits_ = registry_->GetGauge("fcp_segment_pool_hits_total");
+  pool_misses_ = registry_->GetGauge("fcp_segment_pool_misses_total");
+  pool_recycled_bytes_ =
+      registry_->GetGauge("fcp_segment_pool_recycled_bytes_total");
+  pool_free_slabs_ = registry_->GetGauge("fcp_segment_pool_free_slabs");
 }
 
 std::vector<Fcp> MiningEngine::PushEvent(const ObjectEvent& event) {
@@ -48,7 +54,9 @@ std::vector<Fcp> MiningEngine::IngestBatch(std::span<const ObjectEvent> events) 
 
 std::vector<Fcp> MiningEngine::PushSegment(const Segment& segment) {
   scratch_segments_.clear();
-  scratch_segments_.push_back(segment);
+  // One copy into a pooled slab; ProcessSegments shares it from there.
+  scratch_segments_.push_back(mux_.pool()->Make(
+      segment.id(), segment.stream(), segment.entries()));
   return ProcessSegments(scratch_segments_);
 }
 
@@ -59,7 +67,7 @@ std::vector<Fcp> MiningEngine::Flush() {
 }
 
 std::vector<Fcp> MiningEngine::ProcessSegments(
-    const std::vector<Segment>& segments) {
+    const std::vector<SegmentRef>& segments) {
   std::vector<Fcp> accepted;
   std::vector<Fcp> mined;
   for (size_t k = 0; k < segments.size(); ++k) {
@@ -68,9 +76,9 @@ std::vector<Fcp> MiningEngine::ProcessSegments(
     if (k + 1 < segments.size()) miner_->PrefetchSegment(segments[k + 1]);
     mined.clear();
     {
-      FCP_TRACE_SPAN_FLOW("engine/mine", segments[k].id(),
-                          static_cast<uint32_t>(segments[k].length()));
-      FCP_TRACE_FLOW_END("segment", segments[k].id());
+      FCP_TRACE_SPAN_FLOW("engine/mine", segments[k]->id(),
+                          static_cast<uint32_t>(segments[k]->length()));
+      FCP_TRACE_FLOW_END("segment", segments[k]->id());
       // Timing is needed for the latency histogram (publish on) or the
       // slow-op detector (threshold set); with both off the baseline path
       // stays clock-free.
@@ -83,7 +91,7 @@ std::vector<Fcp> MiningEngine::ProcessSegments(
           mine_latency_us_->Record(static_cast<uint64_t>(elapsed) / 1000);
         }
         if (slow_ns > 0 && elapsed >= slow_ns) {
-          DumpSlowOp("engine/mine", segments[k], *miner_, 0, elapsed);
+          DumpSlowOp("engine/mine", *segments[k], *miner_, 0, elapsed);
         }
       } else {
         miner_->AddSegment(segments[k], &mined);
@@ -99,6 +107,12 @@ std::vector<Fcp> MiningEngine::ProcessSegments(
     miner_metrics_.PublishDelta(miner_->stats(), &published_stats_);
     miner_metrics_.PublishIntrospection(miner_->Introspect());
     fcps_accepted_->Increment(accepted.size());
+    const SegmentPoolStats pool = mux_.pool()->stats();
+    pool_live_refs_->Set(static_cast<int64_t>(pool.live));
+    pool_hits_->Set(static_cast<int64_t>(pool.pool_hits));
+    pool_misses_->Set(static_cast<int64_t>(pool.slab_allocs));
+    pool_recycled_bytes_->Set(static_cast<int64_t>(pool.recycled_bytes));
+    pool_free_slabs_->Set(static_cast<int64_t>(pool.free));
   }
   return accepted;
 }

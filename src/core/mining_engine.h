@@ -22,6 +22,7 @@
 #include "core/miner.h"
 #include "core/result_collector.h"
 #include "stream/segment.h"
+#include "stream/segment_ref.h"
 #include "stream/stream_mux.h"
 #include "telemetry/registry.h"
 
@@ -92,14 +93,14 @@ class MiningEngine {
   }
 
  private:
-  std::vector<Fcp> ProcessSegments(const std::vector<Segment>& segments);
+  std::vector<Fcp> ProcessSegments(const std::vector<SegmentRef>& segments);
 
   MiningParams params_;
   StreamMux mux_;
   std::unique_ptr<FcpMiner> miner_;
   ResultCollector collector_;
   uint64_t segments_completed_ = 0;
-  std::vector<Segment> scratch_segments_;
+  std::vector<SegmentRef> scratch_segments_;
 
   std::unique_ptr<telemetry::MetricRegistry> owned_registry_;
   telemetry::MetricRegistry* registry_ = nullptr;
@@ -110,6 +111,12 @@ class MiningEngine {
   telemetry::Counter* segments_completed_metric_ = nullptr;
   telemetry::Counter* fcps_accepted_ = nullptr;
   telemetry::LatencyHistogram* mine_latency_us_ = nullptr;
+  // Segment-pool observability (fcp_segment_pool_*), refreshed per batch.
+  telemetry::Gauge* pool_live_refs_ = nullptr;
+  telemetry::Gauge* pool_hits_ = nullptr;
+  telemetry::Gauge* pool_misses_ = nullptr;
+  telemetry::Gauge* pool_recycled_bytes_ = nullptr;
+  telemetry::Gauge* pool_free_slabs_ = nullptr;
 };
 
 }  // namespace fcp

@@ -72,7 +72,7 @@ ParallelEngine::ParallelEngine(MinerKind kind, const MiningParams& params,
     workers_[w].events =
         std::make_unique<BoundedQueue<ObjectEvent>>(
             options_.event_queue_capacity);
-    segments_.push_back(std::make_unique<BoundedQueue<Segment>>(
+    segments_.push_back(std::make_unique<BoundedQueue<SegmentRef>>(
         options_.segment_queue_capacity));
   }
   RegisterMetrics();
@@ -113,6 +113,12 @@ void ParallelEngine::RegisterMetrics() {
   imbalance_permille_ =
       registry_->GetGauge("fcp_shard_load_imbalance_permille");
   migration_latency_us_ = registry_->GetHistogram("fcp_migration_latency_us");
+  pool_live_refs_ = registry_->GetGauge("fcp_segment_pool_live_refs");
+  pool_hits_ = registry_->GetGauge("fcp_segment_pool_hits_total");
+  pool_misses_ = registry_->GetGauge("fcp_segment_pool_misses_total");
+  pool_recycled_bytes_ =
+      registry_->GetGauge("fcp_segment_pool_recycled_bytes_total");
+  pool_free_slabs_ = registry_->GetGauge("fcp_segment_pool_free_slabs");
   shard_telemetry_.resize(options_.num_miner_shards);
   for (uint32_t s = 0; s < options_.num_miner_shards; ++s) {
     const std::string label =
@@ -163,6 +169,12 @@ void ParallelEngine::RefreshGauges() {
     t.segment_queue_high_watermark->Set(
         static_cast<int64_t>(segments_[w]->high_watermark()));
   }
+  const SegmentPoolStats pool = segment_pool_.stats();
+  pool_live_refs_->Set(static_cast<int64_t>(pool.live));
+  pool_hits_->Set(static_cast<int64_t>(pool.pool_hits));
+  pool_misses_->Set(static_cast<int64_t>(pool.slab_allocs));
+  pool_recycled_bytes_->Set(static_cast<int64_t>(pool.recycled_bytes));
+  pool_free_slabs_->Set(static_cast<int64_t>(pool.free));
 }
 
 std::vector<telemetry::MetricSample> ParallelEngine::SnapshotMetrics() {
@@ -258,17 +270,17 @@ void ParallelEngine::WorkerLoop(uint32_t worker_index) {
   // monotone ids in consumption order (index posting lists rely on segment
   // ids increasing in insertion order).
   SegmentIdGen scratch_ids;
-  std::vector<Segment> completed;
+  std::vector<SegmentRef> completed;
 
-  BoundedQueue<Segment>& out = *segments_[worker_index];
-  auto emit = [&](std::vector<Segment>& batch) {
-    for (Segment& segment : batch) {
+  BoundedQueue<SegmentRef>& out = *segments_[worker_index];
+  auto emit = [&](std::vector<SegmentRef>& batch) {
+    for (SegmentRef& segment : batch) {
       // The span covers the push, so backpressure from a full segment queue
       // is visible as a stretched worker/segment slice; the flow-begin is
       // the tail of the arrow the merge thread extends.
-      const uint64_t flow = WorkerFlowId(worker_index, segment.id());
+      const uint64_t flow = WorkerFlowId(worker_index, segment->id());
       FCP_TRACE_SPAN_FLOW("worker/segment", flow,
-                          static_cast<uint32_t>(segment.length()));
+                          static_cast<uint32_t>(segment->length()));
       FCP_TRACE_FLOW_BEGIN("segment", flow);
       // Blocking push: backpressure without spinning. False = shutdown.
       if (!out.Push(std::move(segment))) return;
@@ -282,7 +294,8 @@ void ParallelEngine::WorkerLoop(uint32_t worker_index) {
       it = segmenters
                .emplace(event->stream,
                         std::make_unique<Segmenter>(event->stream, params_.xi,
-                                                    &scratch_ids))
+                                                    &scratch_ids,
+                                                    &segment_pool_))
                .first;
     }
     completed.clear();
@@ -303,7 +316,7 @@ void ParallelEngine::MergeLoop() {
   // while others have segments waiting is skipped until it produces again.
   trace::SetThreadName("merge");
   const uint32_t n = options_.num_workers;
-  std::vector<std::optional<Segment>> heads(n);
+  std::vector<SegmentRef> heads(n);  // null slot = no head buffered
   std::vector<bool> exhausted(n, false);
   SegmentIdGen final_ids;
   uint64_t moves_published = 0;
@@ -315,8 +328,8 @@ void ParallelEngine::MergeLoop() {
     bool any_head = false;
     bool missing_active_head = false;
     for (uint32_t w = 0; w < n; ++w) {
-      if (exhausted[w] || heads[w].has_value()) {
-        any_head |= heads[w].has_value();
+      if (exhausted[w] || heads[w]) {
+        any_head |= static_cast<bool>(heads[w]);
         continue;
       }
       if (auto segment = segments_[w]->TryPop()) {
@@ -362,7 +375,7 @@ void ParallelEngine::MergeLoop() {
              waited_us < options_.merge_idle_timeout_us) {
         missing_active_head = false;
         for (uint32_t w = 0; w < n; ++w) {
-          if (exhausted[w] || heads[w].has_value()) continue;
+          if (exhausted[w] || heads[w]) continue;
           if (auto segment = segments_[w]->PopFor(100)) {
             heads[w] = std::move(*segment);
           } else if (segments_[w]->closed()) {
@@ -378,30 +391,32 @@ void ParallelEngine::MergeLoop() {
     // Route the head with the smallest end time.
     uint32_t best = n;
     for (uint32_t w = 0; w < n; ++w) {
-      if (!heads[w].has_value()) continue;
+      if (!heads[w]) continue;
       if (best == n || heads[w]->end_time() < heads[best]->end_time()) {
         best = w;
       }
     }
     FCP_DCHECK(best < n);
-    const uint64_t worker_flow = WorkerFlowId(best, heads[best]->id());
-    Segment relabeled(final_ids.Next(), heads[best]->stream(),
-                      std::vector<SegmentEntry>(heads[best]->entries()));
-    heads[best].reset();
+    SegmentRef segment = std::move(heads[best]);
+    // Compute the worker-hop flow id from the scratch id BEFORE the relabel
+    // renames it; the ref is still unique here (the worker queue handed over
+    // its only reference), so the rename is race-free by construction.
+    const uint64_t worker_flow = WorkerFlowId(best, segment->id());
+    segment.RelabelId(final_ids.Next());
     {
       // One slice per routed segment: the flow-step receives the worker's
       // arrow, the flow-begin (keyed by the post-relabel global id, the same
       // id the router stamps into each delivery) fans out to every shard
       // that mines this segment. Routing blocks on full shard queues, so
       // shard backpressure shows up as a stretched merge/route slice.
-      FCP_TRACE_SPAN_FLOW("merge/route", relabeled.id(),
-                          static_cast<uint32_t>(relabeled.length()));
+      FCP_TRACE_SPAN_FLOW("merge/route", segment->id(),
+                          static_cast<uint32_t>(segment->length()));
       FCP_TRACE_FLOW_STEP("segment", worker_flow);
-      FCP_TRACE_FLOW_BEGIN("segment", relabeled.id());
-      router_->Route(relabeled);
+      FCP_TRACE_FLOW_BEGIN("segment", segment->id());
+      router_->Route(segment);
     }
     if (rebalancer_ != nullptr) {
-      rebalancer_->ObserveSegment(relabeled);
+      rebalancer_->ObserveSegment(*segment);
       if (auto next = rebalancer_->MaybeRebalance(*router_)) {
         // Migration: backfill the new owners' indexes through the delivery
         // path, then switch routing to the successor snapshot. The span's
@@ -442,7 +457,7 @@ void ParallelEngine::MergeLoop() {
       // How far the just-routed segment trails the stream-time watermark:
       // nonzero when a straggler worker's older segment lands after newer
       // data was already routed (merge-order skew).
-      watermark_lag_ms_->Set(router_->watermark() - relabeled.end_time());
+      watermark_lag_ms_->Set(router_->watermark() - segment->end_time());
     }
   }
 }
@@ -470,7 +485,7 @@ void ParallelEngine::ProcessDelivery(uint32_t shard_index,
     // supporter, but do not mine (its route-time owners already did).
     FCP_TRACE_SPAN_FLOW("shard/index_backfill", delivery.trace_flow,
                         shard_index);
-    miner.AddSegmentIndexOnly(delivery.segment);
+    miner.AddSegmentIndexOnly(*delivery.segment);
     if (publish_) {
       telemetry.miner.PublishDelta(miner.stats(), &telemetry.published);
       telemetry.miner.PublishIntrospection(miner.Introspect());
@@ -491,14 +506,14 @@ void ParallelEngine::ProcessDelivery(uint32_t shard_index,
     const int64_t slow_ns = trace::SlowOpThresholdNs();
     if (slow_ns > 0) {
       Stopwatch timer;
-      miner.AddSegment(delivery.segment, &mined);
+      miner.AddSegment(*delivery.segment, &mined);
       const int64_t elapsed = timer.ElapsedNanos();
       if (elapsed >= slow_ns) {
-        DumpSlowOp("shard/mine", delivery.segment, miner, shard_index,
+        DumpSlowOp("shard/mine", *delivery.segment, miner, shard_index,
                    elapsed);
       }
     } else {
-      miner.AddSegment(delivery.segment, &mined);
+      miner.AddSegment(*delivery.segment, &mined);
     }
   }
   std::vector<Fcp>& buffer = shard_mined_[shard_index];

@@ -45,6 +45,7 @@
 #include "stream/bounded_queue.h"
 #include "stream/rebalancer.h"
 #include "stream/segment.h"
+#include "stream/segment_ref.h"
 #include "stream/segmenter.h"
 #include "stream/shard_router.h"
 #include "telemetry/registry.h"
@@ -131,6 +132,10 @@ class ParallelEngine {
   }
   const ShardRouterStats& router_stats() const { return router_->stats(); }
 
+  /// The slab pool every in-flight segment lives in (stats: pool hit rate,
+  /// live refs). Thread-safe.
+  const SegmentPool& segment_pool() const { return segment_pool_; }
+
   /// Rebalancer counters + last imbalance (null when S == 1). Only safe to
   /// read after Finish().
   const Rebalancer* rebalancer() const { return rebalancer_.get(); }
@@ -165,6 +170,12 @@ class ParallelEngine {
   MiningParams params_;
   ParallelEngineOptions options_;
 
+  /// Slab pool behind every segment in flight. Declared before the router,
+  /// queues and miners so it is destroyed LAST — every SegmentRef (shard
+  /// deliveries, the router's live set, merge heads) must release back into
+  /// it first (checked in ~SegmentPool).
+  SegmentPool segment_pool_;
+
   // Each worker owns an event queue and the segmenters of its streams.
   struct Worker {
     std::unique_ptr<BoundedQueue<ObjectEvent>> events;
@@ -173,9 +184,10 @@ class ParallelEngine {
   std::vector<Worker> workers_;
 
   // Per-worker segment queues; MergeLoop merges them by segment end time
-  // (aligned watermark), relabels with globally monotone ids, and routes
-  // through the ShardRouter to the shard miner threads.
-  std::vector<std::unique_ptr<BoundedQueue<Segment>>> segments_;
+  // (aligned watermark), relabels with globally monotone ids (in place —
+  // the ref is still unique at that point), and routes through the
+  // ShardRouter to the shard miner threads.
+  std::vector<std::unique_ptr<BoundedQueue<SegmentRef>>> segments_;
   std::thread merge_thread_;
 
   std::unique_ptr<ShardRouter> router_;
@@ -238,6 +250,13 @@ class ParallelEngine {
   telemetry::Counter* segments_stolen_ = nullptr;
   telemetry::Gauge* imbalance_permille_ = nullptr;
   telemetry::LatencyHistogram* migration_latency_us_ = nullptr;
+  // Segment-pool observability (fcp_segment_pool_*), refreshed with the
+  // queue gauges.
+  telemetry::Gauge* pool_live_refs_ = nullptr;
+  telemetry::Gauge* pool_hits_ = nullptr;
+  telemetry::Gauge* pool_misses_ = nullptr;
+  telemetry::Gauge* pool_recycled_bytes_ = nullptr;
+  telemetry::Gauge* pool_free_slabs_ = nullptr;
   std::vector<ShardTelemetry> shard_telemetry_;
   std::vector<WorkerTelemetry> worker_telemetry_;
 };

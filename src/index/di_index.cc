@@ -12,15 +12,8 @@ void DiIndex::Insert(const Segment& segment) {
                 SegmentInfo{segment.stream(), segment.start_time(),
                             segment.end_time(),
                             static_cast<uint32_t>(segment.length())});
-  distinct_scratch_.clear();
-  for (const SegmentEntry& e : segment.entries()) {
-    distinct_scratch_.push_back(e.object);
-  }
-  std::sort(distinct_scratch_.begin(), distinct_scratch_.end());
-  distinct_scratch_.erase(
-      std::unique(distinct_scratch_.begin(), distinct_scratch_.end()),
-      distinct_scratch_.end());
-  for (ObjectId object : distinct_scratch_) {
+  // Construction-time distinct cache: no per-insert sort+unique.
+  for (ObjectId object : segment.distinct_objects()) {
     PooledVec<SegmentId>& posting = postings_[object];
     if (posting.empty()) ++nonempty_postings_;
     if (posting.empty() || posting.back() < segment.id()) {

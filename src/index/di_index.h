@@ -87,7 +87,6 @@ class DiIndex {
   uint64_t total_entries_ = 0;
   size_t nonempty_postings_ = 0;
   DiIndexStats stats_;
-  std::vector<ObjectId> distinct_scratch_;   ///< Insert's distinct objects
   std::vector<SegmentId> expired_scratch_;   ///< RemoveExpired's worklist
 };
 

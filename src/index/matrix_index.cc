@@ -12,18 +12,12 @@ void MatrixIndex::Insert(const Segment& segment) {
                 SegmentInfo{segment.stream(), segment.start_time(),
                             segment.end_time(),
                             static_cast<uint32_t>(segment.length())});
-  distinct_scratch_.clear();
-  for (const SegmentEntry& e : segment.entries()) {
-    distinct_scratch_.push_back(e.object);
-  }
-  std::sort(distinct_scratch_.begin(), distinct_scratch_.end());
-  distinct_scratch_.erase(
-      std::unique(distinct_scratch_.begin(), distinct_scratch_.end()),
-      distinct_scratch_.end());
-  for (size_t i = 0; i < distinct_scratch_.size(); ++i) {
-    for (size_t j = i; j < distinct_scratch_.size(); ++j) {
+  // Construction-time distinct cache: no per-insert sort+unique.
+  const std::vector<ObjectId>& distinct = segment.distinct_objects();
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    for (size_t j = i; j < distinct.size(); ++j) {
       std::vector<SegmentId>& cell =
-          cells_[PackKey(distinct_scratch_[i], distinct_scratch_[j])];
+          cells_[PackKey(distinct[i], distinct[j])];
       if (cell.empty()) ++nonempty_cells_;
       if (cell.empty() || cell.back() < segment.id()) {
         cell.push_back(segment.id());

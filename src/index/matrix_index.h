@@ -84,7 +84,6 @@ class MatrixIndex {
   uint64_t total_entries_ = 0;
   size_t nonempty_cells_ = 0;
   MatrixIndexStats stats_;
-  std::vector<ObjectId> distinct_scratch_;   ///< Insert's distinct objects
   std::vector<SegmentId> expired_scratch_;   ///< RemoveExpired's worklist
 };
 

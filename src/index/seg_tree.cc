@@ -190,15 +190,8 @@ void SegTree::Insert(const Segment& segment) {
   // `cur` is the tail node of this segment.
   TailEntry tail_entry{segment.id(), length, segment.stream(),
                        segment.start_time(), segment.end_time(), {}};
-  distinct_scratch_.clear();
-  for (const SegmentEntry& e : entries) {
-    distinct_scratch_.push_back(e.object);
-  }
-  std::sort(distinct_scratch_.begin(), distinct_scratch_.end());
-  distinct_scratch_.erase(
-      std::unique(distinct_scratch_.begin(), distinct_scratch_.end()),
-      distinct_scratch_.end());
-  for (ObjectId object : distinct_scratch_) {
+  // Construction-time distinct cache: no per-insert sort+unique.
+  for (ObjectId object : segment.distinct_objects()) {
     tail_entry.objects.push_back(object, object_arena_);
   }
   cur->tails.push_back(tail_entry, tail_arena_);
@@ -474,16 +467,9 @@ void SegTree::SlcpInto(const Segment& probe, Timestamp now, DurationMs tau,
   };
   static thread_local std::vector<Hit> hit_records;
   static thread_local std::vector<const TailEntry*> hits;
-  static thread_local std::vector<ObjectId> probe_objects;
   hit_records.clear();
-  probe_objects.clear();
-  for (const SegmentEntry& entry : probe.entries()) {
-    probe_objects.push_back(entry.object);
-  }
-  std::sort(probe_objects.begin(), probe_objects.end());
-  probe_objects.erase(
-      std::unique(probe_objects.begin(), probe_objects.end()),
-      probe_objects.end());
+  // The probe's sorted distinct objects, cached at segment construction.
+  const std::vector<ObjectId>& probe_objects = probe.distinct_objects();
 
   if (!shard.IsSingleton()) {
     // Two-phase ownership-filtered search (see the header comment).

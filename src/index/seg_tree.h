@@ -297,7 +297,6 @@ class SegTree {
   // Reusable hot-path buffers (cleared per call, capacity kept) so the
   // steady-state insert/remove cycle performs no heap allocations.
   std::vector<Node*> path_scratch_;         // RemoveSegmentPath backtrack
-  std::vector<ObjectId> distinct_scratch_;  // Insert: sorted distinct objects
   std::vector<Node*> prefix_path_scratch_;  // prefix-match trial path
   std::vector<Node*> prefix_best_scratch_;  // prefix-match best path
   std::vector<std::pair<Node*, Node*>> graft_work_;  // TryGraft worklist

@@ -9,9 +9,9 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -19,6 +19,12 @@
 namespace fcp {
 
 /// Thread-safe bounded FIFO.
+///
+/// Storage is a fixed ring of `capacity` slots allocated once at
+/// construction — the queue never touches the heap again, so steady-state
+/// traffic through every pipeline queue is allocation-free by construction
+/// (a deque would allocate and free blocks as the FIFO advances). `T` must
+/// be default-constructible and move-assignable.
 ///
 /// `TryPush` fails (returns false) when the queue is full — the paper's
 /// harness uses this to detect saturation: once the producer can no longer
@@ -29,7 +35,8 @@ namespace fcp {
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity), slots_(capacity) {
     FCP_CHECK(capacity > 0);
   }
 
@@ -40,9 +47,8 @@ class BoundedQueue {
   bool TryPush(T item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(item));
-      if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+      if (closed_ || count_ >= capacity_) return false;
+      PlaceLocked(std::move(item));
     }
     cv_.notify_one();
     return true;
@@ -54,11 +60,9 @@ class BoundedQueue {
   bool Push(T item) {
     {
       std::unique_lock<std::mutex> lock(mu_);
-      space_cv_.wait(lock,
-                     [&] { return closed_ || items_.size() < capacity_; });
+      space_cv_.wait(lock, [&] { return closed_ || count_ < capacity_; });
       if (closed_) return false;
-      items_.push_back(std::move(item));
-      if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+      PlaceLocked(std::move(item));
     }
     cv_.notify_one();
     return true;
@@ -66,24 +70,23 @@ class BoundedQueue {
 
   /// Blocking bulk push: enqueues `*items` in order, taking the lock once
   /// per admitted chunk instead of once per item (waits for space between
-  /// chunks like Push). `*items` is left cleared — elements are moved out.
-  /// Returns the number of items enqueued; less than items->size() only if
-  /// the queue was closed mid-batch (the remainder is dropped with the
-  /// clear, mirroring Push's false-on-closed contract).
+  /// chunks like Push). `*items` is left cleared — elements are moved out,
+  /// its capacity is retained for the caller's next batch. Returns the
+  /// number of items enqueued; less than items->size() only if the queue
+  /// was closed mid-batch (the remainder is dropped with the clear,
+  /// mirroring Push's false-on-closed contract).
   size_t PushAll(std::vector<T>* items) {
     size_t pushed = 0;
     const size_t n = items->size();
     while (pushed < n) {
       {
         std::unique_lock<std::mutex> lock(mu_);
-        space_cv_.wait(lock,
-                       [&] { return closed_ || items_.size() < capacity_; });
+        space_cv_.wait(lock, [&] { return closed_ || count_ < capacity_; });
         if (closed_) break;
-        while (pushed < n && items_.size() < capacity_) {
-          items_.push_back(std::move((*items)[pushed]));
+        while (pushed < n && count_ < capacity_) {
+          PlaceLocked(std::move((*items)[pushed]));
           ++pushed;
         }
-        if (items_.size() > high_watermark_) high_watermark_ = items_.size();
       }
       // A chunk can satisfy many waiting consumers; wake them all.
       cv_.notify_all();
@@ -95,7 +98,7 @@ class BoundedQueue {
   /// Blocking pop. Returns nullopt when the queue is closed and empty.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    cv_.wait(lock, [&] { return closed_ || count_ > 0; });
     return PopLockedOrNull(lock);
   }
 
@@ -104,7 +107,7 @@ class BoundedQueue {
   std::optional<T> PopFor(int64_t timeout_us) {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
-                 [&] { return closed_ || !items_.empty(); });
+                 [&] { return closed_ || count_ > 0; });
     return PopLockedOrNull(lock);
   }
 
@@ -124,8 +127,8 @@ class BoundedQueue {
   bool WaitNonEmptyFor(int64_t timeout_us) {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
-                 [&] { return !items_.empty(); });
-    return !items_.empty();
+                 [&] { return count_ > 0; });
+    return count_ > 0;
   }
 
   /// Marks the queue closed; producers fail, consumers drain then see eof.
@@ -141,7 +144,7 @@ class BoundedQueue {
   /// Current occupancy (racy snapshot; used for Fig. 8 sampling).
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return items_.size();
+    return count_;
   }
 
   /// Alias of size() under the telemetry vocabulary (queue *depth*).
@@ -163,12 +166,25 @@ class BoundedQueue {
   }
 
  private:
+  /// Writes `item` into the tail slot under the lock.
+  void PlaceLocked(T item) {
+    size_t tail = head_ + count_;
+    if (tail >= capacity_) tail -= capacity_;
+    slots_[tail] = std::move(item);
+    ++count_;
+    if (count_ > high_watermark_) high_watermark_ = count_;
+  }
+
   /// Pops the front under `lock` (empty -> nullopt), waking one blocked
-  /// producer when an item was removed.
+  /// producer when an item was removed. The vacated slot is reset to T{} so
+  /// resources (e.g. a SegmentRef's slab reference) are released at pop
+  /// time, not when the slot is eventually overwritten.
   std::optional<T> PopLockedOrNull(std::unique_lock<std::mutex>& lock) {
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    if (count_ == 0) return std::nullopt;
+    std::optional<T> item(std::move(slots_[head_]));
+    slots_[head_] = T{};
+    head_ = head_ + 1 < capacity_ ? head_ + 1 : 0;
+    --count_;
     lock.unlock();
     space_cv_.notify_one();
     return item;
@@ -178,7 +194,9 @@ class BoundedQueue {
   mutable std::mutex mu_;
   std::condition_variable cv_;        ///< "item available or closed"
   std::condition_variable space_cv_;  ///< "space available or closed"
-  std::deque<T> items_;
+  std::vector<T> slots_;              ///< fixed ring, allocated once
+  size_t head_ = 0;                   ///< index of the front element
+  size_t count_ = 0;                  ///< live elements
   size_t high_watermark_ = 0;
   bool closed_ = false;
 };

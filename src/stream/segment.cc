@@ -5,6 +5,28 @@
 
 namespace fcp {
 
+void Segment::RebuildDistinct() {
+  distinct_.clear();
+  distinct_.reserve(entries_.size());
+  for (const SegmentEntry& e : entries_) distinct_.push_back(e.object);
+  std::sort(distinct_.begin(), distinct_.end());
+  distinct_.erase(std::unique(distinct_.begin(), distinct_.end()),
+                  distinct_.end());
+}
+
+void Segment::Assign(SegmentId id, StreamId stream,
+                     std::span<const SegmentEntry> head,
+                     std::span<const SegmentEntry> tail) {
+  FCP_CHECK(!head.empty() || !tail.empty());
+  id_ = id;
+  stream_ = stream;
+  entries_.clear();
+  entries_.reserve(head.size() + tail.size());
+  entries_.insert(entries_.end(), head.begin(), head.end());
+  entries_.insert(entries_.end(), tail.begin(), tail.end());
+  RebuildDistinct();
+}
+
 std::vector<ObjectId> Segment::DistinctObjects() const {
   std::vector<ObjectId> out;
   out.reserve(entries_.size());

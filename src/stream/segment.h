@@ -3,6 +3,7 @@
 #ifndef FCP_STREAM_SEGMENT_H_
 #define FCP_STREAM_SEGMENT_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,9 @@
 #include "common/types.h"
 
 namespace fcp {
+
+class SegmentRef;
+class SegmentPool;
 
 /// One timestamped object inside a segment.
 struct SegmentEntry {
@@ -29,6 +33,11 @@ struct SegmentEntry {
 ///  - last().time - first().time <= xi;
 ///  - maximality is a property of the enclosing stream, not of the Segment
 ///    object itself.
+///
+/// The distinct-object set is computed ONCE at construction and cached
+/// (`distinct_objects()`): routing, ownership filtering and SLCP probes all
+/// need it, and a segment is multicast to up to S shards — recomputing a
+/// sort+unique per consumer was pure hot-path waste.
 class Segment {
  public:
   Segment() = default;
@@ -38,7 +47,17 @@ class Segment {
   Segment(SegmentId id, StreamId stream, std::vector<SegmentEntry> entries)
       : id_(id), stream_(stream), entries_(std::move(entries)) {
     FCP_CHECK(!entries_.empty());
+    RebuildDistinct();
   }
+
+  /// Rebuilds this segment in place from up to two contiguous entry spans
+  /// (the two halves of a ring-buffered window), reusing the entry and
+  /// distinct-object capacity already held. This is how the SegmentPool
+  /// recycles slabs without churning their vectors. `head` + `tail` must be
+  /// non-empty overall and time-sorted across the concatenation.
+  void Assign(SegmentId id, StreamId stream,
+              std::span<const SegmentEntry> head,
+              std::span<const SegmentEntry> tail);
 
   SegmentId id() const { return id_; }
   StreamId stream() const { return stream_; }
@@ -58,8 +77,13 @@ class Segment {
   const std::vector<SegmentEntry>& entries() const { return entries_; }
 
   /// The distinct objects of this segment in ascending ObjectId order
-  /// (duplicates removed). This is what pattern mining operates on
-  /// (patterns are sets; see DESIGN.md Semantics #4).
+  /// (duplicates removed), cached at construction. This is what pattern
+  /// mining operates on (patterns are sets; see DESIGN.md Semantics #4).
+  const std::vector<ObjectId>& distinct_objects() const { return distinct_; }
+
+  /// Recomputes the distinct-object set from the entries (allocates). This
+  /// is the reference implementation the cached `distinct_objects()` is
+  /// tested against; hot paths use the cache.
   std::vector<ObjectId> DistinctObjects() const;
 
   /// Debug representation, e.g. "G7[s2 @100..160: 5 3 9]".
@@ -68,9 +92,20 @@ class Segment {
   friend bool operator==(const Segment&, const Segment&) = default;
 
  private:
+  friend class SegmentRef;   // RelabelId on uniquely-owned slabs
+  friend class SegmentPool;  // vector-capacity management when recycling
+
+  /// Only the merge thread relabels (scratch id -> global id), and only
+  /// through SegmentRef::RelabelId which checks unique ownership — segments
+  /// are otherwise immutable once shared.
+  void set_id(SegmentId id) { id_ = id; }
+
+  void RebuildDistinct();
+
   SegmentId id_ = kInvalidSegmentId;
   StreamId stream_ = 0;
   std::vector<SegmentEntry> entries_;
+  std::vector<ObjectId> distinct_;  ///< sorted, unique; derived from entries_
 };
 
 }  // namespace fcp

@@ -1,0 +1,106 @@
+#include "stream/segment_ref.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace fcp {
+
+namespace {
+// Size classes below 2^3 collapse into one freelist: most real traces are
+// dominated by short segments and splitting them across classes just
+// fragments the warm capacity.
+constexpr uint32_t kMinClassLog2 = 3;
+// Entry capacities above 2^20 are not pooled (a window that large is a
+// misconfiguration, not a steady state worth caching).
+constexpr uint32_t kMaxClassLog2 = 20;
+}  // namespace
+
+SegmentRef SegmentRef::Adopt(Segment segment) {
+  auto* slab = new internal::SegmentSlab;
+  slab->segment = std::move(segment);
+  return SegmentRef(slab);
+}
+
+SegmentPool::SegmentPool(size_t max_free_per_class)
+    : max_free_per_class_(max_free_per_class), free_(kMaxClassLog2 + 1) {}
+
+SegmentPool::~SegmentPool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Every reference must be back: a live SegmentRef outliving its pool would
+  // release into freed freelists.
+  FCP_CHECK(stats_.live == 0);
+  for (auto& list : free_) {
+    for (internal::SegmentSlab* slab : list) delete slab;
+    list.clear();
+  }
+}
+
+uint32_t SegmentPool::SizeClass(size_t n) {
+  const uint32_t log2 = std::bit_width(std::max<size_t>(n, 1) - 1);
+  return std::min(std::max(log2, kMinClassLog2), kMaxClassLog2);
+}
+
+SegmentRef SegmentPool::Make(SegmentId id, StreamId stream,
+                             std::span<const SegmentEntry> head,
+                             std::span<const SegmentEntry> tail) {
+  const size_t n = head.size() + tail.size();
+  const uint32_t size_class = SizeClass(n);
+  internal::SegmentSlab* slab = nullptr;
+  const bool pooled = size_class < free_.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pooled && !free_[size_class].empty()) {
+      slab = free_[size_class].back();
+      free_[size_class].pop_back();
+      ++stats_.pool_hits;
+      --stats_.free;
+    } else {
+      ++stats_.slab_allocs;
+    }
+    ++stats_.live;
+  }
+  if (slab == nullptr) {
+    slab = new internal::SegmentSlab;
+    slab->size_class = size_class;
+    slab->pool = this;
+    // Reserve the full class capacity up front so the recycled slab serves
+    // any segment of its class without regrowing.
+    if (n <= (size_t{1} << size_class)) {
+      slab->segment.entries_.reserve(size_t{1} << size_class);
+    }
+  } else {
+    slab->refs.store(1, std::memory_order_relaxed);
+  }
+  slab->segment.Assign(id, stream, head, tail);
+  return SegmentRef(slab);
+}
+
+void SegmentPool::Release(internal::SegmentSlab* slab) {
+  // Keep the capacity, drop the payload: the recycled slab's vectors are the
+  // whole point of the pool.
+  const size_t kept_bytes =
+      slab->segment.entries_.capacity() * sizeof(SegmentEntry) +
+      slab->segment.distinct_.capacity() * sizeof(ObjectId);
+  bool park = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FCP_DCHECK(stats_.live > 0);
+    --stats_.live;
+    if (slab->size_class < free_.size() &&
+        free_[slab->size_class].size() < max_free_per_class_) {
+      free_[slab->size_class].push_back(slab);
+      ++stats_.recycled;
+      stats_.recycled_bytes += kept_bytes;
+      ++stats_.free;
+      park = true;
+    }
+  }
+  if (!park) delete slab;
+}
+
+SegmentPoolStats SegmentPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace fcp

@@ -4,14 +4,16 @@
 
 namespace fcp {
 
-Segmenter::Segmenter(StreamId stream, DurationMs xi, SegmentIdGen* id_gen)
-    : stream_(stream), xi_(xi), id_gen_(id_gen) {
+Segmenter::Segmenter(StreamId stream, DurationMs xi, SegmentIdGen* id_gen,
+                     SegmentPool* pool)
+    : stream_(stream), xi_(xi), id_gen_(id_gen), pool_(pool) {
   FCP_CHECK(xi > 0);
   FCP_CHECK(id_gen != nullptr);
+  FCP_CHECK(pool != nullptr);
 }
 
 void Segmenter::Push(ObjectId object, Timestamp time,
-                     std::vector<Segment>* out) {
+                     std::vector<SegmentRef>* out) {
   if (time < last_time_) {
     time = last_time_;
     ++reordered_;
@@ -29,7 +31,7 @@ void Segmenter::Push(ObjectId object, Timestamp time,
   window_.push_back(SegmentEntry{object, time});
 }
 
-void Segmenter::Flush(std::vector<Segment>* out) {
+void Segmenter::Flush(std::vector<SegmentRef>* out) {
   if (!window_.empty()) {
     EmitWindow(out);
     window_.clear();
@@ -37,10 +39,13 @@ void Segmenter::Flush(std::vector<Segment>* out) {
   last_time_ = kMinTimestamp;
 }
 
-void Segmenter::EmitWindow(std::vector<Segment>* out) {
+void Segmenter::EmitWindow(std::vector<SegmentRef>* out) {
   FCP_DCHECK(!window_.empty());
-  std::vector<SegmentEntry> entries(window_.begin(), window_.end());
-  out->emplace_back(id_gen_->Next(), stream_, std::move(entries));
+  // One copy, into a recycled slab: the ring's two contiguous halves are
+  // bulk-copied by SegmentPool::Make, and everything downstream shares the
+  // resulting slab by reference.
+  out->push_back(pool_->Make(id_gen_->Next(), stream_, window_.first_span(),
+                             window_.second_span()));
 }
 
 }  // namespace fcp

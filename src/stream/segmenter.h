@@ -5,11 +5,12 @@
 #define FCP_STREAM_SEGMENTER_H_
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/types.h"
 #include "stream/segment.h"
+#include "stream/segment_ref.h"
+#include "util/ring_buffer.h"
 
 namespace fcp {
 
@@ -34,14 +35,20 @@ class SegmentIdGen {
 /// boundary to advance (then the old window can never be extended again and
 /// is maximal); Flush() emits the trailing window.
 ///
+/// Emission is zero-copy-per-consumer: each completed window is copied ONCE
+/// into a slab recycled from the shared SegmentPool, and the returned
+/// SegmentRef is what travels through queues, the router's multicast and the
+/// miners — downstream fan-out only bumps a refcount.
+///
 /// Out-of-order events (time lower than the previous event of the same
 /// stream) are clamped up to the previous timestamp and counted in
 /// `reordered_count()`; streams are expected to be time-ordered (Def. 1).
 class Segmenter {
  public:
-  /// `xi` must be positive. `id_gen` must outlive the segmenter and is shared
-  /// across streams so ids are globally unique.
-  Segmenter(StreamId stream, DurationMs xi, SegmentIdGen* id_gen);
+  /// `xi` must be positive. `id_gen` and `pool` must outlive the segmenter;
+  /// both are shared across the streams of one pipeline.
+  Segmenter(StreamId stream, DurationMs xi, SegmentIdGen* id_gen,
+            SegmentPool* pool);
 
   Segmenter(const Segmenter&) = delete;
   Segmenter& operator=(const Segmenter&) = delete;
@@ -50,11 +57,11 @@ class Segmenter {
 
   /// Feeds the next object of this stream. Appends every segment that this
   /// event *completes* (0 or 1 segments for in-order input) to `out`.
-  void Push(ObjectId object, Timestamp time, std::vector<Segment>* out);
+  void Push(ObjectId object, Timestamp time, std::vector<SegmentRef>* out);
 
   /// Emits the trailing (not yet maximal-by-evidence) window, if any. Call at
   /// end of stream. After Flush() the segmenter is empty and reusable.
-  void Flush(std::vector<Segment>* out);
+  void Flush(std::vector<SegmentRef>* out);
 
   StreamId stream() const { return stream_; }
   DurationMs xi() const { return xi_; }
@@ -66,12 +73,13 @@ class Segmenter {
   size_t pending_size() const { return window_.size(); }
 
  private:
-  void EmitWindow(std::vector<Segment>* out);
+  void EmitWindow(std::vector<SegmentRef>* out);
 
   StreamId stream_;
   DurationMs xi_;
   SegmentIdGen* id_gen_;  // not owned
-  std::deque<SegmentEntry> window_;
+  SegmentPool* pool_;     // not owned
+  RingBuffer<SegmentEntry> window_;
   Timestamp last_time_ = kMinTimestamp;
   uint64_t reordered_ = 0;
 };

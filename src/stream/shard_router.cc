@@ -17,8 +17,8 @@ int64_t SteadyNowNs() {
 
 // Live-set compaction cadence: a full scan every this many Route() calls
 // keeps the amortized prune cost O(1) per segment while bounding how long an
-// expired copy can linger (segments complete out of start order, so a simple
-// pop-from-front would stall on one late-starting segment).
+// expired reference can linger (segments complete out of start order, so a
+// simple pop-from-front would stall on one late-starting segment).
 constexpr uint64_t kCompactEvery = 256;
 
 }  // namespace
@@ -46,8 +46,17 @@ ShardRouter::ShardRouter(uint32_t num_shards, size_t queue_capacity,
   target_scratch_.assign(num_shards, 0);
 }
 
-uint32_t ShardRouter::Route(const Segment& segment) {
-  watermark_ = std::max(watermark_, segment.end_time());
+void ShardRouter::MarkTargets(const Segment& segment) {
+  std::fill(target_scratch_.begin(), target_scratch_.end(), 0);
+  // The segment's construction-time distinct cache: one TargetShard lookup
+  // per distinct object instead of one per entry.
+  for (const ObjectId object : segment.distinct_objects()) {
+    target_scratch_[TargetShard(object)] = 1;
+  }
+}
+
+uint32_t ShardRouter::Route(const SegmentRef& segment) {
+  watermark_ = std::max(watermark_, segment->end_time());
   ++stats_.segments_routed;
   const int64_t now_ns = SteadyNowNs();
 
@@ -55,23 +64,20 @@ uint32_t ShardRouter::Route(const Segment& segment) {
   uint64_t delivered_mask = 0;
   if (num_shards_ == 1) {
     if (queues_[0]->Push(ShardDelivery{segment, watermark_, now_ns,
-                                       segment.id(), placement_,
+                                       segment->id(), placement_,
                                        /*index_only=*/false})) {
       routed_to_[0].fetch_add(1, std::memory_order_relaxed);
       ++delivered;
       delivered_mask = 1;
     }
   } else {
-    // Mark each shard owning >= 1 entry object. Entries suffice (duplicates
-    // just re-mark); no distinct-object vector is materialized.
-    std::fill(target_scratch_.begin(), target_scratch_.end(), 0);
-    for (const SegmentEntry& entry : segment.entries()) {
-      target_scratch_[TargetShard(entry.object)] = 1;
-    }
+    MarkTargets(*segment);
     for (uint32_t s = 0; s < num_shards_; ++s) {
       if (!target_scratch_[s]) continue;
+      // The delivery shares the caller's slab: a refcount bump per shard,
+      // no entry-vector copy.
       if (queues_[s]->Push(ShardDelivery{segment, watermark_, now_ns,
-                                         segment.id(), placement_,
+                                         segment->id(), placement_,
                                          /*index_only=*/false})) {
         routed_to_[s].fetch_add(1, std::memory_order_relaxed);
         ++delivered;
@@ -87,7 +93,7 @@ uint32_t ShardRouter::Route(const Segment& segment) {
   return delivered;
 }
 
-uint64_t ShardRouter::RouteBatch(const Segment* segments, size_t count) {
+uint64_t ShardRouter::RouteBatch(const SegmentRef* segments, size_t count) {
   if (count == 0) return 0;
   // The live set needs one delivered-mask per segment; the batch staging
   // below only keeps per-shard buffers, so the tracking variant just routes
@@ -105,29 +111,28 @@ uint64_t ShardRouter::RouteBatch(const Segment* segments, size_t count) {
   if (batch_scratch_.size() < num_shards_) batch_scratch_.resize(num_shards_);
   for (auto& staged : batch_scratch_) staged.clear();
   for (size_t k = 0; k < count; ++k) {
-    const Segment& segment = segments[k];
-    watermark_ = std::max(watermark_, segment.end_time());
+    const SegmentRef& segment = segments[k];
+    watermark_ = std::max(watermark_, segment->end_time());
     ++stats_.segments_routed;
     if (num_shards_ == 1) {
       batch_scratch_[0].push_back(ShardDelivery{segment, watermark_, now_ns,
-                                                segment.id(), placement_,
+                                                segment->id(), placement_,
                                                 /*index_only=*/false});
       continue;
     }
-    std::fill(target_scratch_.begin(), target_scratch_.end(), 0);
-    for (const SegmentEntry& entry : segment.entries()) {
-      target_scratch_[TargetShard(entry.object)] = 1;
-    }
+    MarkTargets(*segment);
     for (uint32_t s = 0; s < num_shards_; ++s) {
       if (!target_scratch_[s]) continue;
       batch_scratch_[s].push_back(ShardDelivery{segment, watermark_, now_ns,
-                                                segment.id(), placement_,
+                                                segment->id(), placement_,
                                                 /*index_only=*/false});
     }
   }
   uint64_t delivered = 0;
   for (uint32_t s = 0; s < num_shards_; ++s) {
     if (batch_scratch_[s].empty()) continue;
+    // PushAll moves the staged deliveries out and leaves the scratch
+    // buffer's capacity for the next batch — no per-batch vector churn.
     const size_t pushed = queues_[s]->PushAll(&batch_scratch_[s]);
     routed_to_[s].fetch_add(pushed, std::memory_order_relaxed);
     delivered += pushed;
@@ -139,18 +144,25 @@ uint64_t ShardRouter::RouteBatch(const Segment* segments, size_t count) {
 void ShardRouter::CompactLive() {
   routes_since_compact_ = 0;
   while (!live_.empty() &&
-         watermark_ - live_.front().segment.start_time() > options_.tau) {
+         watermark_ - live_.front().segment->start_time() > options_.tau) {
     live_.pop_front();
   }
   // Segments complete out of start order, so expired entries can hide behind
-  // a long-lived front; erase-remove the stragglers in one pass.
-  if (!live_.empty()) {
-    live_.erase(std::remove_if(live_.begin(), live_.end(),
-                               [&](const LiveEntry& e) {
-                                 return watermark_ - e.segment.start_time() >
-                                        options_.tau;
-                               }),
-                live_.end());
+  // a long-lived front. Scan first; only when a straggler exists rotate the
+  // survivors through the ring in one pass (a move per entry — a SegmentRef
+  // pointer swap — never an allocation).
+  const size_t n = live_.size();
+  bool stale = false;
+  for (size_t i = 0; i < n && !stale; ++i) {
+    stale = watermark_ - live_.at(i).segment->start_time() > options_.tau;
+  }
+  if (!stale) return;
+  for (size_t i = 0; i < n; ++i) {
+    LiveEntry entry = std::move(live_.front());
+    live_.pop_front();
+    if (watermark_ - entry.segment->start_time() <= options_.tau) {
+      live_.push_back(std::move(entry));
+    }
   }
 }
 
@@ -160,21 +172,22 @@ uint64_t ShardRouter::ApplyPlacement(std::shared_ptr<const PlacementMap> next) {
   const int64_t now_ns = SteadyNowNs();
   CompactLive();
   uint64_t backfills = 0;
-  for (LiveEntry& entry : live_) {
+  for (size_t i = 0; i < live_.size(); ++i) {
+    LiveEntry& entry = live_.at(i);
     // Shards owning >= 1 object of this segment under the NEW placement but
     // that never received it: their index would miss a valid supporter of a
     // pattern they are about to own, so replay it index-only. FIFO order
     // guarantees the replay lands before any trigger routed under `next`.
     uint64_t need = 0;
-    for (const SegmentEntry& e : entry.segment.entries()) {
-      need |= uint64_t{1} << next->shard_of(e.object);
+    for (const ObjectId object : entry.segment->distinct_objects()) {
+      need |= uint64_t{1} << next->shard_of(object);
     }
     need &= ~entry.delivered;
     if (need == 0) continue;
     for (uint32_t s = 0; s < num_shards_; ++s) {
       if (!(need & (uint64_t{1} << s))) continue;
       if (queues_[s]->Push(ShardDelivery{entry.segment, watermark_, now_ns,
-                                         entry.segment.id(), next,
+                                         entry.segment->id(), next,
                                          /*index_only=*/true})) {
         ++backfills;
       }

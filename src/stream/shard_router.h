@@ -9,6 +9,10 @@
 // consumer (that shard's miner thread) — and bounded, so a slow shard exerts
 // condition-variable backpressure instead of unbounded buffering.
 //
+// Deliveries carry SegmentRefs (segment_ref.h): the multicast, the live set
+// and every backfill replay share ONE slab per segment, so an S-way fan-out
+// costs S refcount increments instead of S entry-vector copies.
+//
 // Shipping the global watermark with every delivery is what keeps sharded
 // mining byte-identical to a serial run: a shard only sees a subset of the
 // segment stream, so its own max-end-time would lag the pipeline's and
@@ -32,7 +36,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -41,13 +44,16 @@
 #include "common/types.h"
 #include "stream/bounded_queue.h"
 #include "stream/segment.h"
+#include "stream/segment_ref.h"
+#include "util/ring_buffer.h"
 
 namespace fcp {
 
-/// One delivery to a miner shard: the segment plus the global watermark (max
-/// segment end time routed so far, this segment included).
+/// One delivery to a miner shard: a reference to the shared segment slab
+/// plus the global watermark (max segment end time routed so far, this
+/// segment included).
 struct ShardDelivery {
-  Segment segment;
+  SegmentRef segment;
   Timestamp watermark = kMinTimestamp;
   /// Steady-clock stamp taken when Route() enqueued this delivery; the shard
   /// thread turns (now - routed_at_ns) into the segment->discovery latency
@@ -83,8 +89,8 @@ struct ShardRouterOptions {
   /// Initial placement snapshot (null = Mix64 hash).
   std::shared_ptr<const PlacementMap> placement;
   /// Keep the live-segment set (with per-shard delivered masks) required by
-  /// ApplyPlacement. Costs one segment copy per Route; requires
-  /// num_shards <= 64 and a valid `tau`.
+  /// ApplyPlacement. Costs one SegmentRef per Route (a refcount, not a
+  /// copy); requires num_shards <= 64 and a valid `tau`.
   bool track_live = false;
   /// Validity window for the live set (same tau the miners use).
   DurationMs tau = 0;
@@ -103,14 +109,14 @@ class ShardRouter {
   /// objects (all shards when num_shards == 1). Blocks while target queues
   /// are full. Returns the number of shards the segment was delivered to
   /// (0 only if the router was closed mid-route).
-  uint32_t Route(const Segment& segment);
+  uint32_t Route(const SegmentRef& segment);
 
   /// Routes `count` segments in order with one queue lock per (shard, batch)
   /// instead of one per delivery. The watermark advances cumulatively in
   /// segment order, so each delivery carries exactly the watermark a
   /// sequence of Route() calls would have shipped — sharded output stays
   /// byte-identical to serial. Returns the total deliveries enqueued.
-  uint64_t RouteBatch(const Segment* segments, size_t count);
+  uint64_t RouteBatch(const SegmentRef* segments, size_t count);
 
   /// Switches routing to `next` (a successor snapshot, normally produced by
   /// Rebalancer / PlacementMap::WithMoves) after enqueuing index-only
@@ -155,7 +161,7 @@ class ShardRouter {
   /// been delivered to, mined or backfilled. ApplyPlacement compares the
   /// mask against the new placement's target set to find owed backfills.
   struct LiveEntry {
-    Segment segment;
+    SegmentRef segment;
     uint64_t delivered = 0;
   };
 
@@ -164,6 +170,10 @@ class ShardRouter {
     if (placement_ != nullptr) return placement_->shard_of(object);
     return ShardOf(object, num_shards_);
   }
+
+  /// Marks target_scratch_[s] for every shard owning >= 1 distinct object
+  /// of `segment` under the current placement.
+  void MarkTargets(const Segment& segment);
 
   /// Drops expired entries (watermark anchored, same predicate as the
   /// miners) from the live set.
@@ -176,9 +186,15 @@ class ShardRouter {
   Timestamp watermark_ = kMinTimestamp;
   std::shared_ptr<const PlacementMap> placement_;  ///< null = hash
   std::vector<uint8_t> target_scratch_;  ///< per-shard "owns an object" flags
-  /// RouteBatch's per-shard staging buffers (capacity reused across calls).
+  /// RouteBatch's per-shard staging buffers (capacity reused across calls;
+  /// deliveries are MOVED into the queues, never copied).
   std::vector<std::vector<ShardDelivery>> batch_scratch_;
-  std::deque<LiveEntry> live_;     ///< valid routed segments (track_live)
+  /// Valid routed segments (track_live). A ring, not a deque: the live set
+  /// is a watermark-bounded FIFO, so once its capacity covers the tau window
+  /// the expiry churn performs zero allocations (a deque would allocate and
+  /// free a block every ~32 entries, the single largest steady-state heap
+  /// source in the whole pipeline).
+  RingBuffer<LiveEntry> live_;
   uint64_t routes_since_compact_ = 0;
   ShardRouterStats stats_;
 };

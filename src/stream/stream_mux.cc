@@ -11,14 +11,14 @@ namespace {
 /// segment id. The downstream mine span (serial engine) or shard span
 /// (sharded pipeline) ends the flow, so Perfetto draws one arrow per segment
 /// from ingest to mine. `before` is out->size() before the push.
-inline void TraceCompletedSegments(const std::vector<Segment>& out,
+inline void TraceCompletedSegments(const std::vector<SegmentRef>& out,
                                    size_t before) {
 #ifndef FCP_TRACE_DISABLED
   if (!trace::IsEnabled()) return;
   for (size_t k = before; k < out.size(); ++k) {
-    trace::Emit(trace::Phase::kBegin, "mux/segment_complete", out[k].id(),
-                static_cast<uint32_t>(out[k].length()));
-    trace::Emit(trace::Phase::kFlowBegin, "segment", out[k].id());
+    trace::Emit(trace::Phase::kBegin, "mux/segment_complete", out[k]->id(),
+                static_cast<uint32_t>(out[k]->length()));
+    trace::Emit(trace::Phase::kFlowBegin, "segment", out[k]->id());
     trace::Emit(trace::Phase::kEnd, "mux/segment_complete");
   }
 #else
@@ -29,14 +29,23 @@ inline void TraceCompletedSegments(const std::vector<Segment>& out,
 
 }  // namespace
 
-StreamMux::StreamMux(DurationMs xi) : xi_(xi) { FCP_CHECK(xi > 0); }
+StreamMux::StreamMux(DurationMs xi, SegmentPool* pool) : xi_(xi) {
+  FCP_CHECK(xi > 0);
+  if (pool != nullptr) {
+    pool_ = pool;
+  } else {
+    owned_pool_ = std::make_unique<SegmentPool>();
+    pool_ = owned_pool_.get();
+  }
+}
 
-void StreamMux::Push(const ObjectEvent& event, std::vector<Segment>* out) {
+void StreamMux::Push(const ObjectEvent& event, std::vector<SegmentRef>* out) {
   auto it = segmenters_.find(event.stream);
   if (it == segmenters_.end()) {
     it = segmenters_
-             .emplace(event.stream, std::make_unique<Segmenter>(
-                                        event.stream, xi_, &id_gen_))
+             .emplace(event.stream,
+                      std::make_unique<Segmenter>(event.stream, xi_, &id_gen_,
+                                                  pool_))
              .first;
   }
   const size_t before = out->size();
@@ -45,7 +54,7 @@ void StreamMux::Push(const ObjectEvent& event, std::vector<Segment>* out) {
 }
 
 void StreamMux::PushBatch(const ObjectEvent* events, size_t count,
-                          std::vector<Segment>* out) {
+                          std::vector<SegmentRef>* out) {
   Segmenter* cached = nullptr;
   StreamId cached_stream = 0;
   for (size_t k = 0; k < count; ++k) {
@@ -54,8 +63,9 @@ void StreamMux::PushBatch(const ObjectEvent* events, size_t count,
       auto it = segmenters_.find(event.stream);
       if (it == segmenters_.end()) {
         it = segmenters_
-                 .emplace(event.stream, std::make_unique<Segmenter>(
-                                            event.stream, xi_, &id_gen_))
+                 .emplace(event.stream,
+                          std::make_unique<Segmenter>(event.stream, xi_,
+                                                      &id_gen_, pool_))
                  .first;
       }
       cached = it->second.get();
@@ -67,7 +77,7 @@ void StreamMux::PushBatch(const ObjectEvent* events, size_t count,
   }
 }
 
-void StreamMux::FlushAll(std::vector<Segment>* out) {
+void StreamMux::FlushAll(std::vector<SegmentRef>* out) {
   for (auto& [stream, segmenter] : segmenters_) {
     const size_t before = out->size();
     segmenter->Flush(out);

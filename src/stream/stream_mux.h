@@ -9,26 +9,30 @@
 
 #include "common/types.h"
 #include "stream/segment.h"
+#include "stream/segment_ref.h"
 #include "stream/segmenter.h"
 
 namespace fcp {
 
 /// Demultiplexes a single interleaved feed of ObjectEvents (the union of all
 /// streams, as a data-center front end would receive it) into per-stream
-/// Segmenters, and surfaces completed segments in arrival order.
+/// Segmenters, and surfaces completed segments in arrival order as pooled
+/// SegmentRefs (see segment_ref.h — one slab per segment, shared downstream).
 ///
 /// Single-threaded: the mining pipeline is one consumer; concurrency enters
 /// only via the BoundedQueue in front of it (Fig. 8 experiment).
 class StreamMux {
  public:
-  /// `xi` is the segment span threshold, shared by all streams.
-  explicit StreamMux(DurationMs xi);
+  /// `xi` is the segment span threshold, shared by all streams. `pool` is
+  /// the slab pool completed segments are built in; null means the mux owns
+  /// a private one.
+  explicit StreamMux(DurationMs xi, SegmentPool* pool = nullptr);
 
   StreamMux(const StreamMux&) = delete;
   StreamMux& operator=(const StreamMux&) = delete;
 
   /// Feeds one event; appends any segments it completes to `out`.
-  void Push(const ObjectEvent& event, std::vector<Segment>* out);
+  void Push(const ObjectEvent& event, std::vector<SegmentRef>* out);
 
   /// Feeds `count` events in order; appends any segments they complete to
   /// `out`. Equivalent to calling Push per event, but the segmenter lookup
@@ -36,10 +40,10 @@ class StreamMux {
   /// (the common shape of a batched front end) pays one hash probe per run
   /// instead of one per event.
   void PushBatch(const ObjectEvent* events, size_t count,
-                 std::vector<Segment>* out);
+                 std::vector<SegmentRef>* out);
 
   /// Flushes the open window of every stream (end of feed).
-  void FlushAll(std::vector<Segment>* out);
+  void FlushAll(std::vector<SegmentRef>* out);
 
   /// Number of streams seen so far.
   size_t num_streams() const { return segmenters_.size(); }
@@ -51,8 +55,14 @@ class StreamMux {
   /// hand, e.g. tests and the Twitter generator which emits whole segments).
   SegmentIdGen* id_gen() { return &id_gen_; }
 
+  /// The slab pool completed segments are built in.
+  SegmentPool* pool() { return pool_; }
+  const SegmentPool& pool() const { return *pool_; }
+
  private:
   DurationMs xi_;
+  std::unique_ptr<SegmentPool> owned_pool_;
+  SegmentPool* pool_ = nullptr;
   SegmentIdGen id_gen_;
   std::unordered_map<StreamId, std::unique_ptr<Segmenter>> segmenters_;
 };

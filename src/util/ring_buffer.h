@@ -8,7 +8,9 @@
 #ifndef FCP_UTIL_RING_BUFFER_H_
 #define FCP_UTIL_RING_BUFFER_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -48,9 +50,36 @@ class RingBuffer {
     FCP_DCHECK(i < size_);
     return data_[(head_ + i) & mask_];
   }
+  T& at(size_t i) {
+    FCP_DCHECK(i < size_);
+    return data_[(head_ + i) & mask_];
+  }
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// The contents as (up to) two contiguous spans: `first_span()` runs from
+  /// the front to the end of the backing array, `second_span()` holds the
+  /// wrapped remainder (empty when the live range is contiguous). Consumers
+  /// that copy the whole FIFO (the Segmenter emitting a window) use these to
+  /// bulk-copy instead of iterating element-wise.
+  std::span<const T> first_span() const {
+    const size_t first = std::min(size_, data_.size() - head_);
+    return std::span<const T>(data_.data() + head_, first);
+  }
+  std::span<const T> second_span() const {
+    const size_t first = std::min(size_, data_.size() - head_);
+    return std::span<const T>(data_.data(), size_ - first);
+  }
+
+  /// Drops every element (capacity is kept).
+  void clear() {
+    for (size_t i = 0; i < size_; ++i) {
+      data_[(head_ + i) & mask_] = T{};
+    }
+    head_ = 0;
+    size_ = 0;
+  }
 
   /// Bytes held by the backing array.
   size_t MemoryUsage() const {

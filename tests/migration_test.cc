@@ -110,7 +110,7 @@ std::vector<Fcp> MineWithForcedMigrations(MinerKind kind,
   size_t since_migration = 0;
   uint32_t round = 0;
   for (const Segment& segment : segments) {
-    router.Route(segment);
+    router.Route(SegmentRef::Adopt(segment));
     if (++since_migration >= migrate_every) {
       since_migration = 0;
       // Rotate the zipf head: move the hottest ranks to fresh shards each
@@ -232,7 +232,9 @@ TEST(MigrationTest, FreqPlacementAloneIsEquivalent) {
     miners.push_back(MakeMiner(MinerKind::kCooMine, params, router.spec(s)));
     miners[s]->SetPlacement(placement.get());
   }
-  for (const Segment& segment : segments) router.Route(segment);
+  for (const Segment& segment : segments) {
+    router.Route(SegmentRef::Adopt(segment));
+  }
   router.Close();
   std::vector<Fcp> out;
   std::vector<Fcp> batch;

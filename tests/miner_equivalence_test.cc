@@ -121,7 +121,7 @@ TEST(MinerEquivalenceStreamTest, SegmenterFedMinersAgree) {
   miners.push_back(MakeMiner(MinerKind::kMatrixMine, params));
 
   Timestamp now = 0;
-  std::vector<Segment> completed;
+  std::vector<SegmentRef> completed;
   std::vector<Fcp> reference, candidate;
   for (int i = 0; i < 1500; ++i) {
     now += static_cast<Timestamp>(rng.Below(Seconds(4)));
@@ -129,7 +129,7 @@ TEST(MinerEquivalenceStreamTest, SegmenterFedMinersAgree) {
                             static_cast<ObjectId>(rng.Below(6)), now};
     completed.clear();
     mux.Push(event, &completed);
-    for (const Segment& segment : completed) {
+    for (const SegmentRef& segment : completed) {
       reference.clear();
       miners[0]->AddSegment(segment, &reference);
       const auto want = SignaturesOf(reference);
@@ -137,7 +137,7 @@ TEST(MinerEquivalenceStreamTest, SegmenterFedMinersAgree) {
         candidate.clear();
         miners[m]->AddSegment(segment, &candidate);
         ASSERT_EQ(SignaturesOf(candidate), want)
-            << miners[m]->name() << " @ " << segment.DebugString();
+            << miners[m]->name() << " @ " << segment->DebugString();
       }
     }
   }

@@ -35,10 +35,10 @@ std::unique_ptr<ShardRouter> MakeRouter() {
 void RouteHot(ShardRouter& router, Rebalancer& rebalancer, ObjectId object,
               uint32_t count, SegmentId& next_id, Timestamp& time) {
   for (uint32_t i = 0; i < count; ++i) {
-    const Segment segment =
-        MakeSegment(next_id++, /*stream=*/0, {object}, time += 10);
+    const SegmentRef segment = SegmentRef::Adopt(
+        MakeSegment(next_id++, /*stream=*/0, {object}, time += 10));
     router.Route(segment);
-    rebalancer.ObserveSegment(segment);
+    rebalancer.ObserveSegment(*segment);
   }
 }
 

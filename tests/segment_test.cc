@@ -50,6 +50,20 @@ TEST(SegmentTest, Equality) {
   EXPECT_FALSE(a == c);
 }
 
+TEST(SegmentTest, DistinctCacheMatchesReferenceComputation) {
+  // The construction-time cache must equal the documented on-demand
+  // recompute, including duplicate-heavy and single-object shapes.
+  const Segment dupes =
+      MakeTimedSegment(2, 0, {{5, 0}, {3, 1}, {5, 2}, {1, 3}, {3, 4}});
+  EXPECT_EQ(dupes.distinct_objects(), dupes.DistinctObjects());
+  EXPECT_EQ(dupes.distinct_objects(), std::vector<ObjectId>({1, 3, 5}));
+  const Segment single = MakeSegment(1, 0, {42}, 500);
+  EXPECT_EQ(single.distinct_objects(), single.DistinctObjects());
+  const Segment uniform = MakeSegment(3, 1, {7, 7, 7, 7}, 10);
+  EXPECT_EQ(uniform.distinct_objects(), uniform.DistinctObjects());
+  EXPECT_EQ(uniform.distinct_objects(), std::vector<ObjectId>({7}));
+}
+
 TEST(SegmentDeathTest, EmptySegmentAborts) {
   EXPECT_DEATH(Segment(1, 0, {}), "FCP_CHECK");
 }

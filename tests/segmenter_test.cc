@@ -10,14 +10,24 @@ namespace fcp {
 namespace {
 
 // Feeds (object, time) pairs and returns all segments incl. the flush.
+// Copies out of the pool-backed refs so the local pool can die (checked:
+// each segment's cached distinct-object set matches the reference recompute).
 std::vector<Segment> SegmentAll(
     DurationMs xi, const std::vector<std::pair<ObjectId, Timestamp>>& events) {
   SegmentIdGen ids;
-  Segmenter segmenter(/*stream=*/0, xi, &ids);
-  std::vector<Segment> out;
+  SegmentPool pool;
+  Segmenter segmenter(/*stream=*/0, xi, &ids, &pool);
+  std::vector<SegmentRef> out;
   for (const auto& [o, t] : events) segmenter.Push(o, t, &out);
   segmenter.Flush(&out);
-  return out;
+  std::vector<Segment> segments;
+  segments.reserve(out.size());
+  for (const SegmentRef& ref : out) {
+    EXPECT_EQ(ref->distinct_objects(), ref->DistinctObjects());
+    segments.push_back(*ref);
+  }
+  out.clear();  // release refs before the pool goes out of scope
+  return segments;
 }
 
 std::vector<std::vector<ObjectId>> ObjectSeqs(const std::vector<Segment>& gs) {
@@ -109,9 +119,10 @@ TEST(SegmenterTest, BoundaryExactlyXiIncluded) {
 
 TEST(SegmenterTest, SegmentIdsAreUniqueAndIncreasing) {
   SegmentIdGen ids;
-  Segmenter s0(0, 10, &ids);
-  Segmenter s1(1, 10, &ids);
-  std::vector<Segment> out;
+  SegmentPool pool;
+  Segmenter s0(0, 10, &ids, &pool);
+  Segmenter s1(1, 10, &ids, &pool);
+  std::vector<SegmentRef> out;
   s0.Push(1, 0, &out);
   s0.Push(2, 100, &out);  // completes one segment in stream 0
   s1.Push(3, 0, &out);
@@ -120,26 +131,28 @@ TEST(SegmenterTest, SegmentIdsAreUniqueAndIncreasing) {
   s1.Flush(&out);
   ASSERT_EQ(out.size(), 4u);
   for (size_t i = 1; i < out.size(); ++i) {
-    EXPECT_LT(out[i - 1].id(), out[i].id());
+    EXPECT_LT(out[i - 1]->id(), out[i]->id());
   }
 }
 
 TEST(SegmenterTest, OutOfOrderEventsClampedAndCounted) {
   SegmentIdGen ids;
-  Segmenter segmenter(0, 10, &ids);
-  std::vector<Segment> out;
+  SegmentPool pool;
+  Segmenter segmenter(0, 10, &ids, &pool);
+  std::vector<SegmentRef> out;
   segmenter.Push(1, 100, &out);
   segmenter.Push(2, 90, &out);  // out of order: clamped to 100
   EXPECT_EQ(segmenter.reordered_count(), 1u);
   segmenter.Flush(&out);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0].entries()[1].time, 100);
+  EXPECT_EQ(out[0]->entries()[1].time, 100);
 }
 
 TEST(SegmenterTest, FlushResetsForReuse) {
   SegmentIdGen ids;
-  Segmenter segmenter(0, 10, &ids);
-  std::vector<Segment> out;
+  SegmentPool pool;
+  Segmenter segmenter(0, 10, &ids, &pool);
+  std::vector<SegmentRef> out;
   segmenter.Push(1, 100, &out);
   segmenter.Flush(&out);
   EXPECT_EQ(segmenter.pending_size(), 0u);

@@ -14,6 +14,9 @@ namespace {
 
 using testing::MakeSegment;
 
+// Shorthand: wraps a test segment in a (pool-less) refcounted slab.
+SegmentRef Ref(Segment segment) { return SegmentRef::Adopt(std::move(segment)); }
+
 // Drains everything currently queued for `shard` (the router must be closed
 // or the producer done, so Pop never blocks indefinitely here).
 std::vector<ShardDelivery> Drain(ShardRouter& router, uint32_t shard) {
@@ -45,8 +48,8 @@ TEST(ShardSpecTest, ShardsPartitionTheObjectUniverse) {
 
 TEST(ShardRouterTest, SingleShardReceivesEverySegment) {
   ShardRouter router(1, 16);
-  EXPECT_EQ(router.Route(MakeSegment(1, 0, {5, 7}, 100)), 1u);
-  EXPECT_EQ(router.Route(MakeSegment(2, 1, {9}, 200)), 1u);
+  EXPECT_EQ(router.Route(Ref(MakeSegment(1, 0, {5, 7}, 100))), 1u);
+  EXPECT_EQ(router.Route(Ref(MakeSegment(2, 1, {9}, 200))), 1u);
   router.Close();
   EXPECT_EQ(Drain(router, 0).size(), 2u);
   EXPECT_EQ(router.stats().segments_routed, 2u);
@@ -56,10 +59,10 @@ TEST(ShardRouterTest, SingleShardReceivesEverySegment) {
 TEST(ShardRouterTest, MulticastsToExactlyTheOwningShards) {
   constexpr uint32_t kShards = 4;
   ShardRouter router(kShards, 64);
-  const Segment segment = MakeSegment(1, 0, {1, 2, 3, 4, 5, 6}, 100);
+  const SegmentRef segment = Ref(MakeSegment(1, 0, {1, 2, 3, 4, 5, 6}, 100));
 
   std::set<uint32_t> expected;
-  for (ObjectId o : segment.DistinctObjects()) {
+  for (ObjectId o : segment->DistinctObjects()) {
     expected.insert(ShardOf(o, kShards));
   }
   EXPECT_EQ(router.Route(segment), expected.size());
@@ -69,8 +72,8 @@ TEST(ShardRouterTest, MulticastsToExactlyTheOwningShards) {
     const std::vector<ShardDelivery> got = Drain(router, s);
     if (expected.contains(s)) {
       ASSERT_EQ(got.size(), 1u) << "shard " << s;
-      EXPECT_EQ(got[0].segment.id(), segment.id());
-      EXPECT_EQ(got[0].watermark, segment.end_time());
+      EXPECT_EQ(got[0].segment->id(), segment->id());
+      EXPECT_EQ(got[0].watermark, segment->end_time());
     } else {
       EXPECT_TRUE(got.empty()) << "shard " << s;
     }
@@ -80,22 +83,22 @@ TEST(ShardRouterTest, MulticastsToExactlyTheOwningShards) {
 TEST(ShardRouterTest, DuplicateObjectsDeliverOnce) {
   ShardRouter router(2, 16);
   // All entries map to the same object: exactly one delivery to its owner.
-  EXPECT_EQ(router.Route(MakeSegment(1, 0, {42, 42, 42}, 50)), 1u);
+  EXPECT_EQ(router.Route(Ref(MakeSegment(1, 0, {42, 42, 42}, 50))), 1u);
   router.Close();
   EXPECT_EQ(Drain(router, 0).size() + Drain(router, 1).size(), 1u);
 }
 
 TEST(ShardRouterTest, WatermarkIsMonotoneAcrossOutOfOrderSegments) {
   ShardRouter router(2, 16);
-  router.Route(MakeSegment(1, 0, {1}, 1000));
+  router.Route(Ref(MakeSegment(1, 0, {1}, 1000)));
   EXPECT_EQ(router.watermark(), 1000);
   // An earlier-ending segment must not regress the shipped watermark.
-  router.Route(MakeSegment(2, 1, {2}, 400));
+  router.Route(Ref(MakeSegment(2, 1, {2}, 400)));
   EXPECT_EQ(router.watermark(), 1000);
   router.Close();
   for (uint32_t s = 0; s < 2; ++s) {
     for (const ShardDelivery& delivery : Drain(router, s)) {
-      if (delivery.segment.id() == 2) {
+      if (delivery.segment->id() == 2) {
         EXPECT_EQ(delivery.watermark, 1000);
       }
     }
@@ -107,15 +110,15 @@ TEST(ShardRouterTest, RouteBatchMatchesPerSegmentRoute) {
   // same deliveries per shard — same segments, same (cumulative) watermarks
   // — and the same router stats.
   constexpr uint32_t kShards = 3;
-  std::vector<Segment> segments;
-  segments.push_back(MakeSegment(1, 0, {1, 5, 9}, 100));
-  segments.push_back(MakeSegment(2, 1, {2}, 700));
-  segments.push_back(MakeSegment(3, 0, {3, 4}, 300));  // watermark holds 700
-  segments.push_back(MakeSegment(4, 2, {1, 2, 3, 4, 5, 6}, 900));
+  std::vector<SegmentRef> segments;
+  segments.push_back(Ref(MakeSegment(1, 0, {1, 5, 9}, 100)));
+  segments.push_back(Ref(MakeSegment(2, 1, {2}, 700)));
+  segments.push_back(Ref(MakeSegment(3, 0, {3, 4}, 300)));  // watermark holds 700
+  segments.push_back(Ref(MakeSegment(4, 2, {1, 2, 3, 4, 5, 6}, 900)));
 
   ShardRouter serial(kShards, 64);
   uint64_t serial_delivered = 0;
-  for (const Segment& segment : segments) {
+  for (const SegmentRef& segment : segments) {
     serial_delivered += serial.Route(segment);
   }
   serial.Close();
@@ -135,7 +138,7 @@ TEST(ShardRouterTest, RouteBatchMatchesPerSegmentRoute) {
     const std::vector<ShardDelivery> got = Drain(batched, s);
     ASSERT_EQ(got.size(), expected.size()) << "shard " << s;
     for (size_t i = 0; i < got.size(); ++i) {
-      EXPECT_EQ(got[i].segment, expected[i].segment) << "shard " << s;
+      EXPECT_EQ(*got[i].segment, *expected[i].segment) << "shard " << s;
       EXPECT_EQ(got[i].watermark, expected[i].watermark)
           << "shard " << s << " delivery " << i;
     }
@@ -146,11 +149,11 @@ TEST(ShardRouterTest, RouteBatchLargerThanQueueCapacity) {
   // Single-shard router with a tiny queue: the batch must flow through in
   // chunks while the consumer drains, losing nothing.
   ShardRouter router(1, 4);
-  std::vector<Segment> segments;
+  std::vector<SegmentRef> segments;
   for (SegmentId id = 1; id <= 20; ++id) {
     segments.push_back(
-        MakeSegment(id, 0, {static_cast<ObjectId>(id % 5)},
-                    static_cast<Timestamp>(id * 10)));
+        Ref(MakeSegment(id, 0, {static_cast<ObjectId>(id % 5)},
+                        static_cast<Timestamp>(id * 10))));
   }
   std::vector<ShardDelivery> got;
   std::thread consumer([&] {
@@ -163,8 +166,8 @@ TEST(ShardRouterTest, RouteBatchLargerThanQueueCapacity) {
   consumer.join();
   ASSERT_EQ(got.size(), 20u);
   for (size_t i = 0; i < got.size(); ++i) {
-    EXPECT_EQ(got[i].segment.id(), segments[i].id());
-    EXPECT_EQ(got[i].watermark, segments[i].end_time());
+    EXPECT_EQ(got[i].segment->id(), segments[i]->id());
+    EXPECT_EQ(got[i].watermark, segments[i]->end_time());
   }
 }
 
@@ -176,7 +179,7 @@ TEST(ShardRouterTest, EmptyRouteBatchIsANoOp) {
 
 TEST(ShardRouterTest, CloseEndsConsumers) {
   ShardRouter router(3, 4);
-  router.Route(MakeSegment(1, 0, {7}, 10));
+  router.Route(Ref(MakeSegment(1, 0, {7}, 10)));
   router.Close();
   for (uint32_t s = 0; s < 3; ++s) {
     Drain(router, s);

@@ -7,7 +7,7 @@ namespace {
 
 TEST(StreamMuxTest, RoutesPerStream) {
   StreamMux mux(10);
-  std::vector<Segment> out;
+  std::vector<SegmentRef> out;
   // Interleave two streams; events of one stream are far apart in the other.
   mux.Push({0, 1, 0}, &out);
   mux.Push({1, 9, 2}, &out);
@@ -16,14 +16,14 @@ TEST(StreamMuxTest, RoutesPerStream) {
   EXPECT_TRUE(out.empty());  // nothing completed yet
   mux.Push({0, 3, 100}, &out);  // completes stream 0's window
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0].stream(), 0u);
-  EXPECT_EQ(out[0].length(), 2u);
+  EXPECT_EQ(out[0]->stream(), 0u);
+  EXPECT_EQ(out[0]->length(), 2u);
   EXPECT_EQ(mux.num_streams(), 2u);
 }
 
 TEST(StreamMuxTest, FlushAllDrainsEveryStream) {
   StreamMux mux(10);
-  std::vector<Segment> out;
+  std::vector<SegmentRef> out;
   for (StreamId s = 0; s < 5; ++s) {
     mux.Push({s, s + 10, static_cast<Timestamp>(s)}, &out);
   }
@@ -34,7 +34,7 @@ TEST(StreamMuxTest, FlushAllDrainsEveryStream) {
 
 TEST(StreamMuxTest, IdsUniqueAcrossStreams) {
   StreamMux mux(10);
-  std::vector<Segment> out;
+  std::vector<SegmentRef> out;
   for (int i = 0; i < 50; ++i) {
     mux.Push({static_cast<StreamId>(i % 3), static_cast<ObjectId>(i),
               static_cast<Timestamp>(i * 100)},
@@ -42,13 +42,13 @@ TEST(StreamMuxTest, IdsUniqueAcrossStreams) {
   }
   mux.FlushAll(&out);
   std::set<SegmentId> ids;
-  for (const Segment& g : out) ids.insert(g.id());
+  for (const SegmentRef& g : out) ids.insert(g->id());
   EXPECT_EQ(ids.size(), out.size());
 }
 
 TEST(StreamMuxTest, ReorderedCountAggregates) {
   StreamMux mux(10);
-  std::vector<Segment> out;
+  std::vector<SegmentRef> out;
   mux.Push({0, 1, 100}, &out);
   mux.Push({0, 2, 50}, &out);  // clamped
   mux.Push({1, 1, 100}, &out);
@@ -71,20 +71,20 @@ TEST(StreamMuxTest, PushBatchMatchesPerEventPush) {
   }
 
   StreamMux per_event(10);
-  std::vector<Segment> expected;
+  std::vector<SegmentRef> expected;
   for (const ObjectEvent& event : events) per_event.Push(event, &expected);
   per_event.FlushAll(&expected);
 
   StreamMux batched(10);
-  std::vector<Segment> got;
+  std::vector<SegmentRef> got;
   batched.PushBatch(events.data(), events.size(), &got);
   batched.FlushAll(&got);
 
   ASSERT_EQ(got.size(), expected.size());
   for (size_t i = 0; i < got.size(); ++i) {
-    EXPECT_EQ(got[i].id(), expected[i].id()) << i;
-    EXPECT_EQ(got[i].stream(), expected[i].stream()) << i;
-    EXPECT_EQ(got[i].entries(), expected[i].entries()) << i;
+    EXPECT_EQ(got[i]->id(), expected[i]->id()) << i;
+    EXPECT_EQ(got[i]->stream(), expected[i]->stream()) << i;
+    EXPECT_EQ(got[i]->entries(), expected[i]->entries()) << i;
   }
   EXPECT_EQ(batched.num_streams(), per_event.num_streams());
   EXPECT_EQ(batched.reordered_count(), per_event.reordered_count());
@@ -92,7 +92,7 @@ TEST(StreamMuxTest, PushBatchMatchesPerEventPush) {
 
 TEST(StreamMuxTest, PushBatchOfZeroAndOne) {
   StreamMux mux(10);
-  std::vector<Segment> out;
+  std::vector<SegmentRef> out;
   mux.PushBatch(nullptr, 0, &out);
   EXPECT_TRUE(out.empty());
   const ObjectEvent event{0, 1, 5};
@@ -104,7 +104,7 @@ TEST(StreamMuxTest, PerStreamTimeIsIndependent) {
   // Stream 1 events go "back in time" relative to stream 0 — that is fine,
   // only intra-stream order matters.
   StreamMux mux(10);
-  std::vector<Segment> out;
+  std::vector<SegmentRef> out;
   mux.Push({0, 1, 1000}, &out);
   mux.Push({1, 2, 5}, &out);
   EXPECT_EQ(mux.reordered_count(), 0u);

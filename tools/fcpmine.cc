@@ -284,6 +284,7 @@ int main(int argc, char** argv) {
   uint64_t segments_completed = 0;
   size_t index_bytes = 0;
   fcp::MinerStats stats;  // summed across shards in the parallel path
+  fcp::SegmentPoolStats pool_stats;
   if (shards > 0) {
     // Parallel pipeline: alerts surface only after Finish() drains the
     // shards, so stream mode prints them post-hoc in merged order.
@@ -317,6 +318,10 @@ int main(int argc, char** argv) {
       stats.lcp_rows += shard_stats.lcp_rows;
       stats.segments_expired += shard_stats.segments_expired;
     }
+    pool_stats = engine.segment_pool().stats();
+    // The queue/pool gauges refresh on snapshot, not continuously; one
+    // refresh here makes the reporter's final report carry end-of-run values.
+    if (reporter) engine.SnapshotMetrics();
   } else {
     fcp::EngineOptions options;
     options.suppression_window = suppression;
@@ -336,6 +341,8 @@ int main(int argc, char** argv) {
     segments_completed = engine.segments_completed();
     index_bytes = engine.MemoryUsage();
     stats = engine.miner().stats();
+    pool_stats = engine.mux().pool().stats();
+    if (reporter) engine.SnapshotMetrics();
   }
   const double elapsed = clock.ElapsedSeconds();
   // Stop the reporter before printing the human summary: Stop() joins the
@@ -392,6 +399,15 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.candidates_checked),
                  static_cast<unsigned long long>(stats.lcp_rows),
                  static_cast<unsigned long long>(stats.segments_expired));
+    std::fprintf(
+        stderr,
+        "  segment pool: %llu hits, %llu misses, %llu live, %llu parked, "
+        "%.1f MB recycled\n",
+        static_cast<unsigned long long>(pool_stats.pool_hits),
+        static_cast<unsigned long long>(pool_stats.slab_allocs),
+        static_cast<unsigned long long>(pool_stats.live),
+        static_cast<unsigned long long>(pool_stats.free),
+        static_cast<double>(pool_stats.recycled_bytes) / (1024.0 * 1024.0));
   }
   return 0;
 }
