@@ -1,5 +1,8 @@
 #include "core/engine_metrics.h"
 
+#include "telemetry/trace.h"
+#include "util/kernels/kernels.h"
+
 namespace fcp {
 namespace {
 
@@ -65,6 +68,20 @@ void MinerMetrics::PublishDelta(const MinerStats& current,
   Bump(maintenance_ns,
        static_cast<uint64_t>(current.maintenance_ns - last->maintenance_ns));
   *last = current;
+}
+
+telemetry::Gauge* RegisterBuildInfo(telemetry::MetricRegistry* registry) {
+#ifdef FCP_VERSION
+  const std::string version = FCP_VERSION;
+#else
+  const std::string version = "dev";
+#endif
+  const std::string name =
+      "fcp_build_info{" + telemetry::FormatLabel("version", version) + "," +
+      telemetry::FormatLabel("kernel", kernels::Ops().name) + "," +
+      telemetry::FormatLabel("trace", trace::kCompiledIn ? "1" : "0") + "}";
+  registry->GetGauge(name)->Set(1);
+  return registry->GetGauge("fcp_uptime_seconds");
 }
 
 void MinerMetrics::PublishIntrospection(const MinerIntrospection& view) const {

@@ -55,6 +55,15 @@ struct MinerMetrics {
   void PublishIntrospection(const MinerIntrospection& view) const;
 };
 
+/// Registers the process identity metrics every engine exports
+/// (DESIGN.md §2.8): `fcp_build_info{version=...,kernel=...,trace=...} = 1`
+/// — the standard Prometheus idiom of a constant-1 gauge whose labels carry
+/// the build facts (version string, active kernel dispatch level, whether
+/// the flight recorder is compiled in) — and `fcp_uptime_seconds`, whose
+/// gauge is returned so the caller can refresh it on snapshot/scrape.
+/// Idempotent per registry (re-registration rebinds the same metrics).
+telemetry::Gauge* RegisterBuildInfo(telemetry::MetricRegistry* registry);
+
 }  // namespace fcp
 
 #endif  // FCP_CORE_ENGINE_METRICS_H_

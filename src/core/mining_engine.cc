@@ -33,9 +33,45 @@ MiningEngine::MiningEngine(MinerKind kind, const MiningParams& params,
   pool_recycled_bytes_ =
       registry_->GetGauge("fcp_segment_pool_recycled_bytes_total");
   pool_free_slabs_ = registry_->GetGauge("fcp_segment_pool_free_slabs");
+  open_windows_gauge_ = registry_->GetGauge("fcp_open_windows");
+  streams_seen_gauge_ = registry_->GetGauge("fcp_streams_seen");
+  uptime_seconds_ = RegisterBuildInfo(registry_);
+  start_time_ = std::chrono::steady_clock::now();
+  if (options.watchdog != nullptr) {
+    // No depth probe: the serial engine has no input queue — the caller's
+    // thread IS the pipeline, so only the busy-and-silent predicate applies.
+    heartbeat_ = options.watchdog->RegisterStage("ingest");
+  }
+}
+
+void MiningEngine::RefreshGauges() const {
+  open_windows_gauge_->Set(mux_.open_windows());
+  streams_seen_gauge_->Set(mux_.streams_seen());
+  uptime_seconds_->Set(std::chrono::duration_cast<std::chrono::seconds>(
+                           std::chrono::steady_clock::now() - start_time_)
+                           .count());
+}
+
+std::string MiningEngine::StatusJson() const {
+  const SegmentPoolStats pool = mux_.pool().stats();
+  std::string out = "{\"engine\":\"serial\"";
+  out += ",\"streams_seen\":" + std::to_string(mux_.streams_seen());
+  out += ",\"open_windows\":" + std::to_string(mux_.open_windows());
+  out += ",\"events_ingested\":" + std::to_string(events_ingested_->Value());
+  out += ",\"segments_completed\":" +
+         std::to_string(segments_completed_metric_->Value());
+  out += ",\"fcps_accepted\":" + std::to_string(fcps_accepted_->Value());
+  out += ",\"pool\":{\"live_refs\":" + std::to_string(pool.live) +
+         ",\"free_slabs\":" + std::to_string(pool.free) +
+         ",\"hits\":" + std::to_string(pool.pool_hits) +
+         ",\"misses\":" + std::to_string(pool.slab_allocs) +
+         ",\"recycled_bytes\":" + std::to_string(pool.recycled_bytes) + "}";
+  out += "}";
+  return out;
 }
 
 std::vector<Fcp> MiningEngine::PushEvent(const ObjectEvent& event) {
+  if (heartbeat_ != nullptr) heartbeat_->MarkIdle(false);
   if (publish_) events_ingested_->Increment();
   scratch_segments_.clear();
   mux_.Push(event, &scratch_segments_);
@@ -45,6 +81,7 @@ std::vector<Fcp> MiningEngine::PushEvent(const ObjectEvent& event) {
 std::vector<Fcp> MiningEngine::IngestBatch(std::span<const ObjectEvent> events) {
   FCP_TRACE_SPAN_FLOW("engine/ingest_batch", 0,
                       static_cast<uint32_t>(events.size()));
+  if (heartbeat_ != nullptr) heartbeat_->MarkIdle(false);
   // One counter delta per batch — same final totals as per-event increments.
   if (publish_ && !events.empty()) events_ingested_->Increment(events.size());
   scratch_segments_.clear();
@@ -53,6 +90,7 @@ std::vector<Fcp> MiningEngine::IngestBatch(std::span<const ObjectEvent> events) 
 }
 
 std::vector<Fcp> MiningEngine::PushSegment(const Segment& segment) {
+  if (heartbeat_ != nullptr) heartbeat_->MarkIdle(false);
   scratch_segments_.clear();
   // One copy into a pooled slab; ProcessSegments shares it from there.
   scratch_segments_.push_back(mux_.pool()->Make(
@@ -61,6 +99,7 @@ std::vector<Fcp> MiningEngine::PushSegment(const Segment& segment) {
 }
 
 std::vector<Fcp> MiningEngine::Flush() {
+  if (heartbeat_ != nullptr) heartbeat_->MarkIdle(false);
   scratch_segments_.clear();
   mux_.FlushAll(&scratch_segments_);
   return ProcessSegments(scratch_segments_);
@@ -113,6 +152,12 @@ std::vector<Fcp> MiningEngine::ProcessSegments(
     pool_misses_->Set(static_cast<int64_t>(pool.slab_allocs));
     pool_recycled_bytes_->Set(static_cast<int64_t>(pool.recycled_bytes));
     pool_free_slabs_->Set(static_cast<int64_t>(pool.free));
+  }
+  if (heartbeat_ != nullptr) {
+    // One beat per ingest call: between calls the caller owns the thread,
+    // so the stage parks idle and silence is healthy.
+    heartbeat_->Beat();
+    heartbeat_->MarkIdle(true);
   }
   return accepted;
 }

@@ -12,14 +12,17 @@
 #ifndef FCP_CORE_MINING_ENGINE_H_
 #define FCP_CORE_MINING_ENGINE_H_
 
+#include <chrono>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/params.h"
 #include "common/types.h"
 #include "core/engine_metrics.h"
 #include "core/miner.h"
+#include "obs/watchdog.h"
 #include "core/result_collector.h"
 #include "stream/segment.h"
 #include "stream/segment_ref.h"
@@ -39,6 +42,10 @@ struct EngineOptions {
   /// Telemetry is always compiled in; benches flip this off to measure the
   /// record-path overhead against a compiled-but-unread baseline.
   bool publish_metrics = true;
+  /// Health supervision (DESIGN.md §2.8): when set, the engine registers a
+  /// single "ingest" stage heartbeat (the whole pipeline runs on the caller's
+  /// thread). The watchdog must be Stop()ped before the engine is destroyed.
+  obs::Watchdog* watchdog = nullptr;
 };
 
 class MiningEngine {
@@ -87,13 +94,22 @@ class MiningEngine {
   /// EngineOptions::metrics was set).
   const telemetry::MetricRegistry& metrics() const { return *registry_; }
 
-  /// Point-in-time copy of every metric (thread-safe).
+  /// Point-in-time copy of every metric (thread-safe). Refreshes the
+  /// serial gauges (uptime, open windows, streams seen, pool occupancy
+  /// via the mux mirrors) first.
   std::vector<telemetry::MetricSample> SnapshotMetrics() const {
+    RefreshGauges();
     return registry_->Snapshot();
   }
 
+  /// Pipeline topology for /statusz. Thread-safe: built from the mux's
+  /// relaxed-atomic mirrors and the pool's locked stats, never from the
+  /// single-threaded segmenter map.
+  std::string StatusJson() const;
+
  private:
   std::vector<Fcp> ProcessSegments(const std::vector<SegmentRef>& segments);
+  void RefreshGauges() const;
 
   MiningParams params_;
   StreamMux mux_;
@@ -117,6 +133,11 @@ class MiningEngine {
   telemetry::Gauge* pool_misses_ = nullptr;
   telemetry::Gauge* pool_recycled_bytes_ = nullptr;
   telemetry::Gauge* pool_free_slabs_ = nullptr;
+  telemetry::Gauge* open_windows_gauge_ = nullptr;
+  telemetry::Gauge* streams_seen_gauge_ = nullptr;
+  telemetry::Gauge* uptime_seconds_ = nullptr;
+  std::chrono::steady_clock::time_point start_time_;
+  obs::StageHeartbeat* heartbeat_ = nullptr;  ///< null without a watchdog
 };
 
 }  // namespace fcp

@@ -76,6 +76,7 @@ ParallelEngine::ParallelEngine(MinerKind kind, const MiningParams& params,
         options_.segment_queue_capacity));
   }
   RegisterMetrics();
+  RegisterWatchdogStages();
   // Start consumers before producers so segment production never deadlocks
   // on a full queue with nobody draining it: shards first, then the merge,
   // then the workers.
@@ -119,6 +120,8 @@ void ParallelEngine::RegisterMetrics() {
   pool_recycled_bytes_ =
       registry_->GetGauge("fcp_segment_pool_recycled_bytes_total");
   pool_free_slabs_ = registry_->GetGauge("fcp_segment_pool_free_slabs");
+  uptime_seconds_ = RegisterBuildInfo(registry_);
+  start_time_ = std::chrono::steady_clock::now();
   shard_telemetry_.resize(options_.num_miner_shards);
   for (uint32_t s = 0; s < options_.num_miner_shards; ++s) {
     const std::string label =
@@ -133,6 +136,8 @@ void ParallelEngine::RegisterMetrics() {
         registry_->GetGauge("fcp_shard_queue_depth{" + label + "}");
     t.queue_high_watermark =
         registry_->GetGauge("fcp_shard_queue_high_watermark{" + label + "}");
+    t.watermark_lag_ms =
+        registry_->GetGauge("fcp_shard_watermark_lag_ms{" + label + "}");
   }
   worker_telemetry_.resize(options_.num_workers);
   for (uint32_t w = 0; w < options_.num_workers; ++w) {
@@ -151,6 +156,50 @@ void ParallelEngine::RegisterMetrics() {
   }
 }
 
+void ParallelEngine::RegisterWatchdogStages() {
+  obs::Watchdog* watchdog = options_.watchdog;
+  if (watchdog == nullptr) return;
+  // Stage names match the trace thread names, so a stalled row in /statusz
+  // points straight at the matching Perfetto track. Probes capture `this`;
+  // the watchdog contract (Stop() before the engine dies) makes that safe.
+  worker_heartbeats_.resize(options_.num_workers, nullptr);
+  for (uint32_t w = 0; w < options_.num_workers; ++w) {
+    BoundedQueue<ObjectEvent>* queue = workers_[w].events.get();
+    worker_heartbeats_[w] = watchdog->RegisterStage(
+        "worker-" + std::to_string(w), [queue] { return queue->depth(); },
+        options_.event_queue_capacity);
+  }
+  merge_heartbeat_ = watchdog->RegisterStage(
+      "merge",
+      [this] {
+        size_t depth = 0;
+        for (const auto& queue : segments_) depth += queue->depth();
+        return depth;
+      },
+      options_.segment_queue_capacity * options_.num_workers);
+  shard_heartbeats_.resize(options_.num_miner_shards, nullptr);
+  for (uint32_t s = 0; s < options_.num_miner_shards; ++s) {
+    shard_heartbeats_[s] = watchdog->RegisterStage(
+        "shard-" + std::to_string(s),
+        [this, s] { return router_->queue(s).depth(); },
+        options_.shard_queue_capacity);
+  }
+  watchdog->SetWatermarkLagProbe([this] { return WatermarkLagMs(); });
+}
+
+int64_t ParallelEngine::WatermarkLagMs() const {
+  const Timestamp routed = router_->watermark();
+  if (routed == kMinTimestamp) return 0;
+  int64_t max_lag = 0;
+  for (const auto& runtime : shard_runtime_) {
+    const Timestamp seen =
+        runtime->last_watermark.load(std::memory_order_relaxed);
+    if (seen == kMinTimestamp) continue;  // no delivery yet: depth covers it
+    max_lag = std::max<int64_t>(max_lag, routed - seen);
+  }
+  return max_lag;
+}
+
 void ParallelEngine::RefreshGauges() {
   for (uint32_t s = 0; s < options_.num_miner_shards; ++s) {
     ShardTelemetry& t = shard_telemetry_[s];
@@ -158,6 +207,11 @@ void ParallelEngine::RefreshGauges() {
     t.queue_depth->Set(static_cast<int64_t>(router_->queue(s).depth()));
     t.queue_high_watermark->Set(
         static_cast<int64_t>(router_->queue(s).high_watermark()));
+    const Timestamp routed = router_->watermark();
+    const Timestamp seen =
+        shard_runtime_[s]->last_watermark.load(std::memory_order_relaxed);
+    t.watermark_lag_ms->Set(
+        (routed == kMinTimestamp || seen == kMinTimestamp) ? 0 : routed - seen);
   }
   for (uint32_t w = 0; w < options_.num_workers; ++w) {
     WorkerTelemetry& t = worker_telemetry_[w];
@@ -175,6 +229,9 @@ void ParallelEngine::RefreshGauges() {
   pool_misses_->Set(static_cast<int64_t>(pool.slab_allocs));
   pool_recycled_bytes_->Set(static_cast<int64_t>(pool.recycled_bytes));
   pool_free_slabs_->Set(static_cast<int64_t>(pool.free));
+  uptime_seconds_->Set(std::chrono::duration_cast<std::chrono::seconds>(
+                           std::chrono::steady_clock::now() - start_time_)
+                           .count());
 }
 
 std::vector<telemetry::MetricSample> ParallelEngine::SnapshotMetrics() {
@@ -288,7 +345,13 @@ void ParallelEngine::WorkerLoop(uint32_t worker_index) {
     batch.clear();
   };
 
-  while (auto event = workers_[worker_index].events->Pop()) {
+  obs::StageHeartbeat* heartbeat =
+      worker_heartbeats_.empty() ? nullptr : worker_heartbeats_[worker_index];
+  while (true) {
+    if (heartbeat != nullptr) heartbeat->MarkIdle(true);
+    auto event = workers_[worker_index].events->Pop();
+    if (!event) break;
+    if (heartbeat != nullptr) heartbeat->MarkIdle(false);
     auto it = segmenters.find(event->stream);
     if (it == segmenters.end()) {
       it = segmenters
@@ -301,6 +364,7 @@ void ParallelEngine::WorkerLoop(uint32_t worker_index) {
     completed.clear();
     it->second->Push(event->object, event->time, &completed);
     emit(completed);
+    if (heartbeat != nullptr) heartbeat->Beat();
   }
   // Queue closed: flush trailing windows.
   completed.clear();
@@ -315,6 +379,7 @@ void ParallelEngine::MergeLoop() {
   // worker raced ahead. A worker that stays quiet for merge_idle_timeout_us
   // while others have segments waiting is skipped until it produces again.
   trace::SetThreadName("merge");
+  obs::StageHeartbeat* heartbeat = merge_heartbeat_;
   const uint32_t n = options_.num_workers;
   std::vector<SegmentRef> heads(n);  // null slot = no head buffered
   std::vector<bool> exhausted(n, false);
@@ -355,6 +420,7 @@ void ParallelEngine::MergeLoop() {
       // Nothing to merge: block on the first still-active queue until it
       // produces, closes, or the timeout passes (then re-poll the others).
       if (publish_) merge_stalls_->Increment();
+      if (heartbeat != nullptr) heartbeat->MarkIdle(true);
       for (uint32_t w = 0; w < n; ++w) {
         if (exhausted[w]) continue;
         if (auto segment =
@@ -365,6 +431,7 @@ void ParallelEngine::MergeLoop() {
       }
       continue;
     }
+    if (heartbeat != nullptr) heartbeat->MarkIdle(false);
 
     if (missing_active_head) {
       // Give quiet workers a bounded chance to contribute the next-smallest
@@ -452,6 +519,7 @@ void ParallelEngine::MergeLoop() {
       }
     }
     ++segments_completed_;
+    if (heartbeat != nullptr) heartbeat->Beat();
     if (publish_) {
       segments_completed_metric_->Increment();
       // How far the just-routed segment trails the stream-time watermark:
@@ -479,6 +547,14 @@ void ParallelEngine::ProcessDelivery(uint32_t shard_index,
   // can lag the merge's and would expire supporters later than a serial
   // run (breaking shard-count invariance of the output).
   miner.AdvanceWatermark(delivery.watermark);
+  // Per-shard lag mirror + heartbeat: stolen deliveries credit the VICTIM's
+  // stage (its queue is the one draining), which is exactly what keeps a
+  // skewed-but-stolen-from shard from reading as stalled.
+  runtime.last_watermark.store(delivery.watermark, std::memory_order_relaxed);
+  if (!shard_heartbeats_.empty() &&
+      shard_heartbeats_[shard_index] != nullptr) {
+    shard_heartbeats_[shard_index]->Beat();
+  }
   if (delivery.index_only) {
     // Migration backfill: this shard just became an owner of one of the
     // segment's objects; index it so upcoming triggers see every valid
@@ -569,11 +645,17 @@ void ParallelEngine::ShardLoop(uint32_t shard_index) {
   std::snprintf(thread_name, sizeof(thread_name), "shard-%u", shard_index);
   trace::SetThreadName(thread_name);
   BoundedQueue<ShardDelivery>& queue = router_->queue(shard_index);
+  obs::StageHeartbeat* heartbeat =
+      shard_heartbeats_.empty() ? nullptr : shard_heartbeats_[shard_index];
 
   if (!options_.steal) {
     // No thieves: this thread is the only one touching the shard's miner,
     // queue consumer side and runtime, so pop blocking and skip the mutex.
-    while (auto delivery = queue.Pop()) {
+    while (true) {
+      if (heartbeat != nullptr) heartbeat->MarkIdle(true);
+      auto delivery = queue.Pop();
+      if (!delivery) break;
+      if (heartbeat != nullptr) heartbeat->MarkIdle(false);
       ProcessDelivery(shard_index, std::move(*delivery), /*stolen=*/false);
     }
     return;
@@ -586,7 +668,9 @@ void ParallelEngine::ShardLoop(uint32_t shard_index) {
   // spinning).
   constexpr int64_t kIdleWaitUs = 200;
   while (true) {
+    if (heartbeat != nullptr) heartbeat->MarkIdle(true);
     if (queue.WaitNonEmptyFor(kIdleWaitUs)) {
+      if (heartbeat != nullptr) heartbeat->MarkIdle(false);
       std::lock_guard<std::mutex> lock(shard_runtime_[shard_index]->mutex);
       if (auto delivery = queue.TryPop()) {
         ProcessDelivery(shard_index, std::move(*delivery), /*stolen=*/false);
@@ -607,6 +691,88 @@ void ParallelEngine::ShardLoop(uint32_t shard_index) {
       if (all_done) break;
     }
   }
+}
+
+namespace {
+
+void AppendQueueJson(std::string* out, const char* key, size_t depth,
+                     size_t high_watermark, size_t capacity) {
+  out->append("\"");
+  out->append(key);
+  out->append("\":{\"depth\":" + std::to_string(depth) +
+              ",\"high_watermark\":" + std::to_string(high_watermark) +
+              ",\"capacity\":" + std::to_string(capacity) + "}");
+}
+
+}  // namespace
+
+std::string ParallelEngine::StatusJson() const {
+  // Every field below comes from a relaxed atomic, a mutex-guarded queue
+  // accessor, or the pool's locked stats snapshot — never from the plain
+  // routing-thread state (stats(), placement()). Rows are racy relative to
+  // one another; each is individually coherent.
+  const Timestamp watermark = router_->watermark();
+  std::string out = "{\"engine\":\"parallel\"";
+  out += ",\"workers\":" + std::to_string(options_.num_workers);
+  out += ",\"shards\":" + std::to_string(options_.num_miner_shards);
+  out += ",\"rebalance\":";
+  out += options_.rebalance ? "true" : "false";
+  out += ",\"steal\":";
+  out += options_.steal ? "true" : "false";
+  out += ",\"watermark\":" +
+         std::to_string(watermark == kMinTimestamp ? 0 : watermark);
+  out += ",\"watermark_lag_ms\":" + std::to_string(WatermarkLagMs());
+  out += ",\"placement_version\":" +
+         std::to_string(router_->placement_version());
+  out += ",\"events_ingested\":" + std::to_string(events_ingested_->Value());
+  out += ",\"segments_completed\":" +
+         std::to_string(segments_completed_metric_->Value());
+  const SegmentPoolStats pool = segment_pool_.stats();
+  out += ",\"pool\":{\"live_refs\":" + std::to_string(pool.live) +
+         ",\"free_slabs\":" + std::to_string(pool.free) +
+         ",\"hits\":" + std::to_string(pool.pool_hits) +
+         ",\"misses\":" + std::to_string(pool.slab_allocs) +
+         ",\"recycled_bytes\":" + std::to_string(pool.recycled_bytes) + "}";
+  if (rebalancer_ != nullptr) {
+    const Rebalancer::LiveStats rstats = rebalancer_->SnapshotStats();
+    out += ",\"rebalancer\":{\"rounds\":" + std::to_string(rstats.rounds) +
+           ",\"rounds_triggered\":" +
+           std::to_string(rstats.rounds_triggered) +
+           ",\"objects_moved\":" + std::to_string(rstats.objects_moved) +
+           ",\"imbalance_permille\":" +
+           std::to_string(rstats.imbalance_permille) + "}";
+  }
+  out += ",\"worker_queues\":[";
+  for (uint32_t w = 0; w < options_.num_workers; ++w) {
+    if (w > 0) out += ",";
+    out += "{\"worker\":" + std::to_string(w) + ",";
+    AppendQueueJson(&out, "events", workers_[w].events->depth(),
+                    workers_[w].events->high_watermark(),
+                    options_.event_queue_capacity);
+    out += ",";
+    AppendQueueJson(&out, "segments", segments_[w]->depth(),
+                    segments_[w]->high_watermark(),
+                    options_.segment_queue_capacity);
+    out += "}";
+  }
+  out += "],\"shard_queues\":[";
+  for (uint32_t s = 0; s < options_.num_miner_shards; ++s) {
+    if (s > 0) out += ",";
+    const Timestamp seen =
+        shard_runtime_[s]->last_watermark.load(std::memory_order_relaxed);
+    out += "{\"shard\":" + std::to_string(s) +
+           ",\"routed\":" + std::to_string(router_->routed_to(s)) + ",";
+    AppendQueueJson(&out, "deliveries", router_->queue(s).depth(),
+                    router_->queue(s).high_watermark(),
+                    options_.shard_queue_capacity);
+    out += ",\"watermark_lag_ms\":" +
+           std::to_string((watermark == kMinTimestamp || seen == kMinTimestamp)
+                              ? 0
+                              : watermark - seen);
+    out += "}";
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace fcp

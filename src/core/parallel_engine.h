@@ -29,10 +29,13 @@
 #ifndef FCP_CORE_PARALLEL_ENGINE_H_
 #define FCP_CORE_PARALLEL_ENGINE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -40,6 +43,7 @@
 #include "common/placement.h"
 #include "common/types.h"
 #include "core/engine_metrics.h"
+#include "obs/watchdog.h"
 #include "core/miner.h"
 #include "core/result_collector.h"
 #include "stream/bounded_queue.h"
@@ -88,6 +92,13 @@ struct ParallelEngineOptions {
   bool steal = false;
   /// Minimum victim queue depth before a steal is attempted.
   size_t steal_min_depth = 2;
+  /// Health supervision (DESIGN.md §2.8): when set, every pipeline stage
+  /// registers a heartbeat with this watchdog (worker-w, merge, shard-s)
+  /// plus the watermark-lag probe. The watchdog must outlive the engine's
+  /// threads and be Stop()ped before the engine is destroyed. Heartbeats
+  /// are single relaxed atomics — zero cost on the mining hot path, and
+  /// null leaves the pipeline exactly as instrumented as before.
+  obs::Watchdog* watchdog = nullptr;
 };
 
 class ParallelEngine {
@@ -151,6 +162,19 @@ class ParallelEngine {
   /// metric. Thread-safe; callable while the pipeline runs.
   std::vector<telemetry::MetricSample> SnapshotMetrics();
 
+  /// Pipeline topology for /statusz: shards, workers, placement version,
+  /// queue depth/high-watermark/capacity, pool occupancy, per-shard
+  /// watermark lag, rebalancer activity. Thread-safe (built entirely from
+  /// relaxed atomics and snapshot mutexes); callable while the pipeline
+  /// runs. Counter-derived fields read the published metrics, so they stay
+  /// zero when publish_metrics is off.
+  std::string StatusJson() const;
+
+  /// Max over shards of (router watermark - shard last-processed
+  /// watermark), in stream-time ms: how far the slowest miner trails
+  /// routing. 0 before any delivery. Thread-safe.
+  int64_t WatermarkLagMs() const;
+
  private:
   void WorkerLoop(uint32_t worker_index);
   void MergeLoop();
@@ -165,6 +189,7 @@ class ParallelEngine {
   /// free. Returns false when there was nothing to steal.
   bool TrySteal(uint32_t thief_index);
   void RegisterMetrics();
+  void RegisterWatchdogStages();
   void RefreshGauges();
 
   MiningParams params_;
@@ -208,6 +233,9 @@ class ParallelEngine {
     /// shared_ptr alive between deliveries that carry the same snapshot).
     std::shared_ptr<const PlacementMap> active_placement;
     std::vector<Fcp> mined_scratch;
+    /// Watermark of the last delivery this shard processed; sampled by the
+    /// observability plane against the router's to compute per-shard lag.
+    std::atomic<Timestamp> last_watermark{kMinTimestamp};
   };
   std::vector<std::unique_ptr<ShardRuntime>> shard_runtime_;
   // Per-shard output buffers, written only by the owning shard thread while
@@ -230,6 +258,7 @@ class ParallelEngine {
     telemetry::Gauge* segments_routed = nullptr;
     telemetry::Gauge* queue_depth = nullptr;
     telemetry::Gauge* queue_high_watermark = nullptr;
+    telemetry::Gauge* watermark_lag_ms = nullptr;
   };
   struct WorkerTelemetry {
     telemetry::Gauge* event_queue_depth = nullptr;
@@ -257,8 +286,16 @@ class ParallelEngine {
   telemetry::Gauge* pool_misses_ = nullptr;
   telemetry::Gauge* pool_recycled_bytes_ = nullptr;
   telemetry::Gauge* pool_free_slabs_ = nullptr;
+  telemetry::Gauge* uptime_seconds_ = nullptr;
+  /// Engine construction time, behind fcp_uptime_seconds.
+  std::chrono::steady_clock::time_point start_time_;
   std::vector<ShardTelemetry> shard_telemetry_;
   std::vector<WorkerTelemetry> worker_telemetry_;
+
+  // Watchdog heartbeats (null / empty when no watchdog was attached).
+  obs::StageHeartbeat* merge_heartbeat_ = nullptr;
+  std::vector<obs::StageHeartbeat*> worker_heartbeats_;
+  std::vector<obs::StageHeartbeat*> shard_heartbeats_;
 };
 
 }  // namespace fcp

@@ -1,0 +1,131 @@
+#include "obs/endpoints.h"
+
+#include "obs/obs_server.h"
+#include "obs/watchdog.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace fcp::obs {
+namespace {
+
+constexpr char kTextPlain[] = "text/plain; charset=utf-8";
+constexpr char kAppJson[] = "application/json";
+/// The content type Prometheus scrapers negotiate for the 0.0.4 text format.
+constexpr char kPromText[] = "text/plain; version=0.0.4; charset=utf-8";
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string TracezJson() {
+  std::string out = "{\"compiled_in\":";
+  out += trace::kCompiledIn ? "true" : "false";
+  out += ",\"enabled\":";
+  out += trace::IsEnabled() ? "true" : "false";
+  out += ",\"slow_op_threshold_ns\":";
+  out += std::to_string(trace::SlowOpThresholdNs());
+  out += ",\"slow_op_dumps\":";
+  out += std::to_string(trace::SlowOpDumpCount());
+  out += ",\"recent_slow_ops\":[";
+  bool first = true;
+  for (const trace::SlowOpSummary& s : trace::RecentSlowOps()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"captured_unix_ms\":" + std::to_string(s.captured_unix_ms);
+    out += ",\"op\":";
+    AppendJsonEscaped(&out, s.op);
+    out += ",\"duration_ns\":" + std::to_string(s.duration_ns);
+    out += ",\"miner\":";
+    AppendJsonEscaped(&out, s.miner);
+    out += ",\"shard\":" + std::to_string(s.shard);
+    out += ",\"segment_id\":" + std::to_string(s.segment_id);
+    out += ",\"segment_length\":" + std::to_string(s.segment_length);
+    out += ",\"dump_path\":";
+    AppendJsonEscaped(&out, s.dump_path);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void InstallStandardEndpoints(ObsServer& server, EndpointSources sources) {
+  telemetry::MetricRegistry* registry = sources.registry;
+  Watchdog* watchdog = sources.watchdog;
+  auto refresh = sources.refresh;
+  auto pipeline_status = sources.pipeline_status;
+
+  server.SetHandler("/metrics", [registry, refresh]() {
+    if (refresh) refresh();
+    return HttpResponse{200, kPromText,
+                        registry != nullptr ? registry->ToPrometheus() : ""};
+  });
+
+  server.SetHandler("/varz", [registry, refresh]() {
+    if (refresh) refresh();
+    return HttpResponse{200, kAppJson,
+                        registry != nullptr ? registry->ToJson() : "{}"};
+  });
+
+  server.SetHandler("/statusz", [pipeline_status, watchdog]() {
+    std::string body = "{\"pipeline\":";
+    body += pipeline_status ? pipeline_status() : "{}";
+    body += ",\"watchdog\":";
+    body += watchdog != nullptr ? watchdog->StatusJson() : "{}";
+    body += '}';
+    return HttpResponse{200, kAppJson, std::move(body)};
+  });
+
+  server.SetHandler("/healthz", [watchdog]() {
+    if (watchdog == nullptr) {
+      return HttpResponse{200, kTextPlain, "ok\n"};
+    }
+    const HealthState state = watchdog->state();
+    const int status = state == HealthState::kStalled ? 503 : 200;
+    std::string body(HealthStateName(state));
+    body += '\n';
+    return HttpResponse{status, kTextPlain, std::move(body)};
+  });
+
+  server.SetHandler("/readyz", [watchdog]() {
+    if (watchdog == nullptr) {
+      return HttpResponse{200, kTextPlain, "ok\n"};
+    }
+    if (watchdog->ready()) {
+      return HttpResponse{200, kTextPlain, "ready\n"};
+    }
+    std::string body = "not ready (";
+    body += HealthStateName(watchdog->state());
+    body += ")\n";
+    return HttpResponse{503, kTextPlain, std::move(body)};
+  });
+
+  server.SetHandler("/tracez", []() {
+    return HttpResponse{200, kAppJson, TracezJson()};
+  });
+
+  // A tiny index so a human hitting the root sees what is available.
+  server.SetHandler("/", []() {
+    return HttpResponse{
+        200, kTextPlain,
+        "fcp observability endpoints:\n"
+        "  /metrics  Prometheus 0.0.4 text\n"
+        "  /varz     flat JSON metric snapshot\n"
+        "  /statusz  pipeline topology + watchdog stage table\n"
+        "  /healthz  liveness (503 when stalled)\n"
+        "  /readyz   readiness (503 while starting or stalled)\n"
+        "  /tracez   flight-recorder slow-op summaries\n"};
+  });
+}
+
+}  // namespace fcp::obs

@@ -1,0 +1,90 @@
+#include "obs/http.h"
+
+#include <cctype>
+
+namespace fcp::obs {
+namespace {
+
+/// A token is valid if every byte is a printable ASCII character; this is
+/// looser than RFC 9110 tchar but tight enough to reject binary garbage and
+/// embedded control bytes from non-HTTP clients poking the port.
+bool PrintableAscii(std::string_view s) {
+  for (unsigned char c : s) {
+    if (c < 0x21 || c > 0x7e) return false;
+  }
+  return !s.empty();
+}
+
+}  // namespace
+
+ParseResult ParseHttpRequest(std::string_view buffer, HttpRequest* out) {
+  // The head ends at the first blank line. Accept bare-LF line endings too —
+  // hand-typed `nc` probes use them and rejecting costs nothing. A malformed
+  // request line is rejected as soon as it is complete, without waiting for
+  // the rest of the head.
+  size_t line_end = buffer.find('\n');
+  if (line_end == std::string_view::npos) return ParseResult::kIncomplete;
+
+  std::string_view line = buffer.substr(0, line_end);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+  // request-line = method SP request-target SP HTTP-version
+  size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return ParseResult::kBad;
+  size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return ParseResult::kBad;
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+
+  if (!PrintableAscii(method) || !PrintableAscii(target)) {
+    return ParseResult::kBad;
+  }
+  if (version.substr(0, 5) != "HTTP/") return ParseResult::kBad;
+  if (target.front() != '/') return ParseResult::kBad;
+
+  // Wait for the full header block so the reply is not interleaved with
+  // bytes the client is still sending.
+  if (buffer.find("\r\n\r\n") == std::string_view::npos &&
+      buffer.find("\n\n") == std::string_view::npos) {
+    return ParseResult::kIncomplete;
+  }
+
+  size_t query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+
+  out->method.assign(method);
+  out->target.assign(target);
+  return ParseResult::kOk;
+}
+
+std::string_view StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default:  return "Unknown";
+  }
+}
+
+std::string RenderHttpResponse(int status, std::string_view content_type,
+                               std::string_view body, bool head_only) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += StatusReason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  if (!head_only) out += body;
+  return out;
+}
+
+}  // namespace fcp::obs

@@ -1,0 +1,53 @@
+// Minimal HTTP/1.1 request parsing and response rendering for the
+// observability plane (DESIGN.md §2.8).
+//
+// The ObsServer speaks just enough HTTP for scrapers (Prometheus, curl,
+// kubelet probes): GET/HEAD requests, no bodies, no keep-alive. Parsing and
+// rendering are pure functions over byte buffers so they can be unit-tested
+// without sockets, and so the epoll loop in obs_server.cc stays a thin
+// transport. The same substrate is the shape the future ingest daemon's
+// admin port will reuse (ROADMAP.md).
+
+#ifndef FCP_OBS_HTTP_H_
+#define FCP_OBS_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace fcp::obs {
+
+/// A parsed request line. Headers are scanned but not retained — the
+/// observability endpoints are read-only snapshots, so nothing beyond the
+/// method and target influences the response.
+struct HttpRequest {
+  std::string method;  ///< "GET", "HEAD", ...
+  std::string target;  ///< request path, query string stripped
+};
+
+enum class ParseResult {
+  kIncomplete,  ///< header terminator not yet received; keep reading
+  kOk,          ///< request parsed; `out` is filled in
+  kBad,         ///< malformed request line / not HTTP — reject with 400
+};
+
+/// Parses the request head out of `buffer` (everything received so far).
+/// Returns kIncomplete until the blank line ending the header block has
+/// arrived; the caller enforces its own size cap on the buffer. Any query
+/// string ("?...") is stripped from the target.
+ParseResult ParseHttpRequest(std::string_view buffer, HttpRequest* out);
+
+/// Renders a full HTTP/1.1 response with Content-Length and
+/// "Connection: close". `head_only` (HEAD requests) renders the same
+/// headers — including the Content-Length of the suppressed body — with an
+/// empty payload, as RFC 9110 requires.
+std::string RenderHttpResponse(int status, std::string_view content_type,
+                               std::string_view body, bool head_only = false);
+
+/// The canonical reason phrase for the handful of status codes the
+/// observability plane emits ("OK", "Not Found", ...).
+std::string_view StatusReason(int status);
+
+}  // namespace fcp::obs
+
+#endif  // FCP_OBS_HTTP_H_

@@ -45,10 +45,12 @@ std::shared_ptr<const PlacementMap> Rebalancer::MaybeRebalance(
     max_load = std::max(max_load, interval);
   }
   ++stats_.rounds;
+  live_rounds_.store(stats_.rounds, std::memory_order_relaxed);
   if (total == 0) return nullptr;
   // max/mean in permille: 1000 * max / (total / S).
   imbalance_permille_ =
       static_cast<int64_t>((max_load * 1000 * num_shards_) / total);
+  live_imbalance_.store(imbalance_permille_, std::memory_order_relaxed);
 
   if (!options_.apply_moves) return nullptr;
 
@@ -121,6 +123,8 @@ std::shared_ptr<const PlacementMap> Rebalancer::MaybeRebalance(
       next = current_sp->WithMoves(moves_scratch_);
       ++stats_.rounds_triggered;
       stats_.objects_moved += moves_scratch_.size();
+      live_triggered_.store(stats_.rounds_triggered, std::memory_order_relaxed);
+      live_moved_.store(stats_.objects_moved, std::memory_order_relaxed);
     }
   }
 

@@ -31,6 +31,7 @@
 #ifndef FCP_STREAM_REBALANCER_H_
 #define FCP_STREAM_REBALANCER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -95,6 +96,25 @@ class Rebalancer {
 
   const RebalancerStats& stats() const { return stats_; }
 
+  /// Thread-safe copy of stats() plus the live imbalance, mirrored through
+  /// relaxed atomics by the owning (routing) thread after every closed
+  /// round. This is what /statusz samples while the pipeline runs; stats()
+  /// stays single-threaded and exact.
+  struct LiveStats {
+    uint64_t rounds = 0;
+    uint64_t rounds_triggered = 0;
+    uint64_t objects_moved = 0;
+    int64_t imbalance_permille = 1000;
+  };
+  LiveStats SnapshotStats() const {
+    LiveStats s;
+    s.rounds = live_rounds_.load(std::memory_order_relaxed);
+    s.rounds_triggered = live_triggered_.load(std::memory_order_relaxed);
+    s.objects_moved = live_moved_.load(std::memory_order_relaxed);
+    s.imbalance_permille = live_imbalance_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   const uint32_t num_shards_;
   const RebalancerOptions options_;
@@ -106,6 +126,10 @@ class Rebalancer {
   uint64_t observed_since_round_ = 0;
   int64_t imbalance_permille_ = 1000;
   RebalancerStats stats_;
+  std::atomic<uint64_t> live_rounds_{0};
+  std::atomic<uint64_t> live_triggered_{0};
+  std::atomic<uint64_t> live_moved_{0};
+  std::atomic<int64_t> live_imbalance_{1000};
   std::vector<std::pair<uint64_t, ObjectId>> hot_scratch_;
   std::vector<std::pair<ObjectId, uint32_t>> moves_scratch_;
 };

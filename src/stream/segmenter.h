@@ -72,6 +72,10 @@ class Segmenter {
   /// Number of events currently buffered in the open window.
   size_t pending_size() const { return window_.size(); }
 
+  /// True while a window is open (events buffered, trailing segment not yet
+  /// emitted). The mux aggregates this into its open-window gauge.
+  bool has_open_window() const { return !window_.empty(); }
+
  private:
   void EmitWindow(std::vector<SegmentRef>* out);
 

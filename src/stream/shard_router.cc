@@ -57,6 +57,7 @@ void ShardRouter::MarkTargets(const Segment& segment) {
 
 uint32_t ShardRouter::Route(const SegmentRef& segment) {
   watermark_ = std::max(watermark_, segment->end_time());
+  watermark_pub_.store(watermark_, std::memory_order_relaxed);
   ++stats_.segments_routed;
   const int64_t now_ns = SteadyNowNs();
 
@@ -128,6 +129,7 @@ uint64_t ShardRouter::RouteBatch(const SegmentRef* segments, size_t count) {
                                                 /*index_only=*/false});
     }
   }
+  watermark_pub_.store(watermark_, std::memory_order_relaxed);
   uint64_t delivered = 0;
   for (uint32_t s = 0; s < num_shards_; ++s) {
     if (batch_scratch_[s].empty()) continue;
@@ -195,6 +197,7 @@ uint64_t ShardRouter::ApplyPlacement(std::shared_ptr<const PlacementMap> next) {
     entry.delivered |= need;
   }
   placement_ = std::move(next);
+  placement_version_.fetch_add(1, std::memory_order_relaxed);
   stats_.backfill_deliveries += backfills;
   ++stats_.placements_applied;
   return backfills;

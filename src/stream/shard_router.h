@@ -144,8 +144,19 @@ class ShardRouter {
     return *queues_[shard];
   }
 
-  /// The global watermark after the last Route() call.
-  Timestamp watermark() const { return watermark_; }
+  /// The global watermark after the last Route() call. Published through a
+  /// relaxed atomic so the observability plane can sample it from another
+  /// thread while the pipeline runs (per-shard watermark lag in /statusz).
+  Timestamp watermark() const {
+    return watermark_pub_.load(std::memory_order_relaxed);
+  }
+
+  /// Monotonic count of placement snapshots applied (0 = the initial one),
+  /// also sampled cross-thread by /statusz. The placement() accessor itself
+  /// remains routing-thread-only.
+  uint64_t placement_version() const {
+    return placement_version_.load(std::memory_order_relaxed);
+  }
 
   const ShardRouterStats& stats() const { return stats_; }
 
@@ -183,7 +194,12 @@ class ShardRouter {
   ShardRouterOptions options_;
   std::vector<std::unique_ptr<BoundedQueue<ShardDelivery>>> queues_;
   std::unique_ptr<std::atomic<uint64_t>[]> routed_to_;  ///< per-shard count
+  /// Routing-thread working copy; watermark_pub_ mirrors it for cross-thread
+  /// reads (the hot routing loop reads the plain field, the atomic is only
+  /// stored once per Route/RouteBatch).
   Timestamp watermark_ = kMinTimestamp;
+  std::atomic<Timestamp> watermark_pub_{kMinTimestamp};
+  std::atomic<uint64_t> placement_version_{0};
   std::shared_ptr<const PlacementMap> placement_;  ///< null = hash
   std::vector<uint8_t> target_scratch_;  ///< per-shard "owns an object" flags
   /// RouteBatch's per-shard staging buffers (capacity reused across calls;

@@ -47,9 +47,14 @@ void StreamMux::Push(const ObjectEvent& event, std::vector<SegmentRef>* out) {
                       std::make_unique<Segmenter>(event.stream, xi_, &id_gen_,
                                                   pool_))
              .first;
+    streams_seen_.fetch_add(1, std::memory_order_relaxed);
   }
   const size_t before = out->size();
+  const bool was_open = it->second->has_open_window();
   it->second->Push(event.object, event.time, out);
+  if (it->second->has_open_window() != was_open) {
+    open_windows_.fetch_add(was_open ? -1 : 1, std::memory_order_relaxed);
+  }
   TraceCompletedSegments(*out, before);
 }
 
@@ -67,12 +72,17 @@ void StreamMux::PushBatch(const ObjectEvent* events, size_t count,
                           std::make_unique<Segmenter>(event.stream, xi_,
                                                       &id_gen_, pool_))
                  .first;
+        streams_seen_.fetch_add(1, std::memory_order_relaxed);
       }
       cached = it->second.get();
       cached_stream = event.stream;
     }
     const size_t before = out->size();
+    const bool was_open = cached->has_open_window();
     cached->Push(event.object, event.time, out);
+    if (cached->has_open_window() != was_open) {
+      open_windows_.fetch_add(was_open ? -1 : 1, std::memory_order_relaxed);
+    }
     TraceCompletedSegments(*out, before);
   }
 }
@@ -80,7 +90,9 @@ void StreamMux::PushBatch(const ObjectEvent* events, size_t count,
 void StreamMux::FlushAll(std::vector<SegmentRef>* out) {
   for (auto& [stream, segmenter] : segmenters_) {
     const size_t before = out->size();
+    const bool was_open = segmenter->has_open_window();
     segmenter->Flush(out);
+    if (was_open) open_windows_.fetch_add(-1, std::memory_order_relaxed);
     TraceCompletedSegments(*out, before);
   }
 }

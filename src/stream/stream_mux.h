@@ -3,6 +3,7 @@
 #ifndef FCP_STREAM_STREAM_MUX_H_
 #define FCP_STREAM_STREAM_MUX_H_
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -48,6 +49,16 @@ class StreamMux {
   /// Number of streams seen so far.
   size_t num_streams() const { return segmenters_.size(); }
 
+  /// Cross-thread-safe mirrors for the observability plane (/statusz,
+  /// serial-engine gauges): the ingest thread maintains them incrementally
+  /// with relaxed stores, so a scrape never touches the segmenter map.
+  int64_t open_windows() const {
+    return open_windows_.load(std::memory_order_relaxed);
+  }
+  int64_t streams_seen() const {
+    return streams_seen_.load(std::memory_order_relaxed);
+  }
+
   /// Total events whose timestamps had to be clamped (see Segmenter).
   uint64_t reordered_count() const;
 
@@ -65,6 +76,10 @@ class StreamMux {
   SegmentPool* pool_ = nullptr;
   SegmentIdGen id_gen_;
   std::unordered_map<StreamId, std::unique_ptr<Segmenter>> segmenters_;
+  /// Incrementally maintained around each segmenter push/flush: +1 when a
+  /// push opens a stream's window, -1 when emission/flush drains it.
+  std::atomic<int64_t> open_windows_{0};
+  std::atomic<int64_t> streams_seen_{0};
 };
 
 }  // namespace fcp

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "telemetry/trace.h"
+
 namespace fcp::telemetry {
 
 MetricReporter::MetricReporter(const MetricRegistry* registry,
@@ -46,18 +48,28 @@ void MetricReporter::EmitOnce() {
     std::fflush(stderr);
     return;
   }
-  // Rewrite, don't append: the file is a live view, and each report is a
-  // complete document (CI parses it with a strict JSON parser).
-  std::FILE* f = std::fopen(options_.path.c_str(), "w");
+  // Write-to-temp-then-rename: the file is a live view that scrapers (and
+  // CI's strict JSON parser) read while the pipeline runs, and each report
+  // must be a complete document — a reader must never observe a half-written
+  // file. rename(2) on the same filesystem is atomic, so the visible path
+  // always holds either the previous or the new complete report.
+  const std::string tmp_path = options_.path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "metrics: cannot open %s\n", options_.path.c_str());
+    std::fprintf(stderr, "metrics: cannot open %s\n", tmp_path.c_str());
     return;
   }
   std::fwrite(report.data(), 1, report.size(), f);
   std::fclose(f);
+  if (std::rename(tmp_path.c_str(), options_.path.c_str()) != 0) {
+    std::fprintf(stderr, "metrics: cannot rename %s -> %s\n",
+                 tmp_path.c_str(), options_.path.c_str());
+    std::remove(tmp_path.c_str());
+  }
 }
 
 void MetricReporter::Loop() {
+  trace::SetThreadName("metrics-reporter");
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
     const bool stopping = cv_.wait_for(

@@ -190,6 +190,25 @@ struct SlowOpReport {
 /// "" when capture is disabled or max_dumps was reached.
 std::string WriteSlowOpDump(const SlowOpReport& report);
 
+/// One retained slow-op summary — the in-memory digest behind /tracez
+/// (DESIGN.md §2.8). Summaries keep accumulating after the max_dumps disk
+/// cap is exhausted (dump_path is then empty), so a long-running process
+/// still reports its most recent slow ops live.
+struct SlowOpSummary {
+  int64_t captured_unix_ms = 0;  ///< wall-clock capture time
+  std::string op;
+  int64_t duration_ns = 0;
+  std::string miner;
+  uint32_t shard = 0;
+  uint64_t segment_id = 0;
+  uint64_t segment_length = 0;
+  std::string dump_path;  ///< "" when no forensic dump was written
+};
+
+/// The last-N retained slow-op summaries, oldest first (N is a small fixed
+/// cap). Cleared by ConfigureSlowOp, so each capture session starts empty.
+std::vector<SlowOpSummary> RecentSlowOps();
+
 // --- Fatal-signal black box (trace_sink.cc). -------------------------------
 
 /// Installs handlers for SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT that write the

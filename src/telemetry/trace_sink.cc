@@ -4,11 +4,13 @@
 #include "telemetry/trace.h"
 
 #include <cctype>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <mutex>
 
 namespace fcp::trace {
@@ -297,11 +299,15 @@ bool WriteFile(const std::string& path, const std::string& contents) {
 
 // --- Slow-op state. --------------------------------------------------------
 
+/// Cap on the in-memory slow-op summary ring behind RecentSlowOps().
+constexpr size_t kRecentSlowOpCap = 64;
+
 struct SlowOpState {
   std::mutex mu;
   SlowOpOptions options;
   std::atomic<int64_t> threshold_ns{0};
   std::atomic<uint64_t> dumps{0};
+  std::deque<SlowOpSummary> recent;  ///< oldest first, <= kRecentSlowOpCap
 };
 
 SlowOpState& GetSlowOpState() {
@@ -475,6 +481,13 @@ void ConfigureSlowOp(const SlowOpOptions& options) {
   state.threshold_ns.store(options.threshold_ns < 0 ? 0 : options.threshold_ns,
                            std::memory_order_relaxed);
   state.dumps.store(0, std::memory_order_relaxed);
+  state.recent.clear();
+}
+
+std::vector<SlowOpSummary> RecentSlowOps() {
+  SlowOpState& state = GetSlowOpState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return std::vector<SlowOpSummary>(state.recent.begin(), state.recent.end());
 }
 
 int64_t SlowOpThresholdNs() {
@@ -493,10 +506,30 @@ std::string WriteSlowOpDump(const SlowOpReport& report) {
     std::lock_guard<std::mutex> lock(state.mu);
     if (state.options.threshold_ns <= 0) return "";
     const uint64_t n = state.dumps.load(std::memory_order_relaxed);
-    if (n >= static_cast<uint64_t>(state.options.max_dumps)) return "";
-    state.dumps.store(n + 1, std::memory_order_relaxed);
-    path = state.options.dump_prefix + ".slowop-" + std::to_string(n) +
-           ".json";
+    const bool dump_to_disk =
+        n < static_cast<uint64_t>(state.options.max_dumps);
+    if (dump_to_disk) {
+      state.dumps.store(n + 1, std::memory_order_relaxed);
+      path = state.options.dump_prefix + ".slowop-" + std::to_string(n) +
+             ".json";
+    }
+    // Retain the in-memory summary even once the disk cap is exhausted —
+    // /tracez keeps reporting fresh slow ops for the life of the process.
+    SlowOpSummary summary;
+    summary.captured_unix_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    summary.op = report.op;
+    summary.duration_ns = report.duration_ns;
+    summary.miner = report.miner;
+    summary.shard = report.shard;
+    summary.segment_id = report.segment_id;
+    summary.segment_length = report.segment_length;
+    summary.dump_path = path;
+    state.recent.push_back(std::move(summary));
+    if (state.recent.size() > kRecentSlowOpCap) state.recent.pop_front();
+    if (!dump_to_disk) return "";
     threshold = state.options.threshold_ns;
   }
 

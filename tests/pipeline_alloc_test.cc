@@ -142,7 +142,9 @@ TEST_P(PipelineAllocTest, SteadyStatePipelineIsAllocationFree) {
 INSTANTIATE_TEST_SUITE_P(ShardCounts, PipelineAllocTest,
                          ::testing::Values(4u, 8u),
                          [](const ::testing::TestParamInfo<uint32_t>& info) {
-                           return "S" + std::to_string(info.param);
+                           std::string name = "S";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 // Guards the counter itself: a build whose operator new replacement is

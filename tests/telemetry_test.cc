@@ -358,5 +358,76 @@ TEST(TelemetryReporterTest, PeriodicEmission) {
   EXPECT_NE(std::string(buf).find("fcp_tick_total 1"), std::string::npos);
 }
 
+TEST(TelemetrySerializerTest, EmptyHistogramSerializesInBothFormats) {
+  // A histogram that never recorded must still expand to a complete, valid
+  // family: scrapers treat a missing _count as a broken exposition.
+  MetricRegistry registry;
+  registry.GetHistogram("fcp_idle_us");
+  const std::string prom = registry.ToPrometheus();
+  EXPECT_NE(prom.find("# TYPE fcp_idle_us histogram\n"), std::string::npos);
+  EXPECT_NE(prom.find("fcp_idle_us_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fcp_idle_us_sum 0\n"), std::string::npos);
+  EXPECT_NE(prom.find("fcp_idle_us_count 0\n"), std::string::npos);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"count\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 0"), std::string::npos);
+}
+
+TEST(TelemetryHistogramTest, PercentileOnZeroSamplesIsZeroAtEveryRank) {
+  const HistogramSnapshot empty{};
+  EXPECT_EQ(empty.Percentile(0), 0.0);
+  EXPECT_EQ(empty.Percentile(50), 0.0);
+  EXPECT_EQ(empty.Percentile(100), 0.0);
+  // Out-of-range ranks clamp rather than misbehave, empty or not.
+  EXPECT_EQ(empty.Percentile(-10), 0.0);
+  EXPECT_EQ(empty.Percentile(1000), 0.0);
+}
+
+TEST(TelemetrySerializerTest, CounterNearUint64MaxSerializesExactly) {
+  // A counter one below and at the uint64 ceiling must round-trip digit
+  // for digit — any double conversion in the serializer would round
+  // 2^64-1 and corrupt rate() math on the scraper side.
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("fcp_big_total");
+  c->Increment(~uint64_t{0} - 1);
+  EXPECT_NE(registry.ToPrometheus().find(
+                "fcp_big_total 18446744073709551614\n"),
+            std::string::npos);
+  EXPECT_NE(registry.ToJson().find(
+                "\"fcp_big_total\": 18446744073709551614"),
+            std::string::npos);
+  c->Increment();
+  EXPECT_EQ(c->Value(), ~uint64_t{0});
+  EXPECT_NE(registry.ToPrometheus().find(
+                "fcp_big_total 18446744073709551615\n"),
+            std::string::npos);
+}
+
+TEST(TelemetryReporterTest, FileReportIsRenamedAtomically) {
+  // EmitOnce writes <path>.tmp then rename(2)s it over <path>: a reader
+  // polling the path never sees a torn document, and no temp file survives.
+  MetricRegistry registry;
+  registry.GetCounter("fcp_atomic_total")->Increment(7);
+  const std::string path = ::testing::TempDir() + "/reporter_rename.json";
+  {
+    ReporterOptions options;
+    options.format = ReporterOptions::Format::kJson;
+    options.path = path;
+    options.interval_ms = 0;  // final report only
+    MetricReporter reporter(&registry, options);
+    reporter.Stop();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  EXPECT_NE(std::string(buf).find("\"fcp_atomic_total\": 7"),
+            std::string::npos);
+  EXPECT_EQ(std::fopen((path + ".tmp").c_str(), "r"), nullptr);
+}
+
 }  // namespace
 }  // namespace fcp::telemetry

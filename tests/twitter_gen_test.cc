@@ -80,7 +80,9 @@ TEST(TwitterGenTest, PlantedEventKeywordsOutsideBackgroundVocab) {
     for (ObjectId kw : plan.keywords) {
       EXPECT_GE(kw, config.vocab_size);
       EXPECT_FALSE(trace.WordName(kw).empty());
-      EXPECT_NE(trace.WordName(kw), "w" + std::to_string(kw))
+      std::string fallback = "w";
+      fallback += std::to_string(kw);
+      EXPECT_NE(trace.WordName(kw), fallback)
           << "planted keywords get real names, not the w<id> fallback";
     }
   }

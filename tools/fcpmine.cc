@@ -64,14 +64,29 @@
 //                         recorder tail) for any mine call slower than N ns;
 //                         dumps land at <trace path or "fcpmine">.slowop-<n>
 //                         .json
+//   --listen=[host:]port  serve the live introspection plane over HTTP while
+//                         mining: GET /metrics (Prometheus 0.0.4), /varz
+//                         (JSON), /statusz (pipeline topology), /healthz,
+//                         /readyz, /tracez (recent slow ops). Read-only,
+//                         snapshot-on-scrape; results are byte-identical
+//                         with the server on or off. Also arms the pipeline
+//                         watchdog behind /healthz (stall detection).
+//   --watchdog_interval_ms=N   watchdog evaluation cadence (default 100)
+//   --stall_timeout_ms=N  no stage progress for this long while busy (or
+//                         with queued input) => stalled (default 2000)
+//   --pace=N              throttle ingestion to ~N events/second (0 =
+//                         unthrottled); keeps a run alive long enough to
+//                         scrape it
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -82,6 +97,9 @@
 #include "datagen/traffic_gen.h"
 #include "datagen/twitter_gen.h"
 #include "io/trace_io.h"
+#include "obs/endpoints.h"
+#include "obs/obs_server.h"
+#include "obs/watchdog.h"
 #include "telemetry/registry.h"
 #include "telemetry/reporter.h"
 #include "telemetry/trace.h"
@@ -225,6 +243,77 @@ int main(int argc, char** argv) {
         &fcp::telemetry::MetricRegistry::Global(), reporter_options);
   }
 
+  // --- Observability plane: --listen serves /metrics, /varz, /statusz,
+  // /healthz, /readyz, /tracez from a single poll thread and arms the
+  // pipeline watchdog. The server starts after the engine exists (handlers
+  // capture it) and stops before it is destroyed. -------------------------
+  const std::string listen = flags.GetString("listen", "");
+  std::string listen_host = "127.0.0.1";
+  int listen_port = -1;
+  if (!listen.empty()) {
+    std::string port_str = listen;
+    const size_t colon = listen.rfind(':');
+    if (colon != std::string::npos) {
+      if (colon > 0) listen_host = listen.substr(0, colon);
+      port_str = listen.substr(colon + 1);
+    }
+    char* end = nullptr;
+    const long port = std::strtol(port_str.c_str(), &end, 10);
+    if (end == port_str.c_str() || *end != '\0' || port < 0 || port > 65535) {
+      return Fail("bad --listen '" + listen + "' (want [host:]port)");
+    }
+    listen_port = static_cast<int>(port);
+  }
+  const int64_t watchdog_interval_ms =
+      flags.GetInt("watchdog_interval_ms", 100);
+  const int64_t stall_timeout_ms = flags.GetInt("stall_timeout_ms", 2000);
+  if (watchdog_interval_ms <= 0 || stall_timeout_ms <= 0) {
+    return Fail("--watchdog_interval_ms/--stall_timeout_ms must be > 0");
+  }
+  const int64_t pace = flags.GetInt("pace", 0);
+  if (pace < 0) return Fail("--pace must be >= 0 (0 = unthrottled)");
+  std::unique_ptr<fcp::obs::Watchdog> watchdog;
+  std::unique_ptr<fcp::obs::ObsServer> obs_server;
+  if (listen_port >= 0) {
+    fcp::obs::WatchdogOptions wd_options;
+    wd_options.poll_interval_ms = watchdog_interval_ms;
+    wd_options.stall_timeout_ms = stall_timeout_ms;
+    wd_options.metrics = &fcp::telemetry::MetricRegistry::Global();
+    watchdog = std::make_unique<fcp::obs::Watchdog>(wd_options);
+  }
+  // Starts the server over the running engine's status sources; shared by
+  // the serial and parallel paths below.
+  auto start_obs =
+      [&](std::function<std::string()> status,
+          std::function<void()> refresh) -> fcp::Status {
+    fcp::obs::ObsServerOptions server_options;
+    server_options.host = listen_host;
+    server_options.port = static_cast<uint16_t>(listen_port);
+    server_options.metrics = &fcp::telemetry::MetricRegistry::Global();
+    obs_server = std::make_unique<fcp::obs::ObsServer>(server_options);
+    fcp::obs::EndpointSources sources;
+    sources.registry = &fcp::telemetry::MetricRegistry::Global();
+    sources.watchdog = watchdog.get();
+    sources.pipeline_status = std::move(status);
+    sources.refresh = std::move(refresh);
+    fcp::obs::InstallStandardEndpoints(*obs_server, sources);
+    const fcp::Status started = obs_server->Start();
+    if (!started.ok()) return started;
+    std::fprintf(stderr, "fcpmine: observability plane on http://%s:%u/\n",
+                 listen_host.c_str(), obs_server->port());
+    // Readiness flips 503 -> 200 at the first watchdog evaluation after
+    // SetReady — about one --watchdog_interval_ms after the port opens.
+    watchdog->Start();
+    watchdog->SetReady();
+    return fcp::Status::OK();
+  };
+  // Stop order matters: the watchdog's probes and the server's handlers
+  // reference the engine, so both stop before the engine goes out of scope.
+  auto stop_obs = [&] {
+    if (watchdog) watchdog->Stop();
+    if (obs_server) obs_server->Stop();
+  };
+
   const int64_t shards = flags.GetInt("shards", 0);
   const int64_t workers = flags.GetInt("workers", 2);
   if (shards < 0) return Fail("--shards must be >= 0 (0 = serial engine)");
@@ -267,6 +356,17 @@ int main(int argc, char** argv) {
 
   // --- Run. ------------------------------------------------------------------
   fcp::Stopwatch clock;
+  // Sleep-throttled pacing against the run clock: cheap when off, and when
+  // on it never drifts (sleeps only while ahead of the target rate).
+  auto pace_sleep = [&](size_t events_pushed) {
+    if (pace <= 0) return;
+    const double ahead_s =
+        static_cast<double>(events_pushed) / static_cast<double>(pace) -
+        clock.ElapsedSeconds();
+    if (ahead_s > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(ahead_s));
+    }
+  };
   uint64_t alerts = 0;
   auto handle = [&](const std::vector<fcp::Fcp>& fcps) {
     for (const fcp::Fcp& fcp : fcps) {
@@ -296,13 +396,25 @@ int main(int argc, char** argv) {
     poptions.placement = placement;
     poptions.rebalance = rebalance;
     poptions.steal = steal;
+    poptions.watchdog = watchdog.get();
     fcp::ParallelEngine engine(kind, params, poptions);
+    if (obs_server == nullptr && listen_port >= 0) {
+      const fcp::Status started =
+          start_obs([&engine] { return engine.StatusJson(); },
+                    [&engine] { engine.SnapshotMetrics(); });
+      if (!started.ok()) return Fail(started.ToString());
+    }
     if (batch <= 1) {
-      for (const fcp::ObjectEvent& event : events) engine.Push(event);
+      size_t pushed = 0;
+      for (const fcp::ObjectEvent& event : events) {
+        engine.Push(event);
+        pace_sleep(++pushed);
+      }
     } else {
       for (size_t i = 0; i < events.size(); i += batch) {
         const size_t n = std::min(batch, events.size() - i);
         engine.PushBatch(std::span(events.data() + i, n));
+        pace_sleep(i + n);
       }
     }
     engine.Finish();
@@ -322,19 +434,30 @@ int main(int argc, char** argv) {
     // The queue/pool gauges refresh on snapshot, not continuously; one
     // refresh here makes the reporter's final report carry end-of-run values.
     if (reporter) engine.SnapshotMetrics();
+    stop_obs();
   } else {
     fcp::EngineOptions options;
     options.suppression_window = suppression;
     options.metrics = &fcp::telemetry::MetricRegistry::Global();
+    options.watchdog = watchdog.get();
     fcp::MiningEngine engine(kind, params, options);
+    if (obs_server == nullptr && listen_port >= 0) {
+      const fcp::Status started =
+          start_obs([&engine] { return engine.StatusJson(); },
+                    [&engine] { engine.SnapshotMetrics(); });
+      if (!started.ok()) return Fail(started.ToString());
+    }
     if (batch <= 1) {
+      size_t pushed = 0;
       for (const fcp::ObjectEvent& event : events) {
         handle(engine.PushEvent(event));
+        pace_sleep(++pushed);
       }
     } else {
       for (size_t i = 0; i < events.size(); i += batch) {
         const size_t n = std::min(batch, events.size() - i);
         handle(engine.IngestBatch(std::span(events.data() + i, n)));
+        pace_sleep(i + n);
       }
     }
     handle(engine.Flush());
@@ -343,6 +466,7 @@ int main(int argc, char** argv) {
     stats = engine.miner().stats();
     pool_stats = engine.mux().pool().stats();
     if (reporter) engine.SnapshotMetrics();
+    stop_obs();
   }
   const double elapsed = clock.ElapsedSeconds();
   // Stop the reporter before printing the human summary: Stop() joins the
