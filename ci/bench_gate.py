@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh bench JSON against a committed
+BENCH_*.json trajectory baseline and fail CI on regression.
+
+Usage:
+    ci/bench_gate.py BASELINE.json FRESH.json [options]
+
+Both files use the repo's bench trajectory format: a JSON array of
+{"bench", "label", "records": [...]} groups, each record carrying at least
+{"name", "ns_per_op", "allocs_per_op"}. The baseline for each record name is
+its LATEST occurrence across the baseline file (the trajectory appends a
+group per run, so the last group with that name is the current expectation).
+
+Per-metric tolerances, chosen for what each metric measures:
+
+  allocs_per_op  STRICT  fail if fresh > max(base * alloc_ratio,
+                                             base + alloc_slack).
+                         Allocation counts are deterministic per workload —
+                         a real increase is a hot-path regression, not
+                         noise. The additive slack keeps near-zero baselines
+                         (the zero-alloc legs) from failing on a 0.001 blip
+                         while still catching the first real allocation
+                         (+1/op trips 0 + 0.5).
+
+  ns_per_op      LOOSE   fail if fresh > base * ns_ratio.
+                         Wall-time baselines were recorded on different
+                         hardware than CI runners; the ratio only catches
+                         step-function regressions (an O(n) loop going
+                         O(n^2), a lock landing on the hot path), not
+                         percent-level drift. Tighten with --ns-ratio when
+                         baseline and runner match.
+
+  rss_bytes      IGNORED resident set size depends on allocator, kernel and
+                         machine; the memory benches track it deliberately.
+
+Records present only in the fresh run (new benches) or only in the baseline
+(benches the fresh invocation skipped, e.g. --quick runs) are reported and
+skipped — a gate must not force every CI leg to run every workload.
+
+Exit codes: 0 all gated metrics within tolerance, 1 regression, 2 usage or
+unreadable/malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_latest_records(path):
+    """name -> record, keeping the last occurrence across all groups."""
+    try:
+        with open(path) as f:
+            groups = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(groups, list):
+        print(f"bench_gate: {path}: expected a JSON array of bench groups",
+              file=sys.stderr)
+        sys.exit(2)
+    latest = {}
+    for group in groups:
+        for record in group.get("records", []):
+            name = record.get("name")
+            if name:
+                latest[name] = record
+    return latest
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail on bench regression vs a BENCH_*.json baseline")
+    parser.add_argument("baseline", help="committed BENCH_*.json trajectory")
+    parser.add_argument("fresh", help="bench JSON produced by this run")
+    parser.add_argument("--ns-ratio", type=float, default=2.5,
+                        help="ns/op failure ratio vs baseline (default 2.5: "
+                             "cross-machine gate for step-function blowups)")
+    parser.add_argument("--alloc-ratio", type=float, default=1.1,
+                        help="allocs/op failure ratio (default 1.1)")
+    parser.add_argument("--alloc-slack", type=float, default=0.5,
+                        help="allocs/op additive slack for near-zero "
+                             "baselines (default 0.5)")
+    args = parser.parse_args()
+
+    baseline = load_latest_records(args.baseline)
+    fresh = load_latest_records(args.fresh)
+    if not fresh:
+        print("bench_gate: fresh run produced no records", file=sys.stderr)
+        return 2
+
+    failures = []
+    compared = 0
+    print(f"{'case':<28} {'metric':<12} {'baseline':>12} {'fresh':>12} "
+          f"{'limit':>12}  verdict")
+    for name in sorted(fresh):
+        if name not in baseline:
+            print(f"{name:<28} {'-':<12} {'-':>12} {'-':>12} {'-':>12}  "
+                  f"skip (no baseline)")
+            continue
+        base, new = baseline[name], fresh[name]
+        checks = []
+        if "allocs_per_op" in base and "allocs_per_op" in new:
+            b, n = base["allocs_per_op"], new["allocs_per_op"]
+            limit = max(b * args.alloc_ratio, b + args.alloc_slack)
+            checks.append(("allocs/op", b, n, limit))
+        if "ns_per_op" in base and "ns_per_op" in new:
+            b, n = base["ns_per_op"], new["ns_per_op"]
+            checks.append(("ns/op", b, n, b * args.ns_ratio))
+        for metric, b, n, limit in checks:
+            compared += 1
+            ok = n <= limit
+            print(f"{name:<28} {metric:<12} {b:>12.3f} {n:>12.3f} "
+                  f"{limit:>12.3f}  {'ok' if ok else 'REGRESSION'}")
+            if not ok:
+                failures.append((name, metric, b, n, limit))
+    for name in sorted(set(baseline) - set(fresh)):
+        print(f"{name:<28} {'-':<12} {'-':>12} {'-':>12} {'-':>12}  "
+              f"skip (not in fresh run)")
+
+    if compared == 0:
+        print("bench_gate: no overlapping records to compare",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\nbench_gate: {len(failures)} regression(s):",
+              file=sys.stderr)
+        for name, metric, b, n, limit in failures:
+            print(f"  {name} {metric}: {n:.3f} exceeds limit {limit:.3f} "
+                  f"(baseline {b:.3f})", file=sys.stderr)
+        return 1
+    print(f"\nbench_gate: {compared} metric(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

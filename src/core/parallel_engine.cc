@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "core/slow_op.h"
+#include "prof/prof.h"
 #include "telemetry/trace.h"
 #include "util/stopwatch.h"
 
@@ -69,11 +70,15 @@ ParallelEngine::ParallelEngine(MinerKind kind, const MiningParams& params,
   }
   workers_.resize(options_.num_workers);
   for (uint32_t w = 0; w < options_.num_workers; ++w) {
+    // Off-CPU wait tags: consumer-side waits name the stage that is
+    // starved, producer-side waits name the backpressure source.
     workers_[w].events =
         std::make_unique<BoundedQueue<ObjectEvent>>(
-            options_.event_queue_capacity);
+            options_.event_queue_capacity, "worker/events-empty",
+            "ingest/events-full");
     segments_.push_back(std::make_unique<BoundedQueue<SegmentRef>>(
-        options_.segment_queue_capacity));
+        options_.segment_queue_capacity, "merge/segments-empty",
+        "worker/segments-full"));
   }
   RegisterMetrics();
   RegisterWatchdogStages();
@@ -322,6 +327,7 @@ void ParallelEngine::WorkerLoop(uint32_t worker_index) {
   char thread_name[32];
   std::snprintf(thread_name, sizeof(thread_name), "worker-%u", worker_index);
   trace::SetThreadName(thread_name);
+  prof::ThreadScope prof_scope(thread_name);
   std::unordered_map<StreamId, std::unique_ptr<Segmenter>> segmenters;
   // Worker-local scratch ids; the merge thread assigns the final, globally
   // monotone ids in consumption order (index posting lists rely on segment
@@ -379,6 +385,7 @@ void ParallelEngine::MergeLoop() {
   // worker raced ahead. A worker that stays quiet for merge_idle_timeout_us
   // while others have segments waiting is skipped until it produces again.
   trace::SetThreadName("merge");
+  prof::ThreadScope prof_scope("merge");
   obs::StageHeartbeat* heartbeat = merge_heartbeat_;
   const uint32_t n = options_.num_workers;
   std::vector<SegmentRef> heads(n);  // null slot = no head buffered
@@ -644,6 +651,7 @@ void ParallelEngine::ShardLoop(uint32_t shard_index) {
   char thread_name[32];
   std::snprintf(thread_name, sizeof(thread_name), "shard-%u", shard_index);
   trace::SetThreadName(thread_name);
+  prof::ThreadScope prof_scope(thread_name);
   BoundedQueue<ShardDelivery>& queue = router_->queue(shard_index);
   obs::StageHeartbeat* heartbeat =
       shard_heartbeats_.empty() ? nullptr : shard_heartbeats_[shard_index];

@@ -50,11 +50,16 @@ ParseResult ParseHttpRequest(std::string_view buffer, HttpRequest* out) {
     return ParseResult::kIncomplete;
   }
 
-  size_t query = target.find('?');
-  if (query != std::string_view::npos) target = target.substr(0, query);
+  std::string_view query;
+  size_t qmark = target.find('?');
+  if (qmark != std::string_view::npos) {
+    query = target.substr(qmark + 1);
+    target = target.substr(0, qmark);
+  }
 
   out->method.assign(method);
   out->target.assign(target);
+  out->query.assign(query);
   return ParseResult::kOk;
 }
 
@@ -65,6 +70,7 @@ std::string_view StatusReason(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 431: return "Request Header Fields Too Large";
+    case 501: return "Not Implemented";
     case 503: return "Service Unavailable";
     default:  return "Unknown";
   }

@@ -23,6 +23,7 @@ namespace fcp::obs {
 struct HttpRequest {
   std::string method;  ///< "GET", "HEAD", ...
   std::string target;  ///< request path, query string stripped
+  std::string query;   ///< raw query string without the '?', "" when absent
 };
 
 enum class ParseResult {
@@ -34,7 +35,7 @@ enum class ParseResult {
 /// Parses the request head out of `buffer` (everything received so far).
 /// Returns kIncomplete until the blank line ending the header block has
 /// arrived; the caller enforces its own size cap on the buffer. Any query
-/// string ("?...") is stripped from the target.
+/// string ("?...") is split off the target into `query`.
 ParseResult ParseHttpRequest(std::string_view buffer, HttpRequest* out);
 
 /// Renders a full HTTP/1.1 response with Content-Length and

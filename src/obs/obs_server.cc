@@ -8,9 +8,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "obs/http.h"
+#include "prof/prof.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
 
@@ -39,7 +41,29 @@ ObsServer::ObsServer(ObsServerOptions options) : options_(std::move(options)) {
 ObsServer::~ObsServer() { Stop(); }
 
 void ObsServer::SetHandler(std::string path, Handler handler) {
+  EnsureScrapeHistogram(path);
   handlers_[std::move(path)] = std::move(handler);
+}
+
+void ObsServer::SetQueryHandler(std::string path, QueryHandler handler) {
+  EnsureScrapeHistogram(path);
+  query_handlers_[std::move(path)] = std::move(handler);
+}
+
+void ObsServer::EnsureScrapeHistogram(const std::string& path) {
+  if (options_.metrics == nullptr) return;
+  if (scrape_histograms_.count(path) != 0) return;
+  scrape_histograms_[path] = options_.metrics->GetHistogram(
+      "fcp_obs_scrape_duration_us{" +
+      telemetry::FormatLabel("endpoint", path) + "}");
+}
+
+void ObsServer::RecordScrapeDuration(const std::string& path,
+                                     int64_t micros) {
+  auto it = scrape_histograms_.find(path);
+  if (it != scrape_histograms_.end()) {
+    it->second->Record(micros < 0 ? 0 : static_cast<uint64_t>(micros));
+  }
 }
 
 Status ObsServer::Start() {
@@ -115,6 +139,7 @@ void ObsServer::Stop() {
 
 void ObsServer::Loop() {
   trace::SetThreadName("obs-server");
+  prof::ThreadScope prof_scope("obs-server");
   constexpr int kMaxEvents = 32;
   epoll_event events[kMaxEvents];
   for (;;) {
@@ -241,15 +266,22 @@ void ObsServer::StageResponse(Connection* conn) {
     conn->responding = true;
     return;
   }
+  auto qit = query_handlers_.find(req.target);
   auto it = handlers_.find(req.target);
-  if (it == handlers_.end()) {
+  if (qit == query_handlers_.end() && it == handlers_.end()) {
     conn->out = RenderHttpResponse(404, "text/plain; charset=utf-8",
                                    "unknown endpoint\n", head_only);
     conn->responding = true;
     return;
   }
   FCP_TRACE_SPAN("obs/scrape");
-  HttpResponse resp = it->second();
+  const auto scrape_start = std::chrono::steady_clock::now();
+  HttpResponse resp =
+      qit != query_handlers_.end() ? qit->second(req.query) : it->second();
+  RecordScrapeDuration(
+      req.target, std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - scrape_start)
+                      .count());
   conn->out = RenderHttpResponse(resp.status, resp.content_type, resp.body,
                                  head_only);
   conn->responding = true;

@@ -25,6 +25,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -35,6 +36,7 @@ namespace fcp {
 namespace telemetry {
 class MetricRegistry;
 class Counter;
+class LatencyHistogram;
 }  // namespace telemetry
 
 namespace obs {
@@ -64,6 +66,8 @@ struct ObsServerOptions {
 class ObsServer {
  public:
   using Handler = std::function<HttpResponse()>;
+  /// A handler that also sees the request's raw query string (no '?').
+  using QueryHandler = std::function<HttpResponse(std::string_view query)>;
 
   explicit ObsServer(ObsServerOptions options = {});
   ~ObsServer();
@@ -74,6 +78,11 @@ class ObsServer {
   /// Registers `handler` for GET/HEAD `path` (exact match, e.g. "/metrics").
   /// Must be called before Start().
   void SetHandler(std::string path, Handler handler);
+
+  /// Like SetHandler for endpoints that take parameters (e.g.
+  /// "/pprof/profile?seconds=5"). A path has either a Handler or a
+  /// QueryHandler; the latter wins if both are set.
+  void SetQueryHandler(std::string path, QueryHandler handler);
 
   /// Binds, listens and starts the poll thread. Returns an error Status if
   /// the address cannot be bound.
@@ -107,8 +116,19 @@ class ObsServer {
   void StageResponse(Connection* conn);
   void CloseConnection(Connection* conn);
 
+  /// Creates (once) the per-endpoint scrape-duration histogram for `path`
+  /// when a metrics registry is configured; called at registration time so
+  /// the serving path never registers metrics.
+  void EnsureScrapeHistogram(const std::string& path);
+  /// Records one handler invocation against the endpoint's histogram.
+  void RecordScrapeDuration(const std::string& path, int64_t micros);
+
   ObsServerOptions options_;
   std::map<std::string, Handler, std::less<>> handlers_;
+  std::map<std::string, QueryHandler, std::less<>> query_handlers_;
+  /// Per-endpoint scrape cost, fcp_obs_scrape_duration_us{endpoint=...}.
+  std::map<std::string, telemetry::LatencyHistogram*, std::less<>>
+      scrape_histograms_;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "prof/prof.h"
 
 namespace fcp {
 
@@ -32,11 +33,23 @@ namespace fcp {
 /// `Push` blocks on a condition variable until space frees up, so lossless
 /// producers exert backpressure without burning a core. `Close()` wakes
 /// everyone; `Pop` returns nullopt once closed and drained.
+///
+/// Off-CPU profiling: the optional wait tags name this queue's block points
+/// to fcp::prof (`wait;<tag>` pseudo stacks). `pop_wait_tag` covers
+/// consumer-side empty waits (Pop/PopFor/WaitNonEmptyFor), `push_wait_tag`
+/// covers producer-side full waits, i.e. backpressure (Push/PushAll). Tags
+/// must have static storage duration. When the profiler is not armed the
+/// instrumentation costs one relaxed load on paths that were about to
+/// block anyway; non-blocking fast paths are untouched.
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(size_t capacity)
-      : capacity_(capacity), slots_(capacity) {
+  explicit BoundedQueue(size_t capacity, const char* pop_wait_tag = nullptr,
+                        const char* push_wait_tag = nullptr)
+      : capacity_(capacity),
+        slots_(capacity),
+        pop_wait_tag_(pop_wait_tag),
+        push_wait_tag_(push_wait_tag) {
     FCP_CHECK(capacity > 0);
   }
 
@@ -60,7 +73,10 @@ class BoundedQueue {
   bool Push(T item) {
     {
       std::unique_lock<std::mutex> lock(mu_);
-      space_cv_.wait(lock, [&] { return closed_ || count_ < capacity_; });
+      if (!closed_ && count_ >= capacity_) {
+        prof::WaitTimer wait(push_wait_tag_);
+        space_cv_.wait(lock, [&] { return closed_ || count_ < capacity_; });
+      }
       if (closed_) return false;
       PlaceLocked(std::move(item));
     }
@@ -81,7 +97,11 @@ class BoundedQueue {
     while (pushed < n) {
       {
         std::unique_lock<std::mutex> lock(mu_);
-        space_cv_.wait(lock, [&] { return closed_ || count_ < capacity_; });
+        if (!closed_ && count_ >= capacity_) {
+          prof::WaitTimer wait(push_wait_tag_);
+          space_cv_.wait(lock,
+                         [&] { return closed_ || count_ < capacity_; });
+        }
         if (closed_) break;
         while (pushed < n && count_ < capacity_) {
           PlaceLocked(std::move((*items)[pushed]));
@@ -98,7 +118,10 @@ class BoundedQueue {
   /// Blocking pop. Returns nullopt when the queue is closed and empty.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return closed_ || count_ > 0; });
+    if (!closed_ && count_ == 0) {
+      prof::WaitTimer wait(pop_wait_tag_);
+      cv_.wait(lock, [&] { return closed_ || count_ > 0; });
+    }
     return PopLockedOrNull(lock);
   }
 
@@ -106,8 +129,11 @@ class BoundedQueue {
   /// on timeout or when closed and empty (check `closed()` to distinguish).
   std::optional<T> PopFor(int64_t timeout_us) {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
-                 [&] { return closed_ || count_ > 0; });
+    if (!closed_ && count_ == 0) {
+      prof::WaitTimer wait(pop_wait_tag_);
+      cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
+                   [&] { return closed_ || count_ > 0; });
+    }
     return PopLockedOrNull(lock);
   }
 
@@ -126,8 +152,11 @@ class BoundedQueue {
   /// which paces the caller's drain/steal loop instead of spinning it.
   bool WaitNonEmptyFor(int64_t timeout_us) {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
-                 [&] { return count_ > 0; });
+    if (count_ == 0) {
+      prof::WaitTimer wait(pop_wait_tag_);
+      cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
+                   [&] { return count_ > 0; });
+    }
     return count_ > 0;
   }
 
@@ -199,6 +228,8 @@ class BoundedQueue {
   size_t count_ = 0;                  ///< live elements
   size_t high_watermark_ = 0;
   bool closed_ = false;
+  const char* pop_wait_tag_ = nullptr;   ///< off-CPU tag: empty waits
+  const char* push_wait_tag_ = nullptr;  ///< off-CPU tag: backpressure
 };
 
 }  // namespace fcp

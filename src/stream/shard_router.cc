@@ -39,8 +39,10 @@ ShardRouter::ShardRouter(uint32_t num_shards, size_t queue_capacity,
   }
   queues_.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
-    queues_.push_back(
-        std::make_unique<BoundedQueue<ShardDelivery>>(queue_capacity));
+    // One shared tag pair across shards: off-CPU profiles aggregate shard
+    // idling / routing backpressure rather than splitting per shard.
+    queues_.push_back(std::make_unique<BoundedQueue<ShardDelivery>>(
+        queue_capacity, "shard/deliveries-empty", "router/deliveries-full"));
     routed_to_[s].store(0, std::memory_order_relaxed);
   }
   target_scratch_.assign(num_shards, 0);

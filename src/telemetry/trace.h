@@ -219,6 +219,20 @@ std::vector<SlowOpSummary> RecentSlowOps();
 /// box, where a partial trace beats none. Idempotent; last path wins.
 void InstallCrashHandler(const std::string& path);
 
+/// A provider of auxiliary crash forensics: returns one JSON value (object,
+/// array or scalar). Must be callable from the fatal-signal path — same
+/// best-effort stance as the black box itself (may allocate; must not hang).
+using CrashAuxProvider = std::string (*)();
+
+/// Registers `provider` under `key` as an extra top-level member of the
+/// crash black box: the fatal-signal handler splices `"key": <value>` into
+/// the .crash.json next to "traceEvents". Strict consumers that read only
+/// "traceEvents" (ParseChromeTraceJson) are unaffected. At most a handful
+/// of providers (fixed small cap); `key` must be a JSON-clean static string.
+/// Re-registering a key overwrites its provider. The profiler registers
+/// its sample-ring tail here (prof::CrashJson).
+void RegisterCrashAux(const char* key, CrashAuxProvider provider);
+
 // --- RAII span + instrumentation macros. -----------------------------------
 
 /// Opens a Begin/End span over its scope. When recording is off at

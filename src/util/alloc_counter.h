@@ -21,6 +21,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "util/alloc_hook.h"
+
 namespace fcp::alloc_counter {
 
 /// Number of successful heap allocations since process start.
@@ -54,6 +56,13 @@ inline uint64_t bytes_allocated() {
 inline void* CountedAllocate(std::size_t size, std::size_t alignment) {
   AllocationCounter().fetch_add(1, std::memory_order_relaxed);
   ByteCounter().fetch_add(size, std::memory_order_relaxed);
+  // One relaxed load on the common (no hook) path; the heap profiler in
+  // src/prof installs a sampling hook here when armed.
+  if (alloc_hook::AllocHook hook =
+          alloc_hook::AllocHookSlot().load(std::memory_order_relaxed);
+      hook != nullptr) {
+    hook(size);
+  }
   if (alignment <= alignof(std::max_align_t)) return std::malloc(size);
   // aligned_alloc requires size to be a multiple of the alignment.
   const std::size_t rounded = (size + alignment - 1) / alignment * alignment;

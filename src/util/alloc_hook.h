@@ -1,0 +1,35 @@
+// The allocation hook slot: a process-wide atomic function pointer that
+// util/alloc_counter.h's counting allocator invokes (relaxed load, almost
+// always null) on every allocation it counts.
+//
+// This lives in its own header — separate from alloc_counter.h — because
+// alloc_counter.h defines the replaceable global operator new/delete and may
+// therefore be included in exactly one TU per binary, while consumers of the
+// slot (the heap profiler in src/prof) must be linkable into any binary
+// without dragging those definitions along.
+//
+// Contract for hook implementations: the hook runs inside operator new on
+// the allocating thread. It may allocate (the installer must guard against
+// recursion) but must tolerate being called from any thread at any time
+// between install and uninstall, including during static init/teardown.
+
+#ifndef FCP_UTIL_ALLOC_HOOK_H_
+#define FCP_UTIL_ALLOC_HOOK_H_
+
+#include <atomic>
+#include <cstddef>
+
+namespace fcp::alloc_hook {
+
+using AllocHook = void (*)(std::size_t size);
+
+/// The slot. Install with store(release), uninstall with store(nullptr).
+/// The counting allocator reads it with a relaxed load.
+inline std::atomic<AllocHook>& AllocHookSlot() {
+  static std::atomic<AllocHook> slot{nullptr};
+  return slot;
+}
+
+}  // namespace fcp::alloc_hook
+
+#endif  // FCP_UTIL_ALLOC_HOOK_H_

@@ -67,7 +67,8 @@
 //   --listen=[host:]port  serve the live introspection plane over HTTP while
 //                         mining: GET /metrics (Prometheus 0.0.4), /varz
 //                         (JSON), /statusz (pipeline topology), /healthz,
-//                         /readyz, /tracez (recent slow ops). Read-only,
+//                         /readyz, /tracez (recent slow ops), /pprof/profile
+//                         and /pprof/heap (folded profiles). Read-only,
 //                         snapshot-on-scrape; results are byte-identical
 //                         with the server on or off. Also arms the pipeline
 //                         watchdog behind /healthz (stall detection).
@@ -77,8 +78,22 @@
 //   --pace=N              throttle ingestion to ~N events/second (0 =
 //                         unthrottled); keeps a run alive long enough to
 //                         scrape it
+//   --profile=<path>[,hz] sample the whole run with the in-process CPU +
+//                         off-CPU profiler (default 100 Hz) and write the
+//                         folded-stack profile to <path> at exit (feed it
+//                         to flamegraph.pl / speedscope, or inspect with
+//                         fcpprof). Also arms allocation-site sampling:
+//                         /pprof/heap serves it live under --listen. With
+//                         --listen but without --profile, /pprof/profile
+//                         still samples on demand.
+
+// Defines the counting operator new/delete for this binary (first include,
+// one TU per binary): the alloc benches' counters and the heap profiler's
+// sampling hook both hang off it.
+#include "util/alloc_counter.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -100,6 +115,7 @@
 #include "obs/endpoints.h"
 #include "obs/obs_server.h"
 #include "obs/watchdog.h"
+#include "prof/prof.h"
 #include "telemetry/registry.h"
 #include "telemetry/reporter.h"
 #include "telemetry/trace.h"
@@ -151,6 +167,54 @@ int main(int argc, char** argv) {
     fcp::trace::SetThreadName("main");
     fcp::trace::InstallCrashHandler(trace_path + ".crash.json");
   }
+  // --- Profiler: register main before mining so its samples are attributed,
+  // and arm whole-run sampling when --profile is set. ------------------------
+  fcp::prof::ThreadScope prof_main_scope("main");
+  const std::string profile_flag = flags.GetString("profile", "");
+  std::string profile_path;
+  if (!profile_flag.empty()) {
+    profile_path = profile_flag;
+    long profile_hz = 100;
+    const size_t comma = profile_flag.find(',');
+    if (comma != std::string::npos) {
+      profile_path = profile_flag.substr(0, comma);
+      const std::string hz = profile_flag.substr(comma + 1);
+      char* end = nullptr;
+      profile_hz = std::strtol(hz.c_str(), &end, 10);
+      if (end == hz.c_str() || *end != '\0' || profile_hz < 1 ||
+          profile_hz > 1000) {
+        return Fail("bad --profile rate '" + hz + "' (want 1..1000 Hz)");
+      }
+    }
+    if (profile_path.empty()) return Fail("--profile needs a path");
+    if (!fcp::prof::kCompiledIn) {
+      return Fail("--profile: profiler compiled out (-DFCP_PROF=OFF)");
+    }
+    if (!fcp::prof::StartCpuProfiler(
+            static_cast<int>(profile_hz),
+            &fcp::telemetry::MetricRegistry::Global())) {
+      return Fail("--profile: cannot arm the CPU profiler");
+    }
+    fcp::prof::EnableHeapProfiler();
+  }
+  // Whole-run captures outlive the sample rings (drop-oldest at ~20s of
+  // backlog per thread at 100 Hz), so a background collector folds them
+  // into the trie every couple of seconds. Profiling-armed tests run
+  // without this thread on purpose — collection allocates, the sample path
+  // does not.
+  std::atomic<bool> prof_collector_stop{false};
+  std::thread prof_collector;
+  if (!profile_path.empty()) {
+    prof_collector = std::thread([&prof_collector_stop] {
+      fcp::prof::ThreadScope scope("prof-collector");
+      int ticks = 0;
+      while (!prof_collector_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        if (++ticks % 10 == 0) fcp::prof::CollectNow();
+      }
+    });
+  }
+
   const int64_t slow_op_ns = flags.GetInt("slow_op_ns", 0);
   if (slow_op_ns < 0) return Fail("--slow_op_ns must be >= 0");
   if (slow_op_ns > 0) {
@@ -482,6 +546,30 @@ int main(int argc, char** argv) {
     } else {
       return Fail("cannot write trace to " + trace_path);
     }
+  }
+  if (!profile_path.empty()) {
+    // Pipeline threads are joined; stop sampling, fold everything that is
+    // still in the rings and write the offline profile.
+    prof_collector_stop.store(true, std::memory_order_relaxed);
+    prof_collector.join();
+    fcp::prof::StopCpuProfiler();
+    fcp::prof::DisableHeapProfiler();
+    const std::string folded = fcp::prof::FoldedProfile();
+    std::FILE* f = std::fopen(profile_path.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(folded.data(), 1, folded.size(), f) != folded.size()) {
+      if (f != nullptr) std::fclose(f);
+      return Fail("cannot write profile to " + profile_path);
+    }
+    std::fclose(f);
+    const fcp::prof::ProfStats pstats = fcp::prof::Stats();
+    std::fprintf(stderr,
+                 "fcpmine: folded profile written to %s (%llu samples, "
+                 "%llu dropped, %llu threads)\n",
+                 profile_path.c_str(),
+                 static_cast<unsigned long long>(pstats.samples),
+                 static_cast<unsigned long long>(pstats.drops),
+                 static_cast<unsigned long long>(pstats.threads));
   }
   if (slow_op_ns > 0 && fcp::trace::SlowOpDumpCount() > 0) {
     std::fprintf(
